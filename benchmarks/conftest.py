@@ -1,0 +1,94 @@
+"""Benchmark-suite fixtures and reproduction-report plumbing.
+
+Every benchmark module reproduces one table or figure of the paper.  Each
+appends a formatted text block to the session-wide report; at the end of
+the run the report is printed in the terminal summary and written to
+``benchmarks/results/report.txt`` so that ``bench_output.txt`` and the
+repository both carry the regenerated tables.
+
+Methodology (see DESIGN.md §2 and EXPERIMENTS.md): per-block and
+per-operation costs are *measured* on this machine with the paper's own
+parameter sizes (|p| = 160 bits, |q| = 512 bits); totals for the paper's
+2 GB workload are *extrapolated* through the closed-form cost model — the
+same linearity the paper itself relies on.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.analysis.calibrate import calibrate
+from repro.analysis.cost_model import CostModel
+from repro.core.params import setup
+from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+_REPORT_BLOCKS: list[str] = []
+
+
+def record_report(title: str, lines: list[str]) -> None:
+    """Register one experiment's reproduced table for the final report."""
+    block = "\n".join([f"== {title} ==", *lines])
+    _REPORT_BLOCKS.append(block)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    safe = title.split(":")[0].strip().lower().replace(" ", "_").replace("(", "").replace(")", "")
+    with open(os.path.join(RESULTS_DIR, f"{safe}.txt"), "w") as fh:
+        fh.write(block + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORT_BLOCKS:
+        return
+    terminalreporter.section("paper reproduction report")
+    for block in _REPORT_BLOCKS:
+        terminalreporter.write_line("")
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "report.txt"), "w") as fh:
+        fh.write("\n\n".join(_REPORT_BLOCKS) + "\n")
+
+
+@pytest.fixture(scope="session")
+def paper_group():
+    """The paper's parameterization: |r| = 160, |q| = 512."""
+    return TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS["paper-160"])
+
+
+@pytest.fixture(scope="session")
+def fast_group():
+    """Small parameters for functional (non-timing) benchmark setup."""
+    return TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS["toy-64"])
+
+
+@pytest.fixture(scope="session")
+def units(paper_group):
+    """Calibrated unit costs of this machine at paper-scale parameters."""
+    return calibrate(paper_group, repeats=8, rng=random.Random(42))
+
+
+@pytest.fixture(scope="session")
+def model(units):
+    return CostModel(units)
+
+
+@pytest.fixture(scope="session")
+def paper_params_factory(paper_group):
+    """Cached setup(paper_group, k) across benchmark modules."""
+    cache: dict[int, object] = {}
+
+    def factory(k: int):
+        if k not in cache:
+            cache[k] = setup(paper_group, k)
+        return cache[k]
+
+    return factory
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(20130708)

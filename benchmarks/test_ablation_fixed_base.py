@@ -1,0 +1,100 @@
+"""Ablation: fixed-base precomputation for the u_1..u_k exponentiations,
+and batch auditing of multiple files.
+
+Neither appears in the paper's evaluation; both are natural engineering
+extensions its structure invites (the u bases never change; all audits
+verify under the single organization key).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.sem import SecurityMediator
+from repro.core.verifier import PublicVerifier
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_fixed_base_tables(benchmark, paper_group, paper_params_factory):
+    """Precomputed windows vs plain double-and-add for Bind's aggregation."""
+    outcome: dict[str, float] = {}
+    k = 50
+    n_blocks = 4
+
+    def run():
+        outcome.clear()
+        params = paper_params_factory(k)
+        data = bytes((i % 255) + 1 for i in range(params.block_bytes() * n_blocks - 8))
+        sem = SecurityMediator(paper_group, rng=random.Random(1), require_membership=False)
+        plain = DataOwner(params, sem.pk, rng=random.Random(2))
+        start = time.perf_counter()
+        plain.sign_file(data, b"f", sem)
+        outcome["plain"] = time.perf_counter() - start
+        start = time.perf_counter()
+        fast = DataOwner(params, sem.pk, rng=random.Random(2), use_fixed_base=True)
+        outcome["precompute"] = time.perf_counter() - start
+        start = time.perf_counter()
+        fast.sign_file(data, b"f", sem)
+        outcome["fixed-base"] = time.perf_counter() - start
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    # Per-block signing must be faster once tables exist.
+    assert outcome["fixed-base"] < outcome["plain"]
+    record_report(
+        f"Ablation: fixed-base u-tables (k={k}, n={n_blocks})",
+        [
+            f"plain signing:        {outcome['plain']*1000:.1f} ms",
+            f"fixed-base signing:   {outcome['fixed-base']*1000:.1f} ms "
+            f"({outcome['plain']/outcome['fixed-base']:.2f}x)",
+            f"one-time table build: {outcome['precompute']*1000:.1f} ms "
+            f"(amortizes across every block the owner ever signs)",
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_batch_audit(benchmark, paper_group, paper_params_factory):
+    """Auditing L files: L x 2 pairings individually vs 2 in a batch."""
+    outcome: dict[str, float] = {}
+    files = 4
+
+    def run():
+        outcome.clear()
+        params = paper_params_factory(20)
+        rng = random.Random(3)
+        sem = SecurityMediator(paper_group, rng=rng, require_membership=False)
+        owner = DataOwner(params, sem.pk, rng=rng)
+        cloud = CloudServer(params, rng=rng)
+        verifier = PublicVerifier(params, sem.pk, rng=rng)
+        audits = []
+        for i in range(files):
+            fid = b"file-%d" % i
+            signed = owner.sign_file(
+                bytes((j % 255) + 1 for j in range(params.block_bytes() * 2 - 8)), fid, sem
+            )
+            cloud.store(signed)
+            ch = verifier.generate_challenge(fid, len(signed.blocks))
+            audits.append((ch, cloud.generate_proof(fid, ch)))
+        start = time.perf_counter()
+        assert all(verifier.verify(ch, proof) for ch, proof in audits)
+        outcome["individual"] = time.perf_counter() - start
+        start = time.perf_counter()
+        assert verifier.verify_batch(audits, rng)
+        outcome["batched"] = time.perf_counter() - start
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome["batched"] < outcome["individual"]
+    record_report(
+        f"Ablation: batch auditing ({files} files)",
+        [
+            f"individual: {outcome['individual']*1000:.1f} ms ({2*files} pairings)",
+            f"batched:    {outcome['batched']*1000:.1f} ms (2 pairings, "
+            f"{outcome['individual']/outcome['batched']:.2f}x)",
+        ],
+    )

@@ -1,0 +1,90 @@
+"""Figure 6(a) — owner ↔ SEM communication during signature generation
+versus k, for the single-SEM mode and multi-SEM with w = 3 and w = 5.
+
+Paper numbers (2 GB data, |p| = 160, group elements counted as |p| bits):
+k = 100 -> 40 MB single-SEM; k = 1000 -> 4 MB single-SEM / 20 MB at w = 5.
+Communication falls as 1/k and scales linearly in w.
+
+The formula totals are validated against actual byte counts from the
+discrete-event network simulation at small scale before extrapolating.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import record_report
+from benchmarks.helpers import fmt_header, fmt_row
+from repro.analysis.cost_model import CostModel
+from repro.core.params import setup
+from repro.net import build_protocol_network
+
+KS = [100, 200, 500, 1000]
+
+
+@pytest.mark.benchmark(group="fig6a")
+def test_fig6a_signing_communication(benchmark, fast_group, units):
+    simulated: dict[str, int] = {}
+
+    def run_simulation():
+        """Small-scale ground truth: count real bytes over the simulator."""
+        simulated.clear()
+        params = setup(fast_group, k=4)
+        data = bytes(range(1, 200))
+        for threshold, label in [(None, "single"), (2, "w=3"), (3, "w=5")]:
+            sim, owner, _ = build_protocol_network(
+                params, threshold=threshold, rng=random.Random(5)
+            )
+            for message in owner.start_upload(data, b"f"):
+                sim.send(message)
+            sim.run()
+            assert owner.completed_uploads == [b"f"]
+            sem_names = [n for n in sim.nodes if n.startswith("sem-")]
+            total = sum(
+                sim.bytes_between("owner", s) + sim.bytes_between(s, "owner")
+                for s in sem_names
+            )
+            simulated[label] = total
+        return simulated
+
+    benchmark.pedantic(run_simulation, rounds=1, iterations=1)
+
+    # Ground truth check: per-block traffic is exactly 2 compressed G1
+    # elements per contacted SEM (the paper's "2|p| bits per block" with
+    # honest serialization).
+    params = setup(fast_group, k=4)
+    data = bytes(range(1, 200))
+    from repro.core.blocks import encode_data
+
+    n = len(encode_data(data, params, b"f"))
+    element = fast_group.g1_element_bytes()
+    assert simulated["single"] == 2 * n * element
+    assert simulated["w=3"] == 3 * 2 * n * element
+    assert simulated["w=5"] == 5 * 2 * n * element
+
+    model = CostModel(units)
+    mb = 1024**2
+    single = [model.signing_communication_bytes(k, w=1) / mb for k in KS]
+    w3 = [model.signing_communication_bytes(k, w=3) / mb for k in KS]
+    w5 = [model.signing_communication_bytes(k, w=5) / mb for k in KS]
+    lines = [
+        fmt_header("k ->", KS),
+        fmt_row("Single-Signer (2GB)", single, unit="MB"),
+        fmt_row("Multi-Signer w=3 (2GB)", w3, unit="MB"),
+        fmt_row("Multi-Signer w=5 (2GB)", w5, unit="MB"),
+        "paper: 40 MB at k=100 (single); 4 MB at k=1000; 20 MB at k=1000, w=5",
+        f"simulator ground truth (k=4, n={n}): {simulated}",
+    ]
+    record_report("Fig 6(a): owner-SEM communication vs k", lines)
+
+    # Paper anchor points.
+    assert 40 <= single[0] <= 43
+    assert 4 <= single[-1] <= 4.3
+    assert 20 <= w5[-1] <= 21.5
+    # 1/k decay and linear scaling in w.
+    assert single == sorted(single, reverse=True)
+    for s, a, b in zip(single, w3, w5):
+        assert a == pytest.approx(3 * s)
+        assert b == pytest.approx(5 * s)

@@ -1,0 +1,127 @@
+"""Table III — comparison among the schemes with identity privacy:
+SEM-PDP (ours) vs Oruta [5] vs Knox [13].
+
+Rows (paper setting: 2 GB, k = 1000, n = 100,000, d = 10, c = 460):
+
+* signature generation time (ms/block)     — measured + model
+* extra storage for signatures (MB)        — paper element-size convention
+* verification computation (s)             — model with calibrated units
+* verification communication (KB)          — paper convention
+* public verification (Yes/Yes/No)         — structural, asserted
+* group dynamics (Yes/No/No)               — structural, asserted
+
+Expected shape: ours wins every numeric row; Oruta pays O(d) everywhere;
+Knox pays a large constant per block and loses public verifiability.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import record_report
+from benchmarks.helpers import oruta_per_block_ms, sem_pdp_per_block_ms
+from repro.analysis.cost_model import (
+    CostModel,
+    oruta_verification_counts,
+    verification_counts,
+)
+
+D = 10
+K_PAPER = 1000
+C = 460
+K_MEASURED = 50
+GSIG_ELEMENTS = 9  # BBS04: 3 G1 + 6 Z_p, in |p|-bit units
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_identity_privacy_comparison(
+    benchmark, paper_group, paper_params_factory, fast_group, units
+):
+    measured: dict[str, float] = {}
+
+    def run():
+        measured.clear()
+        params = paper_params_factory(K_MEASURED)
+        measured["ours"] = sem_pdp_per_block_ms(params, paper_group, batch=True, n_blocks=2)
+        measured["oruta"] = oruta_per_block_ms(params, d=D, n_blocks=2)
+        # Knox signing: homomorphic MAC (cheap) + BBS04 group signature.
+        import time
+
+        from repro.baselines.knox import KnoxGroup
+        from repro.core.params import setup as _setup
+
+        knox_params = paper_params_factory(K_MEASURED)
+        kg = KnoxGroup(knox_params, d=D, rng=random.Random(4))
+        data = bytes((i % 255) + 1 for i in range(knox_params.block_bytes() * 2 - 8))
+        start = time.perf_counter()
+        kg.sign_and_store(data, b"f")
+        measured["knox"] = (time.perf_counter() - start) / 2 * 1000.0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    model = CostModel(units)
+    n = model.n_blocks(K_PAPER)
+    storage_ours = model.signature_storage_bytes(K_PAPER) / 1024**2
+    storage_oruta = model.oruta_signature_storage_bytes(K_PAPER, D) / 1024**2
+    storage_knox = model.knox_signature_storage_bytes(K_PAPER, GSIG_ELEMENTS) / 1024**2
+    verify_ours = verification_counts(C, K_PAPER).seconds(units)
+    verify_oruta = oruta_verification_counts(C, K_PAPER, D).seconds(units)
+    # Knox's designated-verifier MAC check is pairing-free modular
+    # arithmetic: (c + k) Z_p multiplications (c HMAC evaluations are of
+    # the same order and omitted).
+    verify_knox = (C + K_PAPER) * units.mul_zp
+    comm_ours = model.verification_communication_bytes(C, K_PAPER) / 1024
+    comm_oruta = model.oruta_verification_communication_bytes(C, K_PAPER, D) / 1024
+    comm_knox = (C * (model.id_bits + model.p_bits) + (K_PAPER + 1) * model.p_bits) / 8 / 1024
+
+    rows = [
+        f"{'':<34}{'Ours':>12}{'Oruta [5]':>12}{'Knox [13]':>12}",
+        f"{'Sig. generation (ms/block)':<34}{measured['ours']:>12.2f}{measured['oruta']:>12.2f}{measured['knox']:>12.2f}",
+        f"{'Extra storage (MB, 2GB data)':<34}{storage_ours:>12.2f}{storage_oruta:>12.2f}{storage_knox:>12.2f}",
+        f"{'Verification compute (s)':<34}{verify_ours:>12.3f}{verify_oruta:>12.3f}{verify_knox:>12.5f}",
+        f"{'Verification comm. (KB)':<34}{comm_ours:>12.2f}{comm_oruta:>12.2f}{comm_knox:>12.2f}",
+        f"{'Public verification':<34}{'Yes':>12}{'Yes':>12}{'No':>12}",
+        f"{'Group dynamics':<34}{'Yes':>12}{'No':>12}{'No':>12}",
+        f"(measured at k={K_MEASURED}; storage/comm at paper convention k={K_PAPER}, d={D}, c={C})",
+    ]
+    record_report("Table III: schemes with identity privacy", rows)
+
+    # --- numeric shapes -------------------------------------------------
+    # Signing: ours beats Oruta (ring closure costs ~2(d-1) extra exps per
+    # block, growing with the group size d).  Knox's signing is cheap (a
+    # Z_p MAC plus one constant-size group signature) — its Table III
+    # losses are storage, communication, and the verifiability rows below.
+    assert measured["ours"] < measured["oruta"]
+    # Storage: ours = Oruta/d; Knox pays ~10x for MAC + group signature.
+    assert storage_oruta == pytest.approx(D * storage_ours)
+    assert storage_knox == pytest.approx((1 + GSIG_ELEMENTS) * storage_ours)
+    # Verification: Oruta needs d+1 pairings vs our 2.
+    assert verify_oruta > verify_ours
+    # Communication: Oruta's response is d-1 elements longer.
+    assert comm_oruta > comm_ours
+
+    # --- structural properties -----------------------------------------
+    from repro.baselines.knox import KnoxGroup, KnoxVerifier, KnoxMacKey
+    from repro.core.params import setup
+
+    params = setup(fast_group, k=2)
+    rng = random.Random(11)
+    kg = KnoxGroup(params, d=3, rng=rng)
+    kg.sign_and_store(b"knox" * 30, b"f")
+    # Knox: NOT publicly verifiable (wrong MAC key -> reject).
+    from repro.core.verifier import PublicVerifier
+
+    helper = PublicVerifier(params, kg.gs.w, rng=rng)
+    ch = helper.generate_challenge(b"f", kg.n_blocks(b"f"))
+    impostor = KnoxVerifier(
+        params,
+        KnoxMacKey(
+            taus=tuple(rng.randrange(params.order) for _ in range(params.k)),
+            prf_seed=b"\x00" * 32,
+        ),
+    )
+    assert not impostor.verify(ch, kg.generate_proof(b"f", ch))
+    # Knox: no group dynamics (revocation invalidates stored files).
+    assert kg.revoke_member(0) == [b"f"]

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Multi-owner shared files + a continuously scheduled auditor.
+
+Three team members co-author one document (each block signed by its
+author, via the SEM); the stored file is indistinguishable from a
+single-owner upload.  A third-party audit service then re-challenges the
+file every 10 virtual seconds and raises an alert within one period of
+the cloud corrupting a block.
+
+    python examples/collaborative_team.py
+"""
+
+import random
+
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import setup
+from repro.core.sem import SecurityMediator
+from repro.core.shared_file import Contribution, build_shared_file
+from repro.core.verifier import PublicVerifier
+from repro.net import AuditServiceNode, Simulator
+from repro.net.actors import CloudNode
+from repro.pairing import toy_group
+
+
+def main() -> None:
+    rng = random.Random(1234)
+    group = toy_group()
+    params = setup(group, k=4)
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+
+    # Three authors, one document.
+    authors = {
+        name: DataOwner(params, sem.pk, rng=rng) for name in ("ana", "ben", "cleo")
+    }
+    shared = build_shared_file(
+        params,
+        b"design-doc",
+        sem,
+        [
+            Contribution(owner=authors["ana"], payload=b"## Intro\nwhy we build this " * 2),
+            Contribution(owner=authors["ben"], payload=b"## Design\nthe SEM signs blindly " * 3),
+            Contribution(owner=authors["cleo"], payload=b"## Evaluation\nnumbers galore " * 2),
+        ],
+    )
+    print(f"3 authors co-signed {len(shared.blocks)} blocks; "
+          "the file carries no trace of who wrote what")
+
+    # Stand up cloud + scheduled auditor in the simulator.
+    sim = Simulator()
+    cloud = CloudNode("cloud", CloudServer(params, rng=rng))
+    cloud.server.store(shared)
+    auditor = AuditServiceNode(
+        "auditor",
+        PublicVerifier(params, sem.pk, rng=rng),
+        period_s=10.0,
+        sample_size=4,
+    )
+    sim.add_node(cloud)
+    sim.add_node(auditor)
+    auditor.watch(b"design-doc", len(shared.blocks))
+    auditor.start()
+
+    sim.run(until=35.0)
+    print(f"t=35s: {len(auditor.history(b'design-doc'))} scheduled audits, "
+          f"pass rate {auditor.pass_rate(b'design-doc'):.0%}, alerts: {auditor.alerts}")
+
+    # The cloud corrupts a block at t=35; the next audit catches it.
+    cloud.server.tamper_block(b"design-doc", 2)
+    sim.run(until=65.0)
+    history = auditor.history(b"design-doc")
+    print(f"t=65s: verdicts so far: {['PASS' if r.passed else 'FAIL' for r in history]}")
+    if auditor.alerts:
+        file_id, when = auditor.alerts[0]
+        print(f"ALERT raised at virtual t={when:.0f}s for {file_id.decode()} — "
+              "within one audit period of the corruption")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The paper's motivating scenario: anonymous, auditable health records.
+
+Patients (data owners) contribute encrypted health records to a hospital's
+cloud store.  Medical researchers (data users / public verifiers) must be
+able to check the records are intact before analysis — but must NOT learn
+which patient contributed which record, and the hospital's security
+mediator must not see record contents.
+
+    python examples/healthcare_records.py
+"""
+
+import random
+
+from repro import SemPdpSystem, toy_group
+from repro.core.blocks import decode_data
+from repro.core.owner import DataOwner
+
+
+def main() -> None:
+    rng = random.Random(7)
+    hospital = SemPdpSystem.create(toy_group(), k=8, verify_on_upload=True, rng=rng)
+
+    # Three patients enroll through the hospital's group manager.  Their
+    # credentials are opaque tokens: the SEM serves them without ever
+    # learning who they are.
+    patients = {name: hospital.enroll(name) for name in ("ana", "ben", "cleo")}
+
+    # Each patient encrypts her record (ChaCha20) and uploads.  Encryption
+    # happens BEFORE blinding, so neither the SEM nor the cloud sees
+    # plaintext; the blind signatures still verify.
+    records = {
+        "ana": b"ECG series: sinus rhythm, 62 bpm resting ..." * 30,
+        "ben": b"Blood panel: HbA1c 5.4%, LDL 96 mg/dL ..." * 30,
+        "cleo": b"MRI report: no abnormal findings ..." * 30,
+    }
+    keys = {name: bytes([i] * 32) for i, name in enumerate(records)}
+    receipts = {}
+    for name, record in records.items():
+        file_id = f"records/{rng.randrange(10**9):09d}".encode()  # pseudonymous id
+        receipts[name] = hospital.upload(
+            patients[name], record, file_id, encrypt_key=keys[name]
+        )
+        print(f"{name}: uploaded {receipts[name].n_blocks} encrypted blocks as {file_id.decode()}")
+
+    # A researcher audits every record before running the study.  The
+    # verification equation involves only the ORGANIZATION's public key:
+    # nothing in it identifies a patient.
+    print("\nresearcher audits (c = 10 sampled blocks each):")
+    for name, receipt in receipts.items():
+        ok = hospital.audit(receipt.file_id, sample_size=10)
+        print(f"  {receipt.file_id.decode()}: {'intact' if ok else 'CORRUPT'}")
+
+    # The patient herself can retrieve and decrypt.
+    ana_stored = hospital.cloud.retrieve(receipts["ana"].file_id)
+    ciphertext = decode_data(ana_stored.blocks, hospital.params)
+    plaintext = DataOwner.decrypt_file(ciphertext, keys["ana"], receipts["ana"].nonce)
+    assert plaintext == records["ana"]
+    print("\nana downloaded and decrypted her record successfully")
+
+    # Ben leaves the study: instant revocation, nothing re-signed.
+    hospital.revoke("ben")
+    assert hospital.audit(receipts["ben"].file_id)  # his data is still auditable
+    try:
+        hospital.upload(patients["ben"], b"late addendum", b"records/x")
+        raise AssertionError("revoked patient should not obtain signatures")
+    except Exception as exc:
+        print(f"\nben revoked: new signing denied ({type(exc).__name__}), "
+              "existing records still verify — no re-signing needed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Erasure-coded self-repair: survive a cloud that corrupts data.
+
+Plain PDP *detects* corruption; the erasure substrate (in the spirit of
+the related work the paper cites: Wang et al.'s erasure-coded storage and
+Cao et al.'s LT codes) also *recovers* from it.  Data blocks get 3 Reed-
+Solomon parity blocks; all coded blocks are blind-signed as usual, so the
+cloud (and verifiers) cannot even tell parity from data.  When audits
+fail, single-block micro-audits localize the damage and any sufficiently
+large healthy subset rebuilds the file.
+
+    python examples/resilient_storage.py
+"""
+
+import random
+
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import setup
+from repro.core.sem import SecurityMediator
+from repro.core.verifier import PublicVerifier
+from repro.erasure import ResilientStore
+from repro.pairing import toy_group
+
+
+def main() -> None:
+    rng = random.Random(2718)
+    group = toy_group()
+    params = setup(group, k=4)
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+    owner = DataOwner(params, sem.pk, rng=rng)
+    cloud = CloudServer(params, rng=rng)
+    verifier = PublicVerifier(params, sem.pk, rng=rng)
+    store = ResilientStore(params, owner, sem, cloud, verifier, parity=3, rng=rng)
+
+    payload = b"ledger entry %d | " * 0 + b"ledger: " + b"txn;" * 120
+    n_coded = store.store(payload, b"ledger")
+    n_data = store._data_blocks[b"ledger"]
+    print(f"stored {len(payload)} bytes as {n_data} data + {n_coded - n_data} parity blocks")
+    print(f"initial audit: {'PASS' if store.audit(b'ledger') else 'FAIL'}")
+
+    # The cloud corrupts three blocks (including a parity block).
+    for position in (1, 4, n_coded - 1):
+        cloud.tamper_block(b"ledger", position)
+    print(f"\ncloud corrupts blocks 1, 4, {n_coded - 1}")
+    print(f"sampled audit: {'PASS' if store.audit(b'ledger') else 'FAIL -> scrub'}")
+
+    corrupt = store.locate_corruption(b"ledger")
+    print(f"single-block scrub localizes damage at positions {corrupt}")
+
+    # Even before repair, the payload is recoverable.
+    assert store.retrieve(b"ledger") == payload
+    print("payload reconstructed through the corruption (RS decode)")
+
+    report = store.repair(b"ledger")
+    print(f"repair: re-signed {report.resigned_blocks} blocks via the SEM "
+          f"(blindly, as always)")
+    print(f"post-repair audit: {'PASS' if store.audit(b'ledger') else 'FAIL'}")
+
+    # Beyond the parity budget, repair honestly reports failure.
+    for position in range(4):
+        cloud.tamper_block(b"ledger", position)
+    report = store.repair(b"ledger")
+    print(f"\nafter corrupting 4 blocks (> parity=3): repaired={report.repaired} "
+          f"(the budget is explicit, not silent)")
+
+
+if __name__ == "__main__":
+    main()

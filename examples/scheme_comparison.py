@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Mini Table III: run all four schemes side by side on the same data.
+
+Compares SEM-PDP (this paper) against SW08 (no identity privacy), Oruta
+(ring signatures: O(d) metadata), and Knox (group signatures + MAC: large
+constant metadata, no public verifiability) on identical content, and
+prints what each verifier can and cannot do.
+
+    python examples/scheme_comparison.py
+"""
+
+import random
+
+from repro import SemPdpSystem, toy_group
+from repro.baselines.knox import KnoxGroup, KnoxVerifier
+from repro.baselines.oruta import OrutaGroup, OrutaVerifier
+from repro.baselines.sw08 import SW08Owner, SW08Verifier
+from repro.core.cloud import CloudServer
+from repro.core.params import setup
+from repro.core.verifier import PublicVerifier
+
+D = 4  # group size for the identity-private schemes
+DATA = b"the same shared file, signed four different ways " * 12
+
+
+def main() -> None:
+    rng = random.Random(31)
+    group = toy_group()
+    params = setup(group, k=8)
+    scalar = (group.order.bit_length() + 7) // 8
+    g1_bytes = group.g1_element_bytes()
+
+    rows = []
+
+    # --- SEM-PDP (ours) --------------------------------------------------
+    system = SemPdpSystem.create(group, k=8, rng=rng)
+    alice = system.enroll("alice")
+    receipt = system.upload(alice, DATA, b"f")
+    n = receipt.n_blocks
+    ok = system.audit(b"f")
+    rows.append(("SEM-PDP (ours)", n * g1_bytes, "yes", "anonymous", "yes", ok))
+
+    # --- SW08 ---------------------------------------------------------------
+    owner = SW08Owner(params, rng=rng)
+    cloud = CloudServer(params, rng=rng)
+    cloud.store(owner.sign_file(DATA, b"f"))
+    verifier = SW08Verifier(params, owner.pk, rng=rng)
+    ch = verifier.generate_challenge(b"f", n)
+    ok = verifier.verify(ch, cloud.generate_proof(b"f", ch))
+    rows.append(("SW08", n * g1_bytes, "yes", "IDENTIFIED", "n/a", ok))
+
+    # --- Oruta ----------------------------------------------------------------
+    oruta = OrutaGroup(params, d=D, rng=rng)
+    oruta.sign_and_store(DATA, b"f")
+    overifier = OrutaVerifier(params, oruta.ring.pks, rng=rng)
+    helper = PublicVerifier(params, oruta.ring.pks[0], rng=rng)
+    ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"))
+    ok = overifier.verify(ch, oruta.generate_proof(b"f", ch))
+    rows.append(
+        ("Oruta [5]", oruta.signature_storage_elements(b"f") * g1_bytes,
+         "yes", f"1-of-{D}", "no (re-sign all)", ok)
+    )
+
+    # --- Knox --------------------------------------------------------------------
+    knox = KnoxGroup(params, d=D, rng=rng)
+    knox.sign_and_store(DATA, b"f")
+    kverifier = KnoxVerifier(params, knox.mac_key)  # needs the SHARED key!
+    ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+    ok = kverifier.verify(ch, knox.generate_proof(b"f", ch))
+    rows.append(
+        ("Knox [13]", knox.metadata_bytes(b"f"),
+         "NO (designated)", f"1-of-{D}, openable", "no (re-sign all)", ok)
+    )
+
+    header = (f"{'scheme':<16}{'metadata':>10}  {'public?':<16}"
+              f"{'owner identity':<18}{'dynamics':<18}{'audit'}")
+    print(header)
+    print("-" * len(header))
+    for name, meta, public, identity, dynamics, ok in rows:
+        print(f"{name:<16}{meta:>9}B  {public:<16}{identity:<18}{dynamics:<18}"
+              f"{'PASS' if ok else 'FAIL'}")
+
+    print(f"\n(n = {n} blocks of k = 8 elements; G1 element = {g1_bytes} bytes, "
+          f"scalar = {scalar} bytes)")
+    print("SEM-PDP keeps SW08's single-element metadata while adding anonymity;")
+    print("Oruta multiplies metadata by the group size; Knox gives up public")
+    print("verifiability and group dynamics for its constant (but large) tags.")
+
+
+if __name__ == "__main__":
+    main()

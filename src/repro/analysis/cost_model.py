@@ -1,0 +1,146 @@
+"""Closed-form cost model: Table I, Figure 6, Table II, Table III.
+
+All formulas are the paper's (Section VI-A), kept verbatim so the model
+*is* the reproduction of Table I; time predictions multiply them by the
+calibrated unit costs of this machine.
+
+Size conventions.  The paper counts each group element and each scalar as
+|p| = 160 bits (its "2|p| bits per block" signing-communication claim, the
+40 MB / 4 MB points of Figure 6(a), and the 2 GB → n = 100,000 block count
+at k = 1000 are only consistent under that convention).  The model follows
+it by default; honest wire sizes (512-bit x-coordinate + 1 byte for a
+compressed type-A G1 point) are available via ``element_bits``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.calibrate import UnitCosts
+
+#: The paper's workload: 2 GB of shared data, |p| = 160 bits.
+PAPER_DATA_BYTES = 2 * 1024**3
+PAPER_P_BITS = 160
+
+
+@dataclass(frozen=True)
+class SchemeCosts:
+    """Operation counts for generating all n signatures (one Table I cell)."""
+
+    exp_g1: int
+    pair: int
+
+    def seconds(self, units: UnitCosts) -> float:
+        return self.exp_g1 * units.exp_g1 + self.pair * units.pair
+
+    def per_block_ms(self, n: int, units: UnitCosts) -> float:
+        return self.seconds(units) / n * 1000.0
+
+
+def table1_exp_pair_counts(n: int, k: int, t: int | None = None,
+                           optimized: bool = False) -> SchemeCosts:
+    """Table I verbatim.
+
+    Single-SEM (t is None):
+        basic      n(k+3) Exp + 2n Pair
+        optimized  n(k+5) Exp + 2  Pair
+    Multi-SEM:
+        basic      n(k+2t+1) Exp + 2nt Pair
+        optimized  n(k+4t+2) Exp + (t+1) Pair
+    """
+    if t is None:
+        if optimized:
+            return SchemeCosts(exp_g1=n * (k + 5), pair=2)
+        return SchemeCosts(exp_g1=n * (k + 3), pair=2 * n)
+    if optimized:
+        return SchemeCosts(exp_g1=n * (k + 4 * t + 2), pair=t + 1)
+    return SchemeCosts(exp_g1=n * (k + 2 * t + 1), pair=2 * n * t)
+
+
+def sw08_exp_counts(n: int, k: int) -> SchemeCosts:
+    """SW08/WCWRL11 signing: the owner computes σ_i = (H ∏ u^m)^x locally."""
+    return SchemeCosts(exp_g1=n * (k + 1), pair=0)
+
+
+def oruta_sign_counts(n: int, k: int, d: int) -> SchemeCosts:
+    """Oruta ring signing: aggregate (k exps) plus ring closure (~2(d−1)+1)."""
+    return SchemeCosts(exp_g1=n * (k + 2 * (d - 1) + 1), pair=0)
+
+
+def verification_counts(c: int, k: int) -> SchemeCosts:
+    """Public verification: (c + k) Exp_G1 + 2 Pair (Section VI-A2, n → c)."""
+    return SchemeCosts(exp_g1=c + k, pair=2)
+
+
+def oruta_verification_counts(c: int, k: int, d: int) -> SchemeCosts:
+    """Oruta verification: (c + k + d) Exp + (d + 1) Pair."""
+    return SchemeCosts(exp_g1=c + k + d, pair=d + 1)
+
+
+class CostModel:
+    """Communication/storage curves and full-table synthesis."""
+
+    def __init__(self, units: UnitCosts, p_bits: int = PAPER_P_BITS,
+                 data_bytes: int = PAPER_DATA_BYTES, id_bits: int = 20):
+        self.units = units
+        self.p_bits = p_bits
+        self.data_bytes = data_bytes
+        # |id|: the paper's Table II numbers are consistent with ~20-bit
+        # block indices (see EXPERIMENTS.md); override for other choices.
+        self.id_bits = id_bits
+
+    # -- workload geometry ---------------------------------------------------
+    def n_blocks(self, k: int) -> int:
+        """n = data size / (k elements of |p| bits each)."""
+        return self.data_bytes * 8 // (k * self.p_bits)
+
+    # -- Figure 6(a): owner <-> SEM communication -----------------------------
+    def signing_communication_bytes(self, k: int, w: int = 1) -> int:
+        """2·w·|p| bits per block (blinded message out, blind signature back,
+        per SEM), totalled over all n blocks."""
+        return self.n_blocks(k) * 2 * w * self.p_bits // 8
+
+    # -- Figure 6(b): signature storage on the cloud ---------------------------
+    def signature_storage_bytes(self, k: int) -> int:
+        """One |p|-bit signature per block (paper convention)."""
+        return self.n_blocks(k) * self.p_bits // 8
+
+    def oruta_signature_storage_bytes(self, k: int, d: int) -> int:
+        return d * self.signature_storage_bytes(k)
+
+    def knox_signature_storage_bytes(self, k: int, gsig_elements: int = 9) -> int:
+        """MAC tag + group signature (3 G1 + 6 Z_p ≈ 9 |p|-bit units)."""
+        return self.n_blocks(k) * (1 + gsig_elements) * self.p_bits // 8
+
+    # -- Table II: public verification -----------------------------------------
+    def verification_seconds(self, c: int, k: int) -> float:
+        return verification_counts(c, k).seconds(self.units)
+
+    def verification_communication_bytes(self, c: int, k: int) -> int:
+        """c(|id| + |p|) challenge + (k + 1)|p| response."""
+        return (c * (self.id_bits + self.p_bits) + (k + 1) * self.p_bits) // 8
+
+    def oruta_verification_communication_bytes(self, c: int, k: int, d: int) -> int:
+        """Oruta's response carries d aggregated σ-components instead of 1."""
+        return (c * (self.id_bits + self.p_bits) + (k + d) * self.p_bits) // 8
+
+    # -- Table I rendered in seconds -------------------------------------------
+    def signing_seconds(self, k: int, t: int | None = None, optimized: bool = False,
+                        n: int | None = None) -> float:
+        n = self.n_blocks(k) if n is None else n
+        return table1_exp_pair_counts(n, k, t, optimized).seconds(self.units)
+
+    def signing_per_block_ms(self, k: int, t: int | None = None,
+                             optimized: bool = False) -> float:
+        """Amortized per-block cost over the full workload (as the paper
+        reports it — constant pairing terms amortize over n blocks)."""
+        n = self.n_blocks(k)
+        return self.signing_seconds(k, t, optimized, n=n) / n * 1000.0
+
+    def sw08_per_block_ms(self, k: int) -> float:
+        n = self.n_blocks(k)
+        return sw08_exp_counts(n, k).seconds(self.units) / n * 1000.0
+
+    def oruta_per_block_ms(self, k: int, d: int) -> float:
+        n = self.n_blocks(k)
+        return oruta_sign_counts(n, k, d).seconds(self.units) / n * 1000.0

@@ -1,0 +1,121 @@
+"""ASCII rendering of the paper's figures from the cost model.
+
+No plotting dependency is available offline, so the figures are rendered
+as terminal charts: good enough to eyeball every shape the paper's plots
+carry (orderings, crossovers, 1/k decay, linear growth).  Used by
+``tools/make_figures.py`` and tested directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Series:
+    """One line of a chart."""
+
+    label: str
+    ys: list[float]
+
+
+def render_chart(
+    title: str,
+    xs: list[float],
+    series: list[Series],
+    width: int = 60,
+    height: int = 16,
+    y_unit: str = "",
+    x_label: str = "k",
+) -> str:
+    """Render multiple series as an ASCII scatter chart.
+
+    Points are plotted with each series' marker; the y-axis is linear from
+    0 to the max value observed.
+    """
+    if not series or not xs:
+        raise ValueError("need at least one series and one x value")
+    if any(len(s.ys) != len(xs) for s in series):
+        raise ValueError("every series must have one y per x")
+    markers = "*o+x#@%&"
+    y_max = max(max(s.ys) for s in series)
+    if y_max <= 0:
+        y_max = 1.0
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, s in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, s.ys):
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int(y / y_max * (height - 1))
+            grid[row][col] = marker
+    lines = [title]
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            axis_value = f"{y_max:10.2f}{y_unit} |"
+        elif row_index == height - 1:
+            axis_value = f"{0.0:10.2f}{y_unit} |"
+        else:
+            axis_value = " " * (10 + len(y_unit)) + " |"
+        lines.append(axis_value + "".join(row))
+    lines.append(" " * (10 + len(y_unit)) + " +" + "-" * width)
+    ticks = " " * (12 + len(y_unit)) + f"{x_min:<10g}{x_label}" + f"{x_max:>{width - 11}g}"
+    lines.append(ticks)
+    for index, s in enumerate(series):
+        lines.append(f"    {markers[index % len(markers)]} {s.label}")
+    return "\n".join(lines)
+
+
+def figure_4a(model, paper_model, ks: list[int]) -> str:
+    """Signature generation time vs k (paper-ratio units)."""
+    return render_chart(
+        "Fig 4(a): per-block signing time (ms), paper-era unit costs",
+        [float(k) for k in ks],
+        [
+            Series("Our Scheme", [paper_model.signing_per_block_ms(k) for k in ks]),
+            Series("Our Scheme*", [paper_model.signing_per_block_ms(k, optimized=True) for k in ks]),
+            Series("SW08/WCWRL11", [paper_model.sw08_per_block_ms(k) for k in ks]),
+        ],
+        y_unit="ms",
+    )
+
+
+def figure_5b(model, ts: list[int], ks: list[int]) -> str:
+    """Signing time vs t for two k values."""
+    return render_chart(
+        "Fig 5(b): per-block signing time vs t (this machine's units)",
+        [float(t) for t in ts],
+        [
+            Series(f"k={k}", [model.signing_per_block_ms(k, t=t, optimized=True) for t in ts])
+            for k in ks
+        ],
+        y_unit="ms",
+        x_label="t",
+    )
+
+
+def figure_6a(model, ks: list[int]) -> str:
+    """Owner-SEM communication vs k for three SEM counts."""
+    mb = 1024**2
+    return render_chart(
+        "Fig 6(a): owner-SEM communication for 2 GB (MB)",
+        [float(k) for k in ks],
+        [
+            Series("single", [model.signing_communication_bytes(k, 1) / mb for k in ks]),
+            Series("w=3", [model.signing_communication_bytes(k, 3) / mb for k in ks]),
+            Series("w=5", [model.signing_communication_bytes(k, 5) / mb for k in ks]),
+        ],
+        y_unit="MB",
+    )
+
+
+def figure_6b(model, ks: list[int]) -> str:
+    """Signature storage vs k."""
+    mb = 1024**2
+    return render_chart(
+        "Fig 6(b): signature storage for 2 GB (MB)",
+        [float(k) for k in ks],
+        [Series("signatures", [model.signature_storage_bytes(k) / mb for k in ks])],
+        y_unit="MB",
+    )

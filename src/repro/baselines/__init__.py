@@ -1,0 +1,36 @@
+"""Baseline schemes the paper compares against.
+
+* :mod:`repro.baselines.sw08` — Shacham–Waters compact proofs of
+  retrievability (public verification, no identity privacy).  "SW08" in
+  Figures 4(a)/4(b).
+* :mod:`repro.baselines.wcwrl11` — Wang–Chow–Wang–Ren–Lou
+  privacy-preserving public auditing (random masking hides data from the
+  TPA; still no identity privacy).  "WCWRL11" in Figure 4(a) — identical
+  signing cost to SW08.
+* :mod:`repro.baselines.oruta` — Oruta [5]: HARS ring-signature PDP.
+  Identity-private but with O(d) verification metadata per block.
+* :mod:`repro.baselines.knox` — Knox [13]: homomorphic-MAC + group
+  signature PDP.  Identity-private with constant (but large) per-block
+  metadata, *not* publicly verifiable.
+"""
+
+from repro.baselines.sw08 import SW08Owner, SW08Verifier
+from repro.baselines.wcwrl11 import WCWRL11Owner, WCWRL11Server, WCWRL11Verifier
+from repro.baselines.oruta import HARSRing, OrutaGroup, OrutaVerifier
+from repro.baselines.knox import KnoxGroup, KnoxVerifier
+from repro.baselines.panda import PandaGroup, PandaVerifier
+
+__all__ = [
+    "SW08Owner",
+    "SW08Verifier",
+    "WCWRL11Owner",
+    "WCWRL11Server",
+    "WCWRL11Verifier",
+    "HARSRing",
+    "OrutaGroup",
+    "OrutaVerifier",
+    "KnoxGroup",
+    "KnoxVerifier",
+    "PandaGroup",
+    "PandaVerifier",
+]

@@ -1,0 +1,59 @@
+"""SW08 — Shacham & Waters, "Compact Proofs of Retrievability" (ASIACRYPT
+2008), publicly verifiable variant.
+
+This is the non-anonymous baseline of Figures 4(a)/4(b): the data owner
+signs every block aggregate *directly with her own key* (no SEM, no
+blinding), so signing costs (k + 1) Exp_G1 per block but the owner's public
+key — and hence her identity — is exposed to every verifier.
+
+Everything downstream (Challenge/Response/Verify) is shared with the
+SEM-PDP scheme: the paper's point is precisely that its signatures are
+SW08-shaped, so the cloud cannot even tell which scheme produced them.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import aggregate_block, encode_data
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.owner import SignedFile
+from repro.core.params import SystemParams
+from repro.core.verifier import PublicVerifier
+from repro.crypto.bls import BLSKeyPair, bls_keygen
+from repro.pairing.interface import GroupElement
+
+
+class SW08Owner:
+    """A data owner signing blocks under her personal BLS key."""
+
+    def __init__(self, params: SystemParams, keypair: BLSKeyPair | None = None, rng=None):
+        self.params = params
+        self.group = params.group
+        self.keypair = keypair if keypair is not None else bls_keygen(self.group, rng)
+
+    @property
+    def pk(self) -> GroupElement:
+        """The owner's public key — publicly linkable to her identity."""
+        return self.keypair.pk
+
+    def sign_file(self, data: bytes, file_id: bytes) -> SignedFile:
+        """σ_i = [H(id_i) · ∏ u_l^{m_{i,l}}]^x for every block, locally."""
+        blocks = encode_data(data, self.params, file_id)
+        signatures = tuple(
+            aggregate_block(self.params, block) ** self.keypair.sk for block in blocks
+        )
+        return SignedFile(file_id=file_id, blocks=tuple(blocks), signatures=signatures)
+
+
+class SW08Verifier(PublicVerifier):
+    """Identical to the SEM-PDP verifier, keyed by the *owner's* public key.
+
+    The subclass exists to make the identity leak explicit at the type
+    level: constructing it requires naming whose data is being audited.
+    """
+
+    def __init__(self, params: SystemParams, owner_pk: GroupElement, rng=None):
+        super().__init__(params, owner_pk, rng=rng)
+        self.owner_pk = owner_pk
+
+    def verify_owner_data(self, challenge: Challenge, response: ProofResponse) -> bool:
+        return self.verify(challenge, response)

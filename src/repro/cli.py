@@ -1,0 +1,273 @@
+"""Command-line interface: a file-backed SEM-PDP deployment.
+
+State lives in a directory (default ``./sempdp``) holding the organization
+key material, member credentials, and the "cloud" blob store::
+
+    repro-pdp init --param-set test-80 -k 8
+    repro-pdp enroll alice
+    repro-pdp upload alice ./report.pdf --file-id reports/q2
+    repro-pdp audit reports/q2 --sample 16
+    repro-pdp tamper reports/q2 --block 0     # simulate cloud misbehaviour
+    repro-pdp audit reports/q2               # exit code 1: corruption caught
+    repro-pdp info
+
+This is a demonstration harness: the SEM private key sits in the state
+directory, so "the SEM" is a role played locally.  A real deployment would
+run :class:`~repro.core.sem.SecurityMediator` behind the network layer in
+:mod:`repro.net`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+from pathlib import Path
+
+from repro.core.cloud import CloudServer
+from repro.core.group_mgmt import MemberCredential
+from repro.core.owner import DataOwner
+from repro.core.params import setup
+from repro.core.sem import SecurityMediator
+from repro.core.serial import decode_signed_file, encode_signed_file
+from repro.core.verifier import PublicVerifier
+from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+STATE_FILE = "state.json"
+CLOUD_DIR = "cloud"
+
+
+class CliError(Exception):
+    """User-facing failure; printed without a traceback."""
+
+
+# ---------------------------------------------------------------------------
+# State handling
+# ---------------------------------------------------------------------------
+
+def _state_path(root: Path) -> Path:
+    return root / STATE_FILE
+
+
+def load_state(root: Path) -> dict:
+    path = _state_path(root)
+    if not path.exists():
+        raise CliError(f"no deployment at {root} (run `repro-pdp init` first)")
+    return json.loads(path.read_text())
+
+
+def save_state(root: Path, state: dict) -> None:
+    root.mkdir(parents=True, exist_ok=True)
+    (root / CLOUD_DIR).mkdir(exist_ok=True)
+    _state_path(root).write_text(json.dumps(state, indent=2, sort_keys=True))
+
+
+def build_runtime(state: dict):
+    """Reconstruct (params, sem, cloud, verifier) from persisted state."""
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[state["param_set"]])
+    params = setup(group, state["k"], seed=bytes.fromhex(state["seed"]))
+    sem = SecurityMediator(group, sk=int(state["sem_sk"]))
+    for token in state["members"].values():
+        sem.add_member(MemberCredential(token=bytes.fromhex(token)))
+    for token in state.get("revoked", []):
+        sem.remove_member(MemberCredential(token=bytes.fromhex(token)))
+    cloud = CloudServer(params, org_pk=sem.pk)
+    verifier = PublicVerifier(params, sem.pk)
+    return params, sem, cloud, verifier
+
+
+def _blob_path(root: Path, file_id: str) -> Path:
+    safe = file_id.replace("/", "__")
+    return root / CLOUD_DIR / f"{safe}.spdp"
+
+
+def _load_stored(root: Path, params, file_id: str):
+    path = _blob_path(root, file_id)
+    if not path.exists():
+        raise CliError(f"no stored file {file_id!r}")
+    return decode_signed_file(path.read_bytes(), params)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+def cmd_init(args) -> int:
+    root = Path(args.state_dir)
+    if _state_path(root).exists() and not args.force:
+        raise CliError(f"{root} already initialized (use --force to overwrite)")
+    if args.param_set not in TYPE_A_PARAM_SETS:
+        raise CliError(f"unknown param set {args.param_set!r}; "
+                       f"choose from {sorted(TYPE_A_PARAM_SETS)}")
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[args.param_set])
+    rng = random.Random(args.seed) if args.seed is not None else None
+    sem = SecurityMediator(group, rng=rng)
+    state = {
+        "param_set": args.param_set,
+        "k": args.k,
+        "seed": b"repro-cli-params-v1".hex(),
+        "sem_sk": str(sem._sk),
+        "members": {},
+        "revoked": [],
+        "files": {},
+    }
+    save_state(root, state)
+    print(f"initialized {args.param_set} deployment (k={args.k}) in {root}")
+    return 0
+
+
+def cmd_enroll(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    if args.member in state["members"]:
+        raise CliError(f"member {args.member!r} already enrolled")
+    credential = MemberCredential.fresh()
+    state["members"][args.member] = credential.token.hex()
+    save_state(root, state)
+    print(f"enrolled {args.member}")
+    return 0
+
+
+def cmd_revoke(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    token = state["members"].pop(args.member, None)
+    if token is None:
+        raise CliError(f"member {args.member!r} is not enrolled")
+    state["revoked"].append(token)
+    save_state(root, state)
+    print(f"revoked {args.member}; stored files remain auditable")
+    return 0
+
+
+def cmd_upload(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, sem, _, _ = build_runtime(state)
+    token = state["members"].get(args.member)
+    if token is None:
+        raise CliError(f"member {args.member!r} is not enrolled")
+    credential = MemberCredential(token=bytes.fromhex(token))
+    owner = DataOwner(params, sem.pk, credential=credential)
+    data = Path(args.path).read_bytes()
+    signed = owner.sign_file(data, args.file_id.encode(), sem, batch=not args.no_batch)
+    _blob_path(root, args.file_id).write_bytes(encode_signed_file(signed, params))
+    state["files"][args.file_id] = {
+        "blocks": len(signed.blocks),
+        "bytes": len(data),
+        "encrypted": signed.encrypted,
+    }
+    save_state(root, state)
+    print(f"stored {args.file_id!r}: {len(data)} bytes as {len(signed.blocks)} blocks")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, _, cloud, verifier = build_runtime(state)
+    signed = _load_stored(root, params, args.file_id)
+    cloud.store(signed)
+    challenge = verifier.generate_challenge(
+        args.file_id.encode(), len(signed.blocks), sample_size=args.sample
+    )
+    proof = cloud.generate_proof(args.file_id.encode(), challenge)
+    ok = verifier.verify(challenge, proof)
+    scope = f"{len(challenge)} of {len(signed.blocks)} blocks"
+    print(f"audit {args.file_id!r} ({scope}): {'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def cmd_tamper(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, _, _, _ = build_runtime(state)
+    signed = _load_stored(root, params, args.file_id)
+    if not 0 <= args.block < len(signed.blocks):
+        raise CliError(f"block index out of range (file has {len(signed.blocks)})")
+    blocks = list(signed.blocks)
+    from dataclasses import replace
+
+    elements = list(blocks[args.block].elements)
+    elements[0] = (elements[0] + 1) % params.order
+    blocks[args.block] = replace(blocks[args.block], elements=tuple(elements))
+    tampered = replace(signed, blocks=tuple(blocks))
+    _blob_path(root, args.file_id).write_bytes(encode_signed_file(tampered, params))
+    print(f"tampered with block {args.block} of {args.file_id!r}")
+    return 0
+
+
+def cmd_info(args) -> int:
+    root = Path(args.state_dir)
+    state = load_state(root)
+    print(f"deployment: {state['param_set']}, k={state['k']}")
+    print(f"members ({len(state['members'])}): {', '.join(sorted(state['members'])) or '-'}")
+    print(f"revoked credentials: {len(state['revoked'])}")
+    print(f"stored files ({len(state['files'])}):")
+    for file_id, meta in sorted(state["files"].items()):
+        print(f"  {file_id}: {meta['bytes']} bytes, {meta['blocks']} blocks")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-pdp",
+        description="SEM-PDP: security-mediated provable data possession",
+    )
+    parser.add_argument("--state-dir", default="sempdp", help="deployment directory")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("init", help="create a deployment")
+    p.add_argument("--param-set", default="test-80")
+    p.add_argument("-k", type=int, default=8, help="elements per block")
+    p.add_argument("--seed", type=int, default=None, help="deterministic keys")
+    p.add_argument("--force", action="store_true")
+    p.set_defaults(fn=cmd_init)
+
+    p = sub.add_parser("enroll", help="enroll a member")
+    p.add_argument("member")
+    p.set_defaults(fn=cmd_enroll)
+
+    p = sub.add_parser("revoke", help="revoke a member (instant)")
+    p.add_argument("member")
+    p.set_defaults(fn=cmd_revoke)
+
+    p = sub.add_parser("upload", help="sign a file via the SEM and store it")
+    p.add_argument("member")
+    p.add_argument("path")
+    p.add_argument("--file-id", required=True)
+    p.add_argument("--no-batch", action="store_true", help="verify Eq. 4 per signature")
+    p.set_defaults(fn=cmd_upload)
+
+    p = sub.add_parser("audit", help="run a public integrity audit")
+    p.add_argument("file_id")
+    p.add_argument("--sample", type=int, default=None, help="challenge only c blocks")
+    p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser("tamper", help="corrupt a stored block (demo)")
+    p.add_argument("file_id")
+    p.add_argument("--block", type=int, required=True)
+    p.set_defaults(fn=cmd_tamper)
+
+    p = sub.add_parser("info", help="show deployment state")
+    p.set_defaults(fn=cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Operation and byte accounting for reproducing the paper's cost tables.
+
+:class:`CostTracker` is a context manager that attaches an
+:class:`~repro.pairing.interface.OperationCounter` to a pairing group,
+accumulates wall-clock time, and records message byte counts reported by
+the protocol layers.  Benchmarks use it to check measured operation counts
+against the closed-form expressions of Table I.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.pairing.interface import OperationCounter, PairingGroup
+
+
+@dataclass
+class CostTracker:
+    """Collects Exp/Pair tallies, elapsed time, and communication bytes."""
+
+    group: PairingGroup
+    counter: OperationCounter = field(default_factory=OperationCounter)
+    bytes_sent: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    _start: float | None = None
+    _previous_counter: OperationCounter | None = None
+
+    def __enter__(self) -> "CostTracker":
+        self._previous_counter = self.group.counter
+        self.group.attach_counter(self.counter)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._start is not None:
+            self.elapsed_seconds += time.perf_counter() - self._start
+            self._start = None
+        self.group.counter = self._previous_counter
+        self._previous_counter = None
+
+    def record_bytes(self, channel: str, count: int) -> None:
+        """Add ``count`` bytes to the named logical channel."""
+        self.bytes_sent[channel] = self.bytes_sent.get(channel, 0) + count
+
+    @property
+    def exp_g1(self) -> int:
+        return self.counter.exp_g1
+
+    @property
+    def pairings(self) -> int:
+        return self.counter.pairings
+
+    def summary(self) -> dict:
+        return {
+            **self.counter.snapshot(),
+            "elapsed_seconds": self.elapsed_seconds,
+            "bytes_sent": dict(self.bytes_sent),
+        }

@@ -1,0 +1,64 @@
+"""Challenge and response message types (paper Challenge/Response).
+
+A challenge is C = {(id_i, β_i)} for a subset I of block indices; a response
+is R = (σ, α_1..α_k) with σ = ∏ σ_i^{β_i} and α_l = Σ β_i·m_{i,l} mod p.
+
+Both types know their serialized size, which drives the communication
+accounting of Section VI-A2.  Two size conventions are provided:
+
+* ``paper_size_bits`` — the paper's accounting, which counts every group
+  element and every scalar as |p| bits (the group-order size);
+* ``wire_size_bytes`` — honest sizes with compressed G1 points over the
+  512-bit base field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pairing.interface import GroupElement
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """C = {(id_i, β_i)}_{i ∈ I}; ``indices`` carries the positions i."""
+
+    indices: tuple[int, ...]
+    block_ids: tuple[bytes, ...]
+    betas: tuple[int, ...]
+
+    def __post_init__(self):
+        if not (len(self.indices) == len(self.block_ids) == len(self.betas)):
+            raise ValueError("indices, block_ids and betas must align")
+        if len(set(self.indices)) != len(self.indices):
+            raise ValueError("challenge indices must be distinct")
+
+    def __len__(self) -> int:
+        return len(self.indices)
+
+    def paper_size_bits(self, p_bits: int, id_bits: int | None = None) -> int:
+        """c·(|id| + |p|) bits, the paper's challenge accounting."""
+        if id_bits is None:
+            id_bits = p_bits
+        return len(self.indices) * (id_bits + p_bits)
+
+    def wire_size_bytes(self) -> int:
+        return sum(len(bid) for bid in self.block_ids) + sum(
+            (beta.bit_length() + 7) // 8 or 1 for beta in self.betas
+        )
+
+
+@dataclass(frozen=True)
+class ProofResponse:
+    """R = (σ, α_1..α_k)."""
+
+    sigma: GroupElement
+    alphas: tuple[int, ...]
+
+    def paper_size_bits(self, p_bits: int) -> int:
+        """(k + 1)·|p| bits, the paper's response accounting."""
+        return (len(self.alphas) + 1) * p_bits
+
+    def wire_size_bytes(self) -> int:
+        scalar_bytes = (self.sigma.group.order.bit_length() + 7) // 8
+        return len(self.sigma.to_bytes()) + scalar_bytes * len(self.alphas)

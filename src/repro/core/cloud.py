@@ -1,0 +1,133 @@
+"""The cloud server — storage plus the Response algorithm (Section IV-B).
+
+On a challenge C = {(id_i, β_i)} the cloud returns
+
+    σ   = ∏_{i∈I} σ_i^{β_i}                  (one |β|-bit exponentiation per
+                                              challenged block)
+    α_l = Σ_{i∈I} β_i · m_{i,l}   mod p      (cheap scalar arithmetic),
+
+a constant-size proof regardless of how many blocks are challenged.
+
+The server also supports paper-faithful *admission control* (it verifies
+the organization's signature on upload — "it is natural for the cloud to
+accept uploading requests when a valid signature issued by the organization
+is presented") and failure injection used by the detection-probability
+experiments: tampering with block data, signatures, or silently dropping
+blocks and answering challenges dishonestly.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass, replace
+
+from repro.core.blocks import Block, aggregate_block
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.owner import SignedFile
+from repro.core.params import SystemParams
+from repro.crypto.bls import bls_batch_verify
+from repro.pairing.interface import GroupElement
+
+
+@dataclass
+class StoredFile:
+    """Server-side record for one uploaded file."""
+
+    file_id: bytes
+    blocks: list[Block]
+    signatures: list[GroupElement]
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def signature_storage_bytes(self) -> int:
+        """Actual bytes spent on verification metadata."""
+        return sum(len(sig.to_bytes()) for sig in self.signatures)
+
+
+class CloudServer:
+    """Stores shared files and answers integrity challenges."""
+
+    def __init__(self, params: SystemParams, org_pk: GroupElement | None = None,
+                 verify_on_upload: bool = False, rng=None):
+        self.params = params
+        self.group = params.group
+        self.org_pk = org_pk
+        self.verify_on_upload = verify_on_upload
+        self._rng = rng
+        self._files: dict[bytes, StoredFile] = {}
+
+    # -- storage ------------------------------------------------------------
+    def store(self, signed: SignedFile) -> None:
+        """Accept an upload; optionally check the organization's signatures.
+
+        Raises:
+            PermissionError: if upload verification is enabled and the
+                signatures do not verify under the organization key.
+        """
+        if self.verify_on_upload:
+            if self.org_pk is None:
+                raise ValueError("verify_on_upload requires the organization public key")
+            aggregates = [aggregate_block(self.params, b) for b in signed.blocks]
+            if not bls_batch_verify(
+                self.group, self.org_pk, aggregates, list(signed.signatures), self._rng
+            ):
+                raise PermissionError("upload rejected: invalid organization signature")
+        self._files[signed.file_id] = StoredFile(
+            file_id=signed.file_id,
+            blocks=list(signed.blocks),
+            signatures=list(signed.signatures),
+        )
+
+    def retrieve(self, file_id: bytes) -> StoredFile:
+        return self._files[file_id]
+
+    def has_file(self, file_id: bytes) -> bool:
+        return file_id in self._files
+
+    @property
+    def stored_files(self) -> int:
+        return len(self._files)
+
+    # -- the Response algorithm ----------------------------------------------
+    def generate_proof(self, file_id: bytes, challenge: Challenge) -> ProofResponse:
+        """Compute R = (σ, α_1..α_k) for the challenged blocks."""
+        stored = self._files[file_id]
+        p = self.params.order
+        k = self.params.k
+        alphas = [0] * k
+        sigma: GroupElement | None = None
+        for index, beta in zip(challenge.indices, challenge.betas):
+            block = stored.blocks[index]
+            signature = stored.signatures[index]
+            term = signature**beta
+            sigma = term if sigma is None else sigma * term
+            for l, m_l in enumerate(block.elements):
+                alphas[l] = (alphas[l] + beta * m_l) % p
+        if sigma is None:
+            raise ValueError("challenge selects no blocks")
+        return ProofResponse(sigma=sigma, alphas=tuple(alphas))
+
+    # -- failure / misbehaviour injection -------------------------------------
+    def tamper_block(self, file_id: bytes, index: int, element: int = 0,
+                     new_value: int | None = None) -> None:
+        """Silently corrupt one element of one stored block."""
+        stored = self._files[file_id]
+        block = stored.blocks[index]
+        elements = list(block.elements)
+        if new_value is None:
+            new_value = (elements[element] + 1 + secrets.randbelow(self.params.order - 1)) % self.params.order
+        elements[element] = new_value
+        stored.blocks[index] = replace(block, elements=tuple(elements))
+
+    def tamper_signature(self, file_id: bytes, index: int) -> None:
+        """Replace one stored signature with a random group element."""
+        stored = self._files[file_id]
+        stored.signatures[index] = self.group.random_g1(self._rng)
+
+    def drop_block(self, file_id: bytes, index: int) -> None:
+        """Simulate data loss: zero the block but keep answering challenges."""
+        stored = self._files[file_id]
+        block = stored.blocks[index]
+        stored.blocks[index] = replace(block, elements=tuple(0 for _ in block.elements))

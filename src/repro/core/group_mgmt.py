@@ -1,0 +1,81 @@
+"""Dynamic group management (paper Section IV-C, "Dynamic Groups and
+Instant Revocation Support").
+
+The group manager enrolls members and instructs every SEM to add or remove
+them from its member list.  Joining and revoking touch *only* the SEM's
+list — no signature on cloud data is ever recomputed, which is the paper's
+headline advantage over Oruta/Knox (where any membership change forces
+re-signing everything).
+
+Members authenticate to the SEM with an opaque random credential.  The
+paper delegates real anonymous authentication to an external mechanism
+(e.g. PE(AR)²); the credential here is the stand-in for that mechanism's
+pseudonymous token — it carries no identity and the SEM never sees one.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MemberCredential:
+    """An opaque signing credential; carries no member identity."""
+
+    token: bytes
+
+    @classmethod
+    def fresh(cls, rng=None) -> "MemberCredential":
+        if rng is not None:
+            return cls(token=rng.randbytes(16))
+        return cls(token=secrets.token_bytes(16))
+
+
+class GroupManager:
+    """Enrolls members and propagates membership changes to the SEMs.
+
+    The manager is the only party that can map a credential back to a
+    member identity (for the accountability escape hatch the paper
+    mentions); SEMs only ever see credentials.
+    """
+
+    def __init__(self, sems=None, rng=None):
+        self._sems = list(sems) if sems else []
+        self._rng = rng
+        self._members: dict[str, MemberCredential] = {}
+
+    def register_sem(self, sem) -> None:
+        """Attach a SEM; it immediately learns the current member list."""
+        self._sems.append(sem)
+        for credential in self._members.values():
+            sem.add_member(credential)
+
+    def join(self, member_id: str) -> MemberCredential:
+        """Enroll a member; returns the credential it will sign with."""
+        if member_id in self._members:
+            raise ValueError(f"member {member_id!r} already enrolled")
+        credential = MemberCredential.fresh(self._rng)
+        self._members[member_id] = credential
+        for sem in self._sems:
+            sem.add_member(credential)
+        return credential
+
+    def revoke(self, member_id: str) -> None:
+        """Instantly revoke a member: every SEM stops serving it.
+
+        Existing signatures on cloud data remain valid — nothing is
+        recomputed (the property Table III's "Group Dynamic: Yes" records).
+        """
+        credential = self._members.pop(member_id, None)
+        if credential is None:
+            raise KeyError(f"member {member_id!r} is not enrolled")
+        for sem in self._sems:
+            sem.remove_member(credential)
+
+    def is_enrolled(self, member_id: str) -> bool:
+        return member_id in self._members
+
+    @property
+    def member_count(self) -> int:
+        return len(self._members)

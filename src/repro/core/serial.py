@@ -1,0 +1,187 @@
+"""Canonical binary serialization for protocol objects.
+
+A downstream deployment needs to move challenges, proofs, and signed files
+between processes; this module gives every protocol object a compact,
+versioned, deterministic encoding:
+
+* varint-framed fields (no delimiters to escape),
+* group elements in their compressed point encoding,
+* scalars as fixed-width big-endian integers sized by the group order.
+
+The encodings are self-describing enough to be decoded with only the
+:class:`~repro.core.params.SystemParams` in hand, and they are what the
+CLI (:mod:`repro.cli`) persists to disk.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.blocks import Block
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.owner import SignedFile
+from repro.core.params import SystemParams
+
+_MAGIC_SIGNED_FILE = b"SPDPf1"
+_MAGIC_CHALLENGE = b"SPDPc1"
+_MAGIC_RESPONSE = b"SPDPr1"
+
+
+def write_varint(stream: io.BytesIO, value: int) -> None:
+    """LEB128 unsigned varint."""
+    if value < 0:
+        raise ValueError("varints are unsigned")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            stream.write(bytes([byte | 0x80]))
+        else:
+            stream.write(bytes([byte]))
+            return
+
+
+def read_varint(stream: io.BytesIO) -> int:
+    shift = 0
+    result = 0
+    while True:
+        raw = stream.read(1)
+        if not raw:
+            raise ValueError("truncated varint")
+        byte = raw[0]
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result
+        shift += 7
+        if shift > 70:
+            raise ValueError("varint too long")
+
+
+def _write_bytes(stream: io.BytesIO, data: bytes) -> None:
+    write_varint(stream, len(data))
+    stream.write(data)
+
+
+def _read_bytes(stream: io.BytesIO) -> bytes:
+    length = read_varint(stream)
+    data = stream.read(length)
+    if len(data) != length:
+        raise ValueError("truncated byte field")
+    return data
+
+
+def _scalar_width(params: SystemParams) -> int:
+    return (params.order.bit_length() + 7) // 8
+
+
+# ---------------------------------------------------------------------------
+# SignedFile
+# ---------------------------------------------------------------------------
+
+def encode_signed_file(signed: SignedFile, params: SystemParams) -> bytes:
+    stream = io.BytesIO()
+    stream.write(_MAGIC_SIGNED_FILE)
+    _write_bytes(stream, signed.file_id)
+    stream.write(b"\x01" if signed.encrypted else b"\x00")
+    _write_bytes(stream, signed.nonce or b"")
+    write_varint(stream, len(signed.blocks))
+    write_varint(stream, params.k)
+    width = _scalar_width(params)
+    for block in signed.blocks:
+        _write_bytes(stream, block.block_id)
+        for element in block.elements:
+            stream.write(element.to_bytes(width, "big"))
+    for signature in signed.signatures:
+        _write_bytes(stream, signature.to_bytes())
+    return stream.getvalue()
+
+
+def decode_signed_file(data: bytes, params: SystemParams) -> SignedFile:
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC_SIGNED_FILE)) != _MAGIC_SIGNED_FILE:
+        raise ValueError("not a serialized SignedFile")
+    file_id = _read_bytes(stream)
+    encrypted = stream.read(1) == b"\x01"
+    nonce = _read_bytes(stream) or None
+    n = read_varint(stream)
+    k = read_varint(stream)
+    if k != params.k:
+        raise ValueError(f"file was encoded with k={k}, params have k={params.k}")
+    width = _scalar_width(params)
+    blocks = []
+    for _ in range(n):
+        block_id = _read_bytes(stream)
+        elements = tuple(
+            int.from_bytes(stream.read(width), "big") for _ in range(k)
+        )
+        blocks.append(Block(block_id=block_id, elements=elements))
+    signatures = tuple(
+        params.group.deserialize_g1(_read_bytes(stream)) for _ in range(n)
+    )
+    return SignedFile(
+        file_id=file_id,
+        blocks=tuple(blocks),
+        signatures=signatures,
+        encrypted=encrypted,
+        nonce=nonce,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Challenge
+# ---------------------------------------------------------------------------
+
+def encode_challenge(challenge: Challenge, params: SystemParams) -> bytes:
+    stream = io.BytesIO()
+    stream.write(_MAGIC_CHALLENGE)
+    write_varint(stream, len(challenge))
+    width = _scalar_width(params)
+    for index, block_id, beta in zip(
+        challenge.indices, challenge.block_ids, challenge.betas
+    ):
+        write_varint(stream, index)
+        _write_bytes(stream, block_id)
+        stream.write(beta.to_bytes(width, "big"))
+    return stream.getvalue()
+
+
+def decode_challenge(data: bytes, params: SystemParams) -> Challenge:
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC_CHALLENGE)) != _MAGIC_CHALLENGE:
+        raise ValueError("not a serialized Challenge")
+    count = read_varint(stream)
+    width = _scalar_width(params)
+    indices, ids, betas = [], [], []
+    for _ in range(count):
+        indices.append(read_varint(stream))
+        ids.append(_read_bytes(stream))
+        betas.append(int.from_bytes(stream.read(width), "big"))
+    return Challenge(indices=tuple(indices), block_ids=tuple(ids), betas=tuple(betas))
+
+
+# ---------------------------------------------------------------------------
+# ProofResponse
+# ---------------------------------------------------------------------------
+
+def encode_response(response: ProofResponse, params: SystemParams) -> bytes:
+    stream = io.BytesIO()
+    stream.write(_MAGIC_RESPONSE)
+    _write_bytes(stream, response.sigma.to_bytes())
+    write_varint(stream, len(response.alphas))
+    width = _scalar_width(params)
+    for alpha in response.alphas:
+        stream.write(alpha.to_bytes(width, "big"))
+    return stream.getvalue()
+
+
+def decode_response(data: bytes, params: SystemParams) -> ProofResponse:
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC_RESPONSE)) != _MAGIC_RESPONSE:
+        raise ValueError("not a serialized ProofResponse")
+    sigma = params.group.deserialize_g1(_read_bytes(stream))
+    count = read_varint(stream)
+    width = _scalar_width(params)
+    alphas = tuple(
+        int.from_bytes(stream.read(width), "big") for _ in range(count)
+    )
+    return ProofResponse(sigma=sigma, alphas=alphas)

@@ -1,0 +1,31 @@
+"""Anonymous credentials for SEM authentication.
+
+The paper assumes "the SEM can authenticate each data owner by anonymous
+credential supporting both revocation and reputation, e.g., PE(AR)²"
+(Section II-B) and leaves the mechanism external.  The core package uses
+opaque pseudonymous tokens for that role; this package supplies a proper
+*unlinkable* mechanism built from the same blind-BLS primitive the scheme
+itself uses:
+
+* the group manager blind-signs batches of single-use tokens for each
+  member (so the manager cannot link tokens to future requests either);
+* tokens are keyed to a revocation *epoch*; bumping the epoch invalidates
+  every outstanding token, and re-issuance simply excludes revoked
+  members — O(1) revocation without touching cloud data;
+* the SEM checks the manager's signature and a double-spend list; two
+  requests by the same member are cryptographically unlinkable.
+"""
+
+from repro.credentials.anon_tokens import (
+    AnonymousToken,
+    CredentialIssuer,
+    TokenVerifier,
+    TokenWallet,
+)
+
+__all__ = [
+    "AnonymousToken",
+    "CredentialIssuer",
+    "TokenVerifier",
+    "TokenWallet",
+]

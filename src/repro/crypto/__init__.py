@@ -1,0 +1,51 @@
+"""Cryptographic schemes built on the pairing substrate.
+
+* :mod:`repro.crypto.bls` — BLS short signatures (the base of SW08-style
+  PDP verification metadata).
+* :mod:`repro.crypto.blind_bls` — Boldyreva's blind BLS (Blind / Sign /
+  Unblind), the paper's Section IV primitive.
+* :mod:`repro.crypto.shamir` — (w, t)-Shamir secret sharing over Z_r.
+* :mod:`repro.crypto.threshold` — threshold blind BLS for the multi-SEM
+  model of Section V.
+* :mod:`repro.crypto.symmetric` — ChaCha20 stream cipher for the optional
+  data-privacy layer (encrypt before Blind).
+"""
+
+from repro.crypto.bls import BLSKeyPair, bls_keygen, bls_sign, bls_verify, bls_aggregate, bls_batch_verify
+from repro.crypto.blind_bls import BlindingState, blind, sign_blinded, unblind, batch_unblind_verify
+from repro.crypto.shamir import ShamirShare, split_secret, recover_secret
+from repro.crypto.threshold import (
+    ThresholdKeyShares,
+    distribute_key,
+    sign_share,
+    verify_share,
+    combine_shares,
+    batch_verify_shares,
+)
+from repro.crypto.symmetric import ChaCha20, chacha20_decrypt, chacha20_encrypt
+
+__all__ = [
+    "BLSKeyPair",
+    "bls_keygen",
+    "bls_sign",
+    "bls_verify",
+    "bls_aggregate",
+    "bls_batch_verify",
+    "BlindingState",
+    "blind",
+    "sign_blinded",
+    "unblind",
+    "batch_unblind_verify",
+    "ShamirShare",
+    "split_secret",
+    "recover_secret",
+    "ThresholdKeyShares",
+    "distribute_key",
+    "sign_share",
+    "verify_share",
+    "combine_shares",
+    "batch_verify_shares",
+    "ChaCha20",
+    "chacha20_encrypt",
+    "chacha20_decrypt",
+]

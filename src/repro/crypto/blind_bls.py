@@ -1,0 +1,110 @@
+"""Blind BLS signatures (Boldyreva, PKC 2003) — paper Section IV, Eq. 2–5, 7.
+
+Protocol between a message owner and the signer (the SEM):
+
+1. **Blind** (owner):   m̃ = M · g^r  for the message element M ∈ G1 and a
+   fresh random blinding factor r ∈ Z_p.   (Eq. 2 — M is the aggregate
+   H(id)·∏ u_l^{m_l} in the PDP scheme.)
+2. **Sign** (signer):   σ̃ = m̃^y   with the signer's secret key y.  (Eq. 3)
+3. **Unblind** (owner): check e(σ̃, g2) == e(m̃, pk)  (Eq. 4), then
+   σ = σ̃ · pk^{−r} = M^y.  (Eq. 5 — note pk^{−r} = (g^y)^{−r} cancels the
+   blinding exactly.)
+
+Blindness: m̃ is uniform in G1 independently of M, so the signer learns
+nothing about the message.  Unlinkability: for every (M, σ) there exists an
+r matching any transcript (m̃, σ̃), so transcripts cannot be linked to
+published signatures.
+
+On an asymmetric backend the owner uses the G1 generator for blinding and a
+*G1 copy of the public key* ``pk1 = g1^y`` for unblinding (published
+alongside pk); on the symmetric type-A backend pk1 == pk as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pairing.interface import GroupElement, PairingGroup
+
+
+@dataclass(frozen=True)
+class BlindingState:
+    """The owner's secret per-message blinding state."""
+
+    r: int
+    blinded: GroupElement
+
+
+def blind(group: PairingGroup, message_element: GroupElement, rng=None) -> BlindingState:
+    """Eq. 2: m̃ = M · g^r with fresh r."""
+    r = group.random_nonzero_scalar(rng)
+    blinded = message_element * group.g1() ** r
+    return BlindingState(r=r, blinded=blinded)
+
+
+def sign_blinded(blinded: GroupElement, sk: int) -> GroupElement:
+    """Eq. 3: σ̃ = m̃^y.  Runs at the signer (SEM); one G1 exponentiation."""
+    return blinded**sk
+
+
+def verify_blinded(
+    group: PairingGroup,
+    blinded: GroupElement,
+    blind_signature: GroupElement,
+    pk: GroupElement,
+) -> bool:
+    """Eq. 4: e(σ̃, g2) == e(m̃, pk)."""
+    return group.pair(blind_signature, group.g2()) == group.pair(blinded, pk)
+
+
+def unblind(
+    group: PairingGroup,
+    state: BlindingState,
+    blind_signature: GroupElement,
+    pk: GroupElement,
+    pk1: GroupElement | None = None,
+    check: bool = True,
+) -> GroupElement:
+    """Eq. 5: σ = σ̃ · pk1^{−r}; optionally checks Eq. 4 first.
+
+    Args:
+        pk1: the signer's public key in G1 (g1^y).  Defaults to ``pk``,
+            which is correct on symmetric groups.
+
+    Raises:
+        ValueError: if ``check`` is set and the blind signature fails Eq. 4
+            (the paper's prescription: discard and re-request).
+    """
+    if check and not verify_blinded(group, state.blinded, blind_signature, pk):
+        raise ValueError("blind signature failed verification (Eq. 4); re-request from SEM")
+    if pk1 is None:
+        if not group.is_symmetric:
+            raise ValueError("asymmetric groups require the G1 public key pk1")
+        pk1 = GroupElement(group, pk.point, "g1")
+    return blind_signature * (pk1 ** (group.order - state.r % group.order))
+
+
+def batch_unblind_verify(
+    group: PairingGroup,
+    blinded_messages: list[GroupElement],
+    blind_signatures: list[GroupElement],
+    pk: GroupElement,
+    rng=None,
+) -> bool:
+    """Eq. 7: batch-verify n blind signatures with 2 pairings total.
+
+    Checks e(∏ σ̃_i^{γ_i}, g2) == e(∏ m̃_i^{γ_i}, pk) for random γ_i.
+    This is the paper's headline optimization ("Our Scheme*"): it replaces
+    2n pairings with 3n G1 exponentiations + 2 pairings.
+    """
+    if len(blinded_messages) != len(blind_signatures):
+        raise ValueError("message and signature counts differ")
+    if not blinded_messages:
+        return True
+    gammas = [group.random_nonzero_scalar(rng) for _ in blinded_messages]
+    sig_acc = blind_signatures[0] ** gammas[0]
+    msg_acc = blinded_messages[0] ** gammas[0]
+    for gamma, sig, msg in zip(gammas[1:], blind_signatures[1:], blinded_messages[1:]):
+        sig_acc = sig_acc * sig**gamma
+        msg_acc = msg_acc * msg**gamma
+    return group.pair(sig_acc, group.g2()) == group.pair(msg_acc, pk)

@@ -1,0 +1,97 @@
+"""BLS short signatures (Boneh–Lynn–Shacham, J. Cryptology 2004).
+
+The paper's verification metadata is exactly a BLS signature on the
+"aggregated block" H(id)·∏ u_l^{m_l}; this module provides the plain
+(non-blind) scheme, used directly by the SW08 baseline and as the
+correctness reference for the blind variant.
+
+Written against the generic :class:`~repro.pairing.interface.PairingGroup`
+API: secret keys are scalars, public keys live in G2, signatures in G1.
+On the symmetric type-A backend G2 == G1, matching the paper's notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pairing.interface import GroupElement, PairingGroup
+
+
+@dataclass(frozen=True)
+class BLSKeyPair:
+    """A BLS key pair: sk = y in Z_r, pk = g2^y."""
+
+    sk: int
+    pk: GroupElement
+
+
+def bls_keygen(group: PairingGroup, rng=None) -> BLSKeyPair:
+    """Sample sk uniformly from Z_r* and derive pk = g2^sk."""
+    sk = group.random_nonzero_scalar(rng)
+    return BLSKeyPair(sk=sk, pk=group.g2() ** sk)
+
+
+def bls_sign(group: PairingGroup, sk: int, message: bytes) -> GroupElement:
+    """sigma = H(message)^sk in G1."""
+    return group.hash_to_g1(message) ** sk
+
+
+def bls_sign_element(element: GroupElement, sk: int) -> GroupElement:
+    """Sign a pre-hashed / pre-aggregated G1 element: sigma = element^sk.
+
+    This is the form the PDP scheme uses, where the 'message' is the
+    aggregate H(id)·∏ u_l^{m_l} already mapped into G1.
+    """
+    return element**sk
+
+
+def bls_verify(
+    group: PairingGroup, pk: GroupElement, message: bytes, signature: GroupElement
+) -> bool:
+    """Check e(sigma, g2) == e(H(message), pk)."""
+    return bls_verify_element(group, pk, group.hash_to_g1(message), signature)
+
+
+def bls_verify_element(
+    group: PairingGroup, pk: GroupElement, element: GroupElement, signature: GroupElement
+) -> bool:
+    """Check e(sigma, g2) == e(element, pk) for a pre-aggregated element."""
+    lhs = group.pair(signature, group.g2())
+    rhs = group.pair(element, pk)
+    return lhs == rhs
+
+
+def bls_aggregate(signatures: list[GroupElement]) -> GroupElement:
+    """Multiply signatures together (aggregation for a common public key)."""
+    if not signatures:
+        raise ValueError("cannot aggregate zero signatures")
+    acc = signatures[0]
+    for sig in signatures[1:]:
+        acc = acc * sig
+    return acc
+
+
+def bls_batch_verify(
+    group: PairingGroup,
+    pk: GroupElement,
+    elements: list[GroupElement],
+    signatures: list[GroupElement],
+    rng=None,
+) -> bool:
+    """Small-exponent batch verification of many signatures under one key.
+
+    Checks e(∏ sigma_i^gamma_i, g2) == e(∏ element_i^gamma_i, pk) for random
+    gamma_i — the same randomization the paper applies in Eq. 7.  Sound except
+    with probability ~1/r per run.
+    """
+    if len(elements) != len(signatures):
+        raise ValueError("elements and signatures length mismatch")
+    if not elements:
+        return True
+    gammas = [group.random_nonzero_scalar(rng) for _ in elements]
+    sig_acc = signatures[0] ** gammas[0]
+    elt_acc = elements[0] ** gammas[0]
+    for gamma, sig, elt in zip(gammas[1:], signatures[1:], elements[1:]):
+        sig_acc = sig_acc * sig**gamma
+        elt_acc = elt_acc * elt**gamma
+    return group.pair(sig_acc, group.g2()) == group.pair(elt_acc, pk)

@@ -1,0 +1,72 @@
+"""(w, t)-Shamir secret sharing over Z_p (paper Section III-C, Eq. 1).
+
+The paper fixes w = 2t − 1 for the multi-SEM deployment (a strict majority
+of SEMs must cooperate), but the primitives here accept any w >= t.  Shares
+are points (x_j, f(x_j)) of a uniformly random degree-(t − 1) polynomial f
+with f(0) = secret; any t shares recover the secret by Lagrange
+interpolation at zero, while t − 1 shares are information-theoretically
+independent of it.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+
+from repro.mathkit.poly import Polynomial, lagrange_interpolate_at_zero
+
+
+@dataclass(frozen=True)
+class ShamirShare:
+    """One share: the point (x, y) on the sharing polynomial."""
+
+    x: int
+    y: int
+
+    def as_point(self) -> tuple[int, int]:
+        return (self.x, self.y)
+
+
+def split_secret(
+    secret: int, w: int, t: int, p: int, rng=None, xs: list[int] | None = None
+) -> list[ShamirShare]:
+    """Split ``secret`` into ``w`` shares with threshold ``t`` over Z_p.
+
+    Args:
+        secret: the value to share (reduced modulo p).
+        w: total number of shares.
+        t: recovery threshold (t shares recover, t − 1 reveal nothing).
+        p: a prime strictly larger than w.
+        rng: optional deterministic randomness source with ``randrange``.
+        xs: optional explicit abscissae (distinct, nonzero mod p); defaults
+            to 1..w.
+
+    Returns:
+        A list of ``w`` :class:`ShamirShare`.
+    """
+    if not 1 <= t <= w:
+        raise ValueError("need 1 <= t <= w")
+    if p <= w:
+        raise ValueError("field too small for the requested share count")
+    if xs is None:
+        xs = list(range(1, w + 1))
+    if len(xs) != w:
+        raise ValueError("xs must supply one abscissa per share")
+    if any(x % p == 0 for x in xs) or len({x % p for x in xs}) != w:
+        raise ValueError("abscissae must be distinct and nonzero modulo p")
+    randrange = rng.randrange if rng is not None else (lambda n: secrets.randbelow(n))
+    coefficients = [secret % p] + [randrange(p) for _ in range(t - 1)]
+    poly = Polynomial(coefficients, p)
+    return [ShamirShare(x, poly.evaluate(x)) for x in xs]
+
+
+def recover_secret(shares: list[ShamirShare], p: int) -> int:
+    """Recover f(0) from at least t shares (Lagrange interpolation, Eq. 11).
+
+    With fewer than t shares the result is well defined but equals the
+    secret only with probability 1/p — which is precisely the secrecy
+    guarantee (see tests/crypto/test_shamir.py).
+    """
+    if not shares:
+        raise ValueError("need at least one share")
+    return lagrange_interpolate_at_zero([s.as_point() for s in shares], p)

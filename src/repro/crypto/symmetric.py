@@ -1,0 +1,86 @@
+"""ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+The paper's data-privacy layer encrypts each block with "any symmetric key
+encryption" before the Blind/Sign/Unblind protocol; this module supplies
+that cipher without external dependencies.  Encryption and decryption are
+the same keystream XOR.  No authentication is included — integrity is
+exactly what the PDP signatures provide.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def _rotl32(value: int, count: int) -> int:
+    value &= 0xFFFFFFFF
+    return ((value << count) | (value >> (32 - count))) & 0xFFFFFFFF
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & 0xFFFFFFFF
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & 0xFFFFFFFF
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & 0xFFFFFFFF
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & 0xFFFFFFFF
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+class ChaCha20:
+    """RFC 8439 ChaCha20 with a 256-bit key and 96-bit nonce."""
+
+    CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+    def __init__(self, key: bytes, nonce: bytes, initial_counter: int = 0):
+        if len(key) != 32:
+            raise ValueError("ChaCha20 key must be 32 bytes")
+        if len(nonce) != 12:
+            raise ValueError("ChaCha20 nonce must be 12 bytes")
+        self._key_words = struct.unpack("<8L", key)
+        self._nonce_words = struct.unpack("<3L", nonce)
+        self._initial_counter = initial_counter
+
+    def _block(self, counter: int) -> bytes:
+        state = list(self.CONSTANTS) + list(self._key_words) + [counter & 0xFFFFFFFF] + list(
+            self._nonce_words
+        )
+        working = state[:]
+        for _ in range(10):  # 20 rounds = 10 double rounds
+            _quarter_round(working, 0, 4, 8, 12)
+            _quarter_round(working, 1, 5, 9, 13)
+            _quarter_round(working, 2, 6, 10, 14)
+            _quarter_round(working, 3, 7, 11, 15)
+            _quarter_round(working, 0, 5, 10, 15)
+            _quarter_round(working, 1, 6, 11, 12)
+            _quarter_round(working, 2, 7, 8, 13)
+            _quarter_round(working, 3, 4, 9, 14)
+        return struct.pack("<16L", *((w + s) & 0xFFFFFFFF for w, s in zip(working, state)))
+
+    def keystream(self, length: int) -> bytes:
+        """The first ``length`` keystream bytes from the initial counter."""
+        blocks = []
+        counter = self._initial_counter
+        remaining = length
+        while remaining > 0:
+            block = self._block(counter)
+            blocks.append(block[: min(64, remaining)])
+            remaining -= 64
+            counter += 1
+        return b"".join(blocks)
+
+    def process(self, data: bytes) -> bytes:
+        """XOR ``data`` with the keystream (both encrypts and decrypts)."""
+        stream = self.keystream(len(data))
+        return bytes(a ^ b for a, b in zip(data, stream))
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, counter: int = 1) -> bytes:
+    """One-shot encryption (RFC 8439 starts data at counter 1)."""
+    return ChaCha20(key, nonce, counter).process(plaintext)
+
+
+def chacha20_decrypt(key: bytes, nonce: bytes, ciphertext: bytes, counter: int = 1) -> bytes:
+    """One-shot decryption."""
+    return ChaCha20(key, nonce, counter).process(ciphertext)

@@ -1,0 +1,38 @@
+"""Dynamic data support (paper Section IV-C, "Other Features with Public
+Verification").
+
+The paper notes that data dynamics can be added to the scheme with the
+Merkle-Hash-Tree technique of Wang et al. (ESORICS 2009) "without
+affecting the security and privacy of our current scheme", but leaves the
+details out.  This package supplies them:
+
+* block identifiers become ``file || serial || version`` — stable under
+  insertion/deletion (serials never shift) and fresh under modification
+  (versions only grow), so the H(id) term in each signature cannot be
+  replayed;
+* a :class:`~repro.dynamics.merkle.MerkleTree` over the *ordered sequence*
+  of current block ids authenticates position ↔ identifier;
+* the tree root is signed under the organization key — through the same
+  blind-signing protocol as the data, so the SEM learns nothing and
+  anonymity is preserved;
+* audits verify (root signature) + (Merkle paths for the challenged
+  positions) + (the ordinary Eq. 6 check against the authenticated ids).
+
+Updates, insertions, and deletions re-sign only the touched block plus the
+root — never the rest of the file.
+"""
+
+from repro.dynamics.merkle import MerkleTree, MerklePath
+from repro.dynamics.dynamic_file import DynamicFileClient, make_dynamic_block_id
+from repro.dynamics.dynamic_cloud import DynamicCloudServer, DynamicProof
+from repro.dynamics.dynamic_verifier import DynamicVerifier
+
+__all__ = [
+    "MerkleTree",
+    "MerklePath",
+    "DynamicFileClient",
+    "make_dynamic_block_id",
+    "DynamicCloudServer",
+    "DynamicProof",
+    "DynamicVerifier",
+]

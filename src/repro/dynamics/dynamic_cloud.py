@@ -1,0 +1,143 @@
+"""Cloud-side storage for dynamic files.
+
+Stores blocks in logical order, maintains its own copy of the Merkle tree,
+applies signed mutations, and answers challenges with *dynamic proofs*:
+the static (σ, α) aggregate plus Merkle paths authenticating which block
+identifier currently sits at each challenged position, and the signed
+root they verify against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blocks import Block
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.params import SystemParams
+from repro.dynamics.dynamic_file import SignedMutation
+from repro.dynamics.merkle import MerklePath, MerkleTree
+from repro.pairing.interface import GroupElement
+
+
+@dataclass(frozen=True)
+class DynamicProof:
+    """Audit response for a dynamic file."""
+
+    response: ProofResponse
+    block_ids: tuple[bytes, ...]
+    paths: tuple[MerklePath, ...]
+    epoch: int
+    root: bytes
+    root_signature: GroupElement
+
+
+@dataclass
+class _DynamicStoredFile:
+    blocks: list[Block] = field(default_factory=list)
+    signatures: list[GroupElement] = field(default_factory=list)
+    tree: MerkleTree = field(default_factory=MerkleTree)
+    epoch: int = 0
+    root_signature: GroupElement | None = None
+
+
+class DynamicCloudServer:
+    """Stores dynamic files and serves authenticated proofs."""
+
+    def __init__(self, params: SystemParams):
+        self.params = params
+        self._files: dict[bytes, _DynamicStoredFile] = {}
+
+    # -- ingestion ------------------------------------------------------------
+    def create_file(self, file_id: bytes, blocks, signatures, mutation: SignedMutation) -> None:
+        stored = _DynamicStoredFile(
+            blocks=list(blocks),
+            signatures=list(signatures),
+            tree=MerkleTree([b.block_id for b in blocks]),
+            epoch=mutation.epoch,
+            root_signature=mutation.root_signature,
+        )
+        if stored.tree.root != mutation.root:
+            raise ValueError("owner root does not match uploaded blocks")
+        self._files[file_id] = stored
+
+    def apply(self, file_id: bytes, mutation: SignedMutation) -> None:
+        """Apply a signed update/insert/delete."""
+        stored = self._files[file_id]
+        if mutation.op == "update":
+            stored.blocks[mutation.position] = mutation.block
+            stored.signatures[mutation.position] = mutation.signature
+            stored.tree.update(mutation.position, mutation.block.block_id)
+        elif mutation.op == "insert":
+            stored.blocks.insert(mutation.position, mutation.block)
+            stored.signatures.insert(mutation.position, mutation.signature)
+            stored.tree.insert(mutation.position, mutation.block.block_id)
+        elif mutation.op == "delete":
+            del stored.blocks[mutation.position]
+            del stored.signatures[mutation.position]
+            stored.tree.delete(mutation.position)
+        else:
+            raise ValueError(f"unknown mutation op {mutation.op!r}")
+        if stored.tree.root != mutation.root:
+            raise ValueError("mutation root mismatch: refusing divergent state")
+        stored.epoch = mutation.epoch
+        stored.root_signature = mutation.root_signature
+
+    # -- views -----------------------------------------------------------------
+    def n_blocks(self, file_id: bytes) -> int:
+        return len(self._files[file_id].blocks)
+
+    def block(self, file_id: bytes, position: int) -> Block:
+        return self._files[file_id].blocks[position]
+
+    def epoch(self, file_id: bytes) -> int:
+        return self._files[file_id].epoch
+
+    # -- proving ------------------------------------------------------------------
+    def generate_proof(self, file_id: bytes, challenge: Challenge) -> DynamicProof:
+        """The static (σ, α) proof plus position-authentication material.
+
+        The challenge's ``indices`` select *positions*; the proof reports
+        the identifiers currently at those positions with Merkle paths to
+        the signed root, then aggregates exactly like the static Response.
+        """
+        stored = self._files[file_id]
+        p = self.params.order
+        alphas = [0] * self.params.k
+        sigma: GroupElement | None = None
+        ids, paths = [], []
+        for position, beta in zip(challenge.indices, challenge.betas):
+            block = stored.blocks[position]
+            term = stored.signatures[position] ** beta
+            sigma = term if sigma is None else sigma * term
+            for l, m_l in enumerate(block.elements):
+                alphas[l] = (alphas[l] + beta * m_l) % p
+            ids.append(block.block_id)
+            paths.append(stored.tree.prove(position))
+        if sigma is None:
+            raise ValueError("challenge selects no blocks")
+        return DynamicProof(
+            response=ProofResponse(sigma=sigma, alphas=tuple(alphas)),
+            block_ids=tuple(ids),
+            paths=tuple(paths),
+            epoch=stored.epoch,
+            root=stored.tree.root,
+            root_signature=stored.root_signature,
+        )
+
+    # -- misbehaviour injection ------------------------------------------------------
+    def rollback_block(self, file_id: bytes, position: int, old_block: Block,
+                       old_signature: GroupElement) -> None:
+        """Serve a stale (but once-valid) version of a block — the replay
+        attack dynamic PDP must defeat."""
+        stored = self._files[file_id]
+        stored.blocks[position] = old_block
+        stored.signatures[position] = old_signature
+        # Note: deliberately NOT updating the tree/root — the attacker
+        # pretends nothing changed.
+
+    def tamper_block(self, file_id: bytes, position: int) -> None:
+        stored = self._files[file_id]
+        block = stored.blocks[position]
+        elements = list(block.elements)
+        elements[0] = (elements[0] + 1) % self.params.order
+        stored.blocks[position] = Block(block_id=block.block_id, elements=tuple(elements))

@@ -1,0 +1,171 @@
+"""Owner-side client for dynamic files.
+
+The client keeps the logical view of a file (ordered serials + versions),
+produces signed blocks through the SEM exactly as the static scheme does,
+and signs the Merkle root of the current identifier sequence — also
+blindly, so dynamics leak nothing extra to the SEM.
+
+Identifier layout:  ``file_id # serial # version`` — serials are allocated
+once and never reused (insertions allocate fresh serials; deletions retire
+them), versions increment on every modification of a logical block.  The
+pair makes every identifier globally unique and non-replayable.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.core.blocks import Block, aggregate_block
+from repro.core.owner import DataOwner
+from repro.core.params import SystemParams
+from repro.crypto.blind_bls import blind, unblind
+from repro.dynamics.merkle import MerkleTree
+from repro.pairing.interface import GroupElement
+
+
+def make_dynamic_block_id(file_id: bytes, serial: int, version: int) -> bytes:
+    return file_id + b"#" + struct.pack(">QQ", serial, version)
+
+
+def root_message(file_id: bytes, epoch: int, root: bytes) -> bytes:
+    """The byte string whose H(.) the organization signs for each epoch."""
+    return b"MHT-root|" + file_id + b"|" + epoch.to_bytes(8, "big") + b"|" + root
+
+
+@dataclass(frozen=True)
+class SignedMutation:
+    """One owner-produced mutation, ready to ship to the cloud."""
+
+    op: str  # "update" | "insert" | "delete"
+    position: int
+    block: Block | None
+    signature: GroupElement | None
+    epoch: int
+    root: bytes
+    root_signature: GroupElement
+
+
+class DynamicFileClient:
+    """Creates and mutates one dynamic file on behalf of a data owner."""
+
+    def __init__(self, params: SystemParams, owner: DataOwner, sem, file_id: bytes,
+                 sem_pk_g1: GroupElement | None = None):
+        self.params = params
+        self.group = params.group
+        self.owner = owner
+        self.sem = sem
+        self.file_id = file_id
+        self.sem_pk_g1 = sem_pk_g1
+        self.epoch = 0
+        self._next_serial = 0
+        # Logical view: ordered (serial, version) per position.
+        self._slots: list[tuple[int, int]] = []
+        self._tree = MerkleTree()
+
+    # -- internals -----------------------------------------------------------
+    def _sign_element(self, element: GroupElement) -> GroupElement:
+        """Obtain an organization signature on a G1 element, blindly."""
+        state = blind(self.group, element, self.owner._rng)
+        blind_signature = self.sem.sign_blinded_batch([state.blinded], self.owner.credential)[0]
+        return unblind(
+            self.group, state, blind_signature, self.owner.sem_pk,
+            pk1=self.sem_pk_g1, check=True,
+        )
+
+    def _sign_block(self, serial: int, version: int, elements: tuple[int, ...]):
+        block = Block(
+            block_id=make_dynamic_block_id(self.file_id, serial, version),
+            elements=elements,
+        )
+        signature = self._sign_element(aggregate_block(self.params, block))
+        return block, signature
+
+    def _sign_root(self) -> tuple[bytes, GroupElement]:
+        self.epoch += 1
+        root = self._tree.root
+        message = self.group.hash_to_g1(root_message(self.file_id, self.epoch, root))
+        return root, self._sign_element(message)
+
+    def _elements_from_bytes(self, payload: bytes) -> tuple[int, ...]:
+        width = self.params.element_bytes()
+        needed = self.params.block_bytes()
+        if len(payload) > needed:
+            raise ValueError(f"a dynamic block holds at most {needed} bytes")
+        payload = payload.ljust(needed, b"\x00")
+        return tuple(
+            int.from_bytes(payload[i * width : (i + 1) * width], "big")
+            for i in range(self.params.k)
+        )
+
+    # -- initial upload ------------------------------------------------------
+    def create(self, chunks: list[bytes]) -> tuple[list[Block], list, SignedMutation]:
+        """Sign the initial sequence of block payloads.
+
+        Returns (blocks, signatures, root mutation) for
+        :meth:`repro.dynamics.dynamic_cloud.DynamicCloudServer.create_file`.
+        """
+        blocks, signatures = [], []
+        for chunk in chunks:
+            serial = self._next_serial
+            self._next_serial += 1
+            block, signature = self._sign_block(serial, 0, self._elements_from_bytes(chunk))
+            self._slots.append((serial, 0))
+            self._tree.append(block.block_id)
+            blocks.append(block)
+            signatures.append(signature)
+        root, root_signature = self._sign_root()
+        mutation = SignedMutation(
+            op="create", position=0, block=None, signature=None,
+            epoch=self.epoch, root=root, root_signature=root_signature,
+        )
+        return blocks, signatures, mutation
+
+    # -- mutations ---------------------------------------------------------------
+    def update(self, position: int, payload: bytes) -> SignedMutation:
+        """Replace the content of the logical block at ``position``."""
+        serial, version = self._slots[position]
+        version += 1
+        block, signature = self._sign_block(serial, version, self._elements_from_bytes(payload))
+        self._slots[position] = (serial, version)
+        self._tree.update(position, block.block_id)
+        root, root_signature = self._sign_root()
+        return SignedMutation(
+            op="update", position=position, block=block, signature=signature,
+            epoch=self.epoch, root=root, root_signature=root_signature,
+        )
+
+    def insert(self, position: int, payload: bytes) -> SignedMutation:
+        """Insert a new logical block at ``position`` (fresh serial)."""
+        serial = self._next_serial
+        self._next_serial += 1
+        block, signature = self._sign_block(serial, 0, self._elements_from_bytes(payload))
+        self._slots.insert(position, (serial, 0))
+        self._tree.insert(position, block.block_id)
+        root, root_signature = self._sign_root()
+        return SignedMutation(
+            op="insert", position=position, block=block, signature=signature,
+            epoch=self.epoch, root=root, root_signature=root_signature,
+        )
+
+    def append(self, payload: bytes) -> SignedMutation:
+        return self.insert(len(self._slots), payload)
+
+    def delete(self, position: int) -> SignedMutation:
+        """Remove the logical block at ``position``."""
+        del self._slots[position]
+        self._tree.delete(position)
+        root, root_signature = self._sign_root()
+        return SignedMutation(
+            op="delete", position=position, block=None, signature=None,
+            epoch=self.epoch, root=root, root_signature=root_signature,
+        )
+
+    # -- views -----------------------------------------------------------------------
+    @property
+    def n_blocks(self) -> int:
+        return len(self._slots)
+
+    @property
+    def root(self) -> bytes:
+        return self._tree.root

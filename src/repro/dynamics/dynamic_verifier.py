@@ -1,0 +1,99 @@
+"""Public verification for dynamic files.
+
+Three checks compose an audit:
+
+1. **Root authenticity** — the Merkle root is BLS-signed under the
+   organization key for the claimed epoch (so only members, via the SEM,
+   can move the file forward; anonymity is untouched because it is the
+   same blind-signing pipeline).
+2. **Position authentication** — each challenged position's block
+   identifier verifies against the root through its Merkle path.  This is
+   what defeats replay: a rolled-back block carries an old version in its
+   identifier, which no longer matches the leaf under the current root.
+3. **Possession** — the ordinary Eq. 6 pairing check, using the
+   *authenticated* identifiers from step 2.
+
+A verifier that remembers the last epoch it saw can additionally demand
+monotonicity (``min_epoch``), preventing whole-file rollback.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+from repro.core.challenge import Challenge
+from repro.core.params import SystemParams
+from repro.dynamics.dynamic_cloud import DynamicProof
+from repro.dynamics.dynamic_file import root_message
+from repro.dynamics.merkle import MerkleTree
+from repro.pairing.interface import GroupElement
+
+
+class DynamicVerifier:
+    """Audits dynamic files against the organization public key."""
+
+    def __init__(self, params: SystemParams, org_pk: GroupElement):
+        self.params = params
+        self.group = params.group
+        self.org_pk = org_pk
+
+    def generate_challenge(
+        self, n_blocks: int, sample_size: int | None = None, rng=None
+    ) -> Challenge:
+        """Challenge *positions* — the verifier does not know identifiers
+        up front; the proof supplies them authenticated by Merkle paths."""
+        if sample_size is None or sample_size >= n_blocks:
+            positions = list(range(n_blocks))
+        elif rng is not None:
+            positions = sorted(rng.sample(range(n_blocks), sample_size))
+        else:
+            chosen: set[int] = set()
+            while len(chosen) < sample_size:
+                chosen.add(secrets.randbelow(n_blocks))
+            positions = sorted(chosen)
+        if rng is not None:
+            betas = [rng.randrange(1, self.params.order) for _ in positions]
+        else:
+            betas = [secrets.randbelow(self.params.order - 1) + 1 for _ in positions]
+        # Identifiers are unknown pre-proof; placeholders keep the
+        # Challenge shape shared with the static scheme.
+        return Challenge(
+            indices=tuple(positions),
+            block_ids=tuple(b"" for _ in positions),
+            betas=tuple(betas),
+        )
+
+    def verify(
+        self,
+        file_id: bytes,
+        challenge: Challenge,
+        proof: DynamicProof,
+        min_epoch: int | None = None,
+    ) -> bool:
+        if len(proof.block_ids) != len(challenge) or len(proof.paths) != len(challenge):
+            return False
+        if min_epoch is not None and proof.epoch < min_epoch:
+            return False
+        # 1. Root signature.
+        message = self.group.hash_to_g1(root_message(file_id, proof.epoch, proof.root))
+        lhs = self.group.pair(proof.root_signature, self.group.g2())
+        if lhs != self.group.pair(message, self.org_pk):
+            return False
+        # 2. Merkle paths bind (position -> identifier) to the signed root.
+        for position, block_id, path in zip(challenge.indices, proof.block_ids, proof.paths):
+            if path.index != position:
+                return False
+            if not MerkleTree.verify_path(proof.root, block_id, path):
+                return False
+        # 3. The static possession equation over authenticated identifiers.
+        acc: GroupElement | None = None
+        for block_id, beta in zip(proof.block_ids, challenge.betas):
+            term = self.group.hash_to_g1(block_id) ** beta
+            acc = term if acc is None else acc * term
+        for u_l, alpha_l in zip(self.params.u, proof.response.alphas):
+            if alpha_l:
+                acc = acc * u_l**alpha_l
+        if acc is None:
+            return False
+        lhs = self.group.pair(proof.response.sigma, self.group.g2())
+        return lhs == self.group.pair(acc, self.org_pk)

@@ -1,0 +1,95 @@
+"""Fixed-base exponentiation with precomputed windows.
+
+The dominant cost of Bind (and of SW08 signing) is k exponentiations
+``u_l ^ m_l`` whose *bases never change*: u_1..u_k are system parameters.
+Precomputing window tables for each u_l turns every subsequent
+exponentiation into pure group multiplications — a classic time/memory
+trade this module implements with the radix-2^w fixed-base method:
+
+    base^e  =  prod_j  T_j[d_j]      where e = sum_j d_j * 2^(w*j)
+
+and ``T_j[d] = base^(d * 2^(w*j))`` is precomputed.  For 160-bit
+exponents and w = 4 that is 40 lookups/multiplications instead of ~200
+double-and-add steps, at 40 x 15 stored points per base.
+
+Works on any :class:`~repro.pairing.interface.GroupElement`; see the
+``test_ablation_fixed_base`` benchmark for the measured speedup.
+"""
+
+from __future__ import annotations
+
+from repro.pairing.interface import GroupElement
+
+
+class FixedBaseTable:
+    """Precomputed radix-2^w table for one fixed base."""
+
+    __slots__ = ("base", "window", "digits", "_table", "_identity")
+
+    def __init__(self, base: GroupElement, exponent_bits: int, window: int = 4):
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.base = base
+        self.window = window
+        self.digits = (exponent_bits + window - 1) // window
+        self._identity = base.group.g1_identity() if base.which == "g1" else (
+            base.group.g2_identity()
+        )
+        radix = 1 << window
+        table = []
+        # running = base^(2^(w*j)); row j holds its multiples 1..radix-1.
+        running = base
+        for _ in range(self.digits):
+            row = [None] * radix
+            row[1] = running
+            for d in range(2, radix):
+                row[d] = row[d - 1] * running
+            table.append(row)
+            # Advance running to running^(2^w) by repeated squaring.
+            for _ in range(window):
+                running = running * running
+        self._table = table
+
+    def power(self, exponent: int) -> GroupElement:
+        """base^exponent using only table lookups and multiplications."""
+        exponent %= self.base.group.order
+        if exponent == 0:
+            return self._identity
+        mask = (1 << self.window) - 1
+        acc = None
+        j = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                if j >= self.digits:
+                    raise ValueError("exponent exceeds the precomputed range")
+                term = self._table[j][digit]
+                acc = term if acc is None else acc * term
+            exponent >>= self.window
+            j += 1
+        return acc if acc is not None else self._identity
+
+    def storage_points(self) -> int:
+        """Number of precomputed group elements held."""
+        return self.digits * ((1 << self.window) - 1)
+
+
+def build_tables(
+    bases: list[GroupElement], exponent_bits: int, window: int = 4
+) -> list[FixedBaseTable]:
+    """Precompute tables for a list of fixed bases (e.g. u_1..u_k)."""
+    return [FixedBaseTable(base, exponent_bits, window) for base in bases]
+
+
+def aggregate_with_tables(params, block, tables: list[FixedBaseTable]):
+    """Drop-in fast variant of :func:`repro.core.blocks.aggregate_block`.
+
+    Computes  H(id_i) · ∏ u_l^{m_{i,l}}  using the precomputed u-tables.
+    """
+    if len(tables) != params.k:
+        raise ValueError("need one table per u element")
+    acc = params.group.hash_to_g1(block.block_id)
+    for table, m_l in zip(tables, block.elements):
+        if m_l:
+            acc = acc * table.power(m_l)
+    return acc

@@ -1,0 +1,81 @@
+"""Scalar-multiplication strategies beyond plain double-and-add.
+
+The PDP response computation (``sigma = prod sigma_i^beta_i``) and the
+verification equation (``H(id_i)^beta_i`` products, ``u_l^alpha_l`` products)
+are multi-scalar multiplications; Straus/Pippenger-style interleaving makes
+them several times faster than naive per-term exponentiation and is one of
+the ablations called out in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from repro.ec.curve import CurvePoint
+
+
+def _wnaf_digits(scalar: int, width: int) -> list[int]:
+    """Windowed non-adjacent form of a non-negative scalar."""
+    digits = []
+    power = 1 << width
+    half = 1 << (width - 1)
+    while scalar:
+        if scalar & 1:
+            digit = scalar % power
+            if digit >= half:
+                digit -= power
+            scalar -= digit
+        else:
+            digit = 0
+        digits.append(digit)
+        scalar >>= 1
+    return digits
+
+
+def scalar_mul_wnaf(point: CurvePoint, scalar: int, width: int = 4) -> CurvePoint:
+    """w-NAF scalar multiplication (fewer additions than double-and-add)."""
+    if scalar == 0:
+        return point.curve.infinity()
+    if scalar < 0:
+        return scalar_mul_wnaf(-point, -scalar, width)
+    # Precompute odd multiples 1P, 3P, ..., (2^(w-1)-1)P.
+    table = [point]
+    twice = point.double()
+    for _ in range((1 << (width - 2)) - 1):
+        table.append(table[-1] + twice)
+    digits = _wnaf_digits(scalar, width)
+    result = point.curve.infinity()
+    for digit in reversed(digits):
+        result = result.double()
+        if digit > 0:
+            result = result + table[(digit - 1) // 2]
+        elif digit < 0:
+            result = result - table[(-digit - 1) // 2]
+    return result
+
+
+def multi_scalar_mul(points: list[CurvePoint], scalars: list[int]) -> CurvePoint:
+    """Simultaneous multi-scalar multiplication (Straus interleaving).
+
+    Computes ``sum(scalars[i] * points[i])`` sharing the doubling chain
+    across all terms.  For the term counts used in PDP challenges (hundreds)
+    this is the right algorithm; Pippenger bucketing only wins for thousands
+    of terms.
+    """
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    if not points:
+        raise ValueError("need at least one term")
+    curve = points[0].curve
+    max_bits = max((s.bit_length() for s in scalars), default=0)
+    if max_bits == 0:
+        return curve.infinity()
+    # Handle negatives by negating points.
+    prepared = [
+        (-pt, -sc) if sc < 0 else (pt, sc) for pt, sc in zip(points, scalars)
+    ]
+    result = curve.infinity()
+    for bit in range(max_bits - 1, -1, -1):
+        result = result.double()
+        for pt, sc in prepared:
+            if (sc >> bit) & 1:
+                result = result + pt
+    return result

@@ -1,0 +1,22 @@
+"""Erasure-coded resilient storage (related work [10]/[12] territory).
+
+The paper's Section VII contrasts plain PDP with schemes that *recover*
+polluted data: Wang et al. [10] encode user data with erasure codes so
+content survives partial corruption, and Cao et al. [12] use LT codes.
+This package brings that capability to SEM-PDP without giving up any of
+its properties:
+
+* :mod:`repro.erasure.reed_solomon` — a systematic Reed–Solomon code over
+  Z_p (Vandermonde evaluation encoding / Lagrange-interpolation decoding),
+  operating directly on block *elements*, so coded blocks are ordinary
+  SEM-PDP blocks and get blind-signed like any other;
+* :mod:`repro.erasure.resilient` — a resilient store that encodes, signs,
+  and uploads; *localizes* corruption with per-block micro-audits (the
+  same Challenge/Response machinery with c = 1); and repairs the file from
+  any sufficiently large healthy subset.
+"""
+
+from repro.erasure.reed_solomon import ReedSolomonCode
+from repro.erasure.resilient import ResilientStore, RepairReport
+
+__all__ = ["ReedSolomonCode", "ResilientStore", "RepairReport"]

@@ -1,0 +1,148 @@
+"""Prime-field arithmetic.
+
+:class:`PrimeField` is a lightweight factory for :class:`FieldElement`
+values.  Elements are immutable and support the usual operator protocol, so
+higher layers (curve group law, Miller loop) read like the formulas in the
+paper.  For inner loops where object overhead matters (the pairing), the
+curve code drops down to raw ``int`` arithmetic; this class is the readable
+reference used by everything else.
+"""
+
+from __future__ import annotations
+
+import secrets
+
+
+class FieldElement:
+    """An element of a prime field Z_p.
+
+    Immutable.  Arithmetic accepts either another element of the same field
+    or a plain ``int`` (which is reduced modulo p).
+    """
+
+    __slots__ = ("value", "field")
+
+    def __init__(self, value: int, field: "PrimeField"):
+        self.value = value % field.p
+        self.field = field
+
+    # -- helpers ---------------------------------------------------------
+    def _coerce(self, other) -> int:
+        if isinstance(other, FieldElement):
+            if other.field.p != self.field.p:
+                raise ValueError("elements belong to different fields")
+            return other.value
+        if isinstance(other, int):
+            return other
+        return NotImplemented
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value + v, self.field)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value - v, self.field)
+
+    def __rsub__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(v - self.value, self.field)
+
+    def __mul__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value * v, self.field)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return FieldElement(-self.value, self.field)
+
+    def __truediv__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.value * pow(v, -1, self.field.p), self.field)
+
+    def __rtruediv__(self, other):
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(v * pow(self.value, -1, self.field.p), self.field)
+
+    def __pow__(self, exponent: int):
+        return FieldElement(pow(self.value, exponent, self.field.p), self.field)
+
+    def inverse(self) -> "FieldElement":
+        return FieldElement(pow(self.value, -1, self.field.p), self.field)
+
+    # -- comparisons / hashing -------------------------------------------
+    def __eq__(self, other):
+        if isinstance(other, FieldElement):
+            return self.field.p == other.field.p and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return NotImplemented
+
+    def __hash__(self):
+        return hash((self.value, self.field.p))
+
+    def __bool__(self):
+        return self.value != 0
+
+    def __int__(self):
+        return self.value
+
+    def __repr__(self):
+        return f"FieldElement({self.value} mod {self.field.p})"
+
+
+class PrimeField:
+    """The field Z_p for a prime p."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if p < 2:
+            raise ValueError("field characteristic must be a prime >= 2")
+        self.p = p
+
+    def __call__(self, value: int) -> FieldElement:
+        return FieldElement(value, self)
+
+    def zero(self) -> FieldElement:
+        return FieldElement(0, self)
+
+    def one(self) -> FieldElement:
+        return FieldElement(1, self)
+
+    def random(self, rng=None) -> FieldElement:
+        """Uniformly random element; ``rng`` may supply ``randrange``."""
+        if rng is not None:
+            return FieldElement(rng.randrange(self.p), self)
+        return FieldElement(secrets.randbelow(self.p), self)
+
+    def random_nonzero(self, rng=None) -> FieldElement:
+        while True:
+            e = self.random(rng)
+            if e.value != 0:
+                return e
+
+    def __eq__(self, other):
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self):
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self):
+        return f"PrimeField(p~2^{self.p.bit_length()})"

@@ -1,0 +1,137 @@
+"""Quadratic extension field F_p² = F_p[i] / (i² + 1).
+
+Requires ``p % 4 == 3`` so that −1 is a quadratic non-residue and the
+polynomial i² + 1 is irreducible.  This is exactly the extension the type-A
+(supersingular, embedding degree 2) pairing targets: GT lives in F_p² and the
+distortion map sends (x, y) to (−x, i·y).
+"""
+
+from __future__ import annotations
+
+import secrets
+
+
+class Fp2Element:
+    """a + b·i with a, b in F_p and i² = −1."""
+
+    __slots__ = ("a", "b", "p")
+
+    def __init__(self, a: int, b: int, p: int):
+        self.a = a % p
+        self.b = b % p
+        self.p = p
+
+    # -- arithmetic ------------------------------------------------------
+    def __add__(self, other: "Fp2Element") -> "Fp2Element":
+        return Fp2Element(self.a + other.a, self.b + other.b, self.p)
+
+    def __sub__(self, other: "Fp2Element") -> "Fp2Element":
+        return Fp2Element(self.a - other.a, self.b - other.b, self.p)
+
+    def __neg__(self) -> "Fp2Element":
+        return Fp2Element(-self.a, -self.b, self.p)
+
+    def __mul__(self, other):
+        p = self.p
+        if isinstance(other, int):
+            return Fp2Element(self.a * other, self.b * other, p)
+        # Karatsuba: (a + bi)(c + di) = (ac − bd) + ((a+b)(c+d) − ac − bd)i
+        ac = self.a * other.a
+        bd = self.b * other.b
+        cross = (self.a + self.b) * (other.a + other.b) - ac - bd
+        return Fp2Element(ac - bd, cross, p)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Fp2Element":
+        # (a + bi)² = (a+b)(a−b) + 2ab·i
+        p = self.p
+        return Fp2Element((self.a + self.b) * (self.a - self.b), 2 * self.a * self.b, p)
+
+    def conjugate(self) -> "Fp2Element":
+        return Fp2Element(self.a, -self.b, self.p)
+
+    def norm(self) -> int:
+        """a² + b² in F_p (the field norm to F_p)."""
+        return (self.a * self.a + self.b * self.b) % self.p
+
+    def inverse(self) -> "Fp2Element":
+        n_inv = pow(self.norm(), -1, self.p)
+        return Fp2Element(self.a * n_inv, -self.b * n_inv, self.p)
+
+    def __truediv__(self, other: "Fp2Element") -> "Fp2Element":
+        return self * other.inverse()
+
+    def __pow__(self, exponent: int) -> "Fp2Element":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fp2Element(1, 0, self.p)
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def frobenius(self) -> "Fp2Element":
+        """The p-power Frobenius, which for p % 4 == 3 is conjugation."""
+        return self.conjugate()
+
+    # -- predicates / dunder ----------------------------------------------
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Fp2Element)
+            and self.p == other.p
+            and self.a == other.a
+            and self.b == other.b
+        )
+
+    def __hash__(self):
+        return hash((self.a, self.b, self.p))
+
+    def __repr__(self):
+        return f"Fp2({self.a} + {self.b}i)"
+
+
+class QuadraticExtension:
+    """Factory for :class:`Fp2Element` over a fixed prime p with p % 4 == 3."""
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if p % 4 != 3:
+            raise ValueError("F_p[i]/(i^2+1) requires p % 4 == 3")
+        self.p = p
+
+    def __call__(self, a: int, b: int = 0) -> Fp2Element:
+        return Fp2Element(a, b, self.p)
+
+    def zero(self) -> Fp2Element:
+        return Fp2Element(0, 0, self.p)
+
+    def one(self) -> Fp2Element:
+        return Fp2Element(1, 0, self.p)
+
+    def i(self) -> Fp2Element:
+        return Fp2Element(0, 1, self.p)
+
+    def random(self, rng=None) -> Fp2Element:
+        if rng is not None:
+            return Fp2Element(rng.randrange(self.p), rng.randrange(self.p), self.p)
+        return Fp2Element(secrets.randbelow(self.p), secrets.randbelow(self.p), self.p)
+
+    def __eq__(self, other):
+        return isinstance(other, QuadraticExtension) and other.p == self.p
+
+    def __hash__(self):
+        return hash(("QuadraticExtension", self.p))
+
+    def __repr__(self):
+        return f"QuadraticExtension(p~2^{self.p.bit_length()})"

@@ -1,0 +1,106 @@
+"""Polynomials over Z_p and Lagrange interpolation.
+
+The (w, t)-Shamir secret sharing of Section V stores the SEM master key as
+``f(0)`` for a random degree-(t−1) polynomial ``f``; recovery uses the
+Lagrange basis evaluated at zero (Eq. 11 in the paper).  The basis values are
+independent of ``f`` and are precomputed once per share subset.
+"""
+
+from __future__ import annotations
+
+from repro.mathkit.ntheory import inverse_mod
+
+
+class Polynomial:
+    """A polynomial over Z_p, stored as a coefficient list (low degree first)."""
+
+    __slots__ = ("coefficients", "p")
+
+    def __init__(self, coefficients: list[int], p: int):
+        coeffs = [c % p for c in coefficients]
+        while len(coeffs) > 1 and coeffs[-1] == 0:
+            coeffs.pop()
+        self.coefficients = coeffs
+        self.p = p
+
+    @property
+    def degree(self) -> int:
+        if self.coefficients == [0]:
+            return -1
+        return len(self.coefficients) - 1
+
+    def evaluate(self, x: int) -> int:
+        """Horner evaluation of the polynomial at ``x``."""
+        result = 0
+        for coefficient in reversed(self.coefficients):
+            result = (result * x + coefficient) % self.p
+        return result
+
+    __call__ = evaluate
+
+    def __add__(self, other: "Polynomial") -> "Polynomial":
+        if self.p != other.p:
+            raise ValueError("polynomials over different fields")
+        n = max(len(self.coefficients), len(other.coefficients))
+        a = self.coefficients + [0] * (n - len(self.coefficients))
+        b = other.coefficients + [0] * (n - len(other.coefficients))
+        return Polynomial([x + y for x, y in zip(a, b)], self.p)
+
+    def __mul__(self, other) -> "Polynomial":
+        if isinstance(other, int):
+            return Polynomial([c * other for c in self.coefficients], self.p)
+        if self.p != other.p:
+            raise ValueError("polynomials over different fields")
+        result = [0] * (len(self.coefficients) + len(other.coefficients) - 1)
+        for i, a in enumerate(self.coefficients):
+            if a == 0:
+                continue
+            for j, b in enumerate(other.coefficients):
+                result[i + j] = (result[i + j] + a * b) % self.p
+        return Polynomial(result, self.p)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other):
+        return (
+            isinstance(other, Polynomial)
+            and self.p == other.p
+            and self.coefficients == other.coefficients
+        )
+
+    def __repr__(self):
+        return f"Polynomial({self.coefficients}, p~2^{self.p.bit_length()})"
+
+
+def lagrange_basis_at_zero(xs: list[int], p: int) -> list[int]:
+    """Lagrange basis values L_j(0) for the given distinct abscissae.
+
+    This is Eq. 11 of the paper:  L_j(0) = prod_{l != j} x_l / (x_l - x_j).
+    The result depends only on the x-coordinates, so a data owner can
+    precompute it once for a fixed SEM subset.
+    """
+    if len(set(x % p for x in xs)) != len(xs):
+        raise ValueError("abscissae must be distinct modulo p")
+    basis = []
+    for j, xj in enumerate(xs):
+        numerator = 1
+        denominator = 1
+        for l, xl in enumerate(xs):
+            if l == j:
+                continue
+            numerator = numerator * xl % p
+            denominator = denominator * (xl - xj) % p
+        basis.append(numerator * inverse_mod(denominator, p) % p)
+    return basis
+
+
+def lagrange_interpolate_at_zero(points: list[tuple[int, int]], p: int) -> int:
+    """Recover f(0) from ``len(points)`` distinct evaluations of f.
+
+    Exact when ``len(points) >= deg(f) + 1``; with fewer points the result is
+    the interpolating polynomial's value, which reveals nothing about f(0)
+    (the information-theoretic guarantee Shamir sharing relies on).
+    """
+    xs = [x for x, _ in points]
+    basis = lagrange_basis_at_zero(xs, p)
+    return sum(y * b for (_, y), b in zip(points, basis)) % p

@@ -1,0 +1,45 @@
+"""Simulated distributed substrate.
+
+The paper's evaluation is about *protocol* costs — bytes on the wire
+between owner ↔ SEM and verifier ↔ cloud, and tolerance of SEM failures —
+not about any particular transport.  This package provides a deterministic
+discrete-event network simulation with:
+
+* typed :class:`~repro.net.message.Message` envelopes whose sizes are
+  computed from the actual cryptographic payloads,
+* point-to-point :class:`~repro.net.channel.Channel` objects with a
+  latency/bandwidth model and per-channel byte accounting,
+* an event-driven :class:`~repro.net.simulator.Simulator` with a virtual
+  clock and failure injection (message drop, node crash), and
+* :mod:`repro.net.actors` — the four paper entities (owner, SEM, cloud,
+  verifier) as message-driven nodes running the full protocol end to end.
+"""
+
+from repro.net.message import Message, payload_size
+from repro.net.channel import Channel, ChannelStats
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.net.actors import (
+    CloudNode,
+    OwnerNode,
+    SEMNode,
+    VerifierNode,
+    build_protocol_network,
+)
+from repro.net.audit_service import AuditServiceNode, AuditRecord
+
+__all__ = [
+    "Message",
+    "payload_size",
+    "Channel",
+    "ChannelStats",
+    "Node",
+    "Simulator",
+    "OwnerNode",
+    "SEMNode",
+    "CloudNode",
+    "VerifierNode",
+    "build_protocol_network",
+    "AuditServiceNode",
+    "AuditRecord",
+]

@@ -1,0 +1,60 @@
+"""Message-driven protocol nodes.
+
+A :class:`Node` registers handlers per message type; the simulator invokes
+``receive`` at delivery time.  Handlers may return new messages (or lists
+of messages) to send, which keeps protocol logic written as simple
+request/response functions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.net.message import Message
+
+Handler = Callable[[Message], "Message | Iterable[Message] | None"]
+
+
+class Node:
+    """Base class for protocol actors living in a :class:`Simulator`."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self._handlers: dict[str, Handler] = {}
+        self.crashed = False
+        self.received: list[Message] = []
+        self.sim = None  # set by Simulator.add_node; enables timers
+
+    def on(self, msg_type: str, handler: Handler) -> None:
+        """Register ``handler`` for messages of ``msg_type``."""
+        self._handlers[msg_type] = handler
+
+    def receive(self, message: Message):
+        """Dispatch an incoming message; returns messages to send (if any).
+
+        Crashed nodes swallow everything (the crash model is fail-silent,
+        matching how the paper's multi-SEM deployment treats unavailable
+        mediators).
+        """
+        if self.crashed:
+            return None
+        self.received.append(message)
+        handler = self._handlers.get(message.msg_type)
+        if handler is None:
+            raise KeyError(f"{self.name} has no handler for {message.msg_type!r}")
+        return handler(message)
+
+    def crash(self) -> None:
+        self.crashed = True
+
+    def recover(self) -> None:
+        self.crashed = False
+
+    def make_message(self, recipient: str, msg_type: str, payload=None, reply_to=None) -> Message:
+        return Message(
+            sender=self.name,
+            recipient=recipient,
+            msg_type=msg_type,
+            payload=payload,
+            reply_to=reply_to,
+        )

@@ -1,0 +1,161 @@
+"""Deterministic discrete-event network simulator.
+
+A virtual clock advances through a priority queue of message deliveries.
+Determinism: ties break on insertion order, and all randomness comes from
+caller-supplied RNGs, so every run of a seeded experiment is identical.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.net.node import Node
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    message: Message | None = field(compare=False, default=None)
+    callback: object = field(compare=False, default=None)
+    timer_id: int = field(compare=False, default=-1)
+
+
+class Simulator:
+    """Owns the nodes, the channel matrix, and the virtual clock."""
+
+    def __init__(self, default_channel: Channel | None = None):
+        self.nodes: dict[str, Node] = {}
+        self._channels: dict[tuple[str, str], Channel] = {}
+        self._default_channel = default_channel if default_channel is not None else Channel()
+        self._queue: list[_Event] = []
+        self._seq = itertools.count()
+        self._timer_ids = itertools.count()
+        self._cancelled_timers: set[int] = set()
+        self.now = 0.0
+        self.delivered = 0
+        self.dropped = 0
+        self.timers_fired = 0
+
+    # -- topology -----------------------------------------------------------
+    def add_node(self, node: Node) -> Node:
+        if node.name in self.nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+        node.sim = self
+        return node
+
+    # -- timers ----------------------------------------------------------------
+    def schedule(self, delay_s: float, callback) -> int:
+        """Fire ``callback()`` after ``delay_s`` virtual seconds.
+
+        The callback may return a Message or a list of Messages to send.
+        Returns a timer id usable with :meth:`cancel_timer`.
+        """
+        if delay_s < 0:
+            raise ValueError("delay must be non-negative")
+        timer_id = next(self._timer_ids)
+        heapq.heappush(
+            self._queue,
+            _Event(
+                time=self.now + delay_s,
+                seq=next(self._seq),
+                callback=callback,
+                timer_id=timer_id,
+            ),
+        )
+        return timer_id
+
+    def cancel_timer(self, timer_id: int) -> None:
+        self._cancelled_timers.add(timer_id)
+
+    def connect(self, sender: str, recipient: str, channel: Channel,
+                bidirectional: bool = True) -> None:
+        self._channels[(sender, recipient)] = channel
+        if bidirectional:
+            # Share stats object intentionally? No: independent reverse channel.
+            self._channels[(recipient, sender)] = Channel(
+                latency_s=channel.latency_s,
+                bandwidth_bps=channel.bandwidth_bps,
+                authenticated=channel.authenticated,
+                anonymous=channel.anonymous,
+                drop_rate=channel.drop_rate,
+                rng=channel.rng,
+            )
+
+    def channel(self, sender: str, recipient: str) -> Channel:
+        """The directed channel between two nodes.
+
+        Unconnected pairs get a dedicated channel cloned from the default
+        template on first use, so per-direction byte accounting never
+        conflates traffic of different node pairs.
+        """
+        key = (sender, recipient)
+        existing = self._channels.get(key)
+        if existing is None:
+            template = self._default_channel
+            existing = Channel(
+                latency_s=template.latency_s,
+                bandwidth_bps=template.bandwidth_bps,
+                authenticated=template.authenticated,
+                anonymous=template.anonymous,
+                drop_rate=template.drop_rate,
+                rng=template.rng,
+            )
+            self._channels[key] = existing
+        return existing
+
+    # -- traffic ---------------------------------------------------------------
+    def send(self, message: Message, at: float | None = None) -> None:
+        """Enqueue a message for delivery after its channel delay."""
+        if message.recipient not in self.nodes:
+            raise KeyError(f"unknown recipient {message.recipient!r}")
+        channel = self.channel(message.sender, message.recipient)
+        channel.record(message)
+        if channel.should_drop():
+            self.dropped += 1
+            return
+        when = (self.now if at is None else at) + channel.delay_for(message)
+        heapq.heappush(self._queue, _Event(time=when, seq=next(self._seq), message=message))
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Process events in time order; returns the final virtual time."""
+        processed = 0
+        while self._queue:
+            if max_events is not None and processed >= max_events:
+                break
+            if until is not None and self._queue[0].time > until:
+                break
+            event = heapq.heappop(self._queue)
+            self.now = max(self.now, event.time)
+            processed += 1
+            if event.callback is not None:
+                if event.timer_id in self._cancelled_timers:
+                    self._cancelled_timers.discard(event.timer_id)
+                    continue
+                self.timers_fired += 1
+                replies = event.callback()
+            else:
+                node = self.nodes[event.message.recipient]
+                replies = node.receive(event.message)
+                self.delivered += 1
+            if replies is None:
+                continue
+            if isinstance(replies, Message):
+                replies = [replies]
+            for reply in replies:
+                self.send(reply)
+        return self.now
+
+    # -- accounting --------------------------------------------------------------
+    def bytes_between(self, sender: str, recipient: str) -> int:
+        return self.channel(sender, recipient).stats.bytes_total
+
+    def total_bytes(self) -> int:
+        return sum(ch.stats.bytes_total for ch in self._channels.values()) + (
+            self._default_channel.stats.bytes_total
+        )

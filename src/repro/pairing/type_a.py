@@ -1,0 +1,347 @@
+"""Type-A symmetric pairing backend (the paper's setting).
+
+Curve: the supersingular curve  E : y² = x³ + x  over F_q with
+q ≡ 3 (mod 4) and #E(F_q) = q + 1 = h·r for a large prime r.  G1 is the
+order-r subgroup; the embedding degree is 2, so GT lives in F_q².
+
+The pairing is the *modified Tate pairing*
+
+    e(P, Q) = f_{r,P}(φ(Q)) ^ ((q² − 1) / r),
+
+where φ(x, y) = (−x, i·y) is the distortion map (i² = −1 in F_q²).  Because
+φ(Q) has an F_q x-coordinate negation and a purely imaginary y-coordinate,
+every Miller line evaluates to an element (a + b·i) with a, b computed by a
+handful of F_q operations — and all vertical-line (denominator)
+contributions lie in F_q, which the final exponentiation kills since
+(q² − 1)/r = (q − 1)·h is a multiple of q − 1.  This denominator
+elimination is what makes embedding-degree-2 pairings fast.
+
+Internally points are raw ``(x, y)`` integer tuples (``None`` = infinity)
+and GT values are raw ``(a, b)`` integer pairs representing a + b·i; the
+object-level API is provided by :class:`repro.pairing.interface`.
+"""
+
+from __future__ import annotations
+
+from repro.ec.hash_to_curve import hash_to_curve_try_increment
+from repro.mathkit.ntheory import sqrt_mod
+from repro.pairing.interface import PairingGroup
+from repro.pairing.params import TypeAParams
+
+
+class TypeAPairingGroup(PairingGroup):
+    """Symmetric pairing group over PBC-style type-A parameters."""
+
+    is_symmetric = True
+
+    def __init__(self, params: TypeAParams):
+        super().__init__()
+        params.validate()
+        self.params = params
+        self.order = params.r
+        self.q = params.q
+        self._qbytes = (params.q.bit_length() + 7) // 8
+        self._generator = (params.gx, params.gy)
+        # Final exponentiation: (q² − 1)/r = (q − 1) · h.
+        self._final_exp_h = params.h
+
+    @classmethod
+    def from_params(cls, params: TypeAParams) -> "TypeAPairingGroup":
+        return cls(params)
+
+    # ------------------------------------------------------------------
+    # Generators and hashing
+    # ------------------------------------------------------------------
+    def g1(self):
+        from repro.pairing.interface import GroupElement
+
+        return GroupElement(self, self._generator, "g1")
+
+    def g2(self):
+        from repro.pairing.interface import GroupElement
+
+        return GroupElement(self, self._generator, "g2")
+
+    def hash_to_g1(self, data: bytes):
+        from repro.pairing.interface import GroupElement
+
+        if self.counter is not None:
+            self.counter.hash_to_g1 += 1
+        x, y = hash_to_curve_try_increment(data, self.q, 1, 0, self.params.h, sqrt_mod)
+        point = self._raw_scalar_mul((x, y), self.params.h)
+        if point is None:
+            # Probability h/q ~ 2^-160: the hashed point was in the small
+            # subgroup.  Retry with a domain-separated suffix.
+            return self.hash_to_g1(data + b"\x00retry")
+        return GroupElement(self, point, "g1")
+
+    # ------------------------------------------------------------------
+    # Raw affine/Jacobian point arithmetic on y² = x³ + x  (a = 1, b = 0)
+    # ------------------------------------------------------------------
+    def _raw_add(self, p1, p2):
+        if p1 is None:
+            return p2
+        if p2 is None:
+            return p1
+        q = self.q
+        x1, y1 = p1
+        x2, y2 = p2
+        if x1 == x2:
+            if (y1 + y2) % q == 0:
+                return None
+            slope = (3 * x1 * x1 + 1) * pow(2 * y1, -1, q) % q
+        else:
+            slope = (y2 - y1) * pow(x2 - x1, -1, q) % q
+        x3 = (slope * slope - x1 - x2) % q
+        y3 = (slope * (x1 - x3) - y1) % q
+        return (x3, y3)
+
+    def _raw_neg(self, p):
+        if p is None:
+            return None
+        return (p[0], (-p[1]) % self.q)
+
+    def _raw_scalar_mul(self, point, n: int):
+        """Jacobian-coordinate double-and-add; returns affine or None."""
+        if point is None or n == 0:
+            return None
+        if n < 0:
+            return self._raw_scalar_mul(self._raw_neg(point), -n)
+        q = self.q
+        # Jacobian: (X, Y, Z) represents (X/Z², Y/Z³).
+        rx, ry, rz = 0, 0, 0  # infinity marker: rz == 0
+        ax, ay, az = point[0], point[1], 1
+        while n:
+            if n & 1:
+                if rz == 0:
+                    rx, ry, rz = ax, ay, az
+                else:
+                    rx, ry, rz = _jac_add(rx, ry, rz, ax, ay, az, q)
+            n >>= 1
+            if n:
+                ax, ay, az = _jac_double(ax, ay, az, q)
+        if rz == 0:
+            return None
+        zinv = pow(rz, -1, q)
+        zinv2 = zinv * zinv % q
+        return (rx * zinv2 % q, ry * zinv2 % q * zinv % q)
+
+    # ------------------------------------------------------------------
+    # PairingGroup backend primitives
+    # ------------------------------------------------------------------
+    def _add(self, a, b, which):
+        return self._raw_add(a, b)
+
+    def _neg(self, a, which):
+        return self._raw_neg(a)
+
+    def _scalar_mul(self, a, n, which):
+        return self._raw_scalar_mul(a, n)
+
+    def _identity(self, which):
+        return None
+
+    def _is_identity(self, a, which):
+        return a is None
+
+    def _eq(self, a, b, which):
+        return a == b
+
+    def _serialize(self, a, which):
+        if a is None:
+            return b"\x00" * (self._qbytes + 1)
+        x, y = a
+        sign = 2 | (y & 1)
+        return x.to_bytes(self._qbytes, "big") + bytes([sign])
+
+    def deserialize_g1(self, data: bytes):
+        """Inverse of element serialization (compressed form)."""
+        from repro.pairing.interface import GroupElement
+
+        if len(data) != self._qbytes + 1:
+            raise ValueError("bad element encoding length")
+        if data == b"\x00" * (self._qbytes + 1):
+            return GroupElement(self, None, "g1")
+        x = int.from_bytes(data[:-1], "big")
+        sign = data[-1]
+        if not sign & 2:
+            raise ValueError("bad compression tag")
+        rhs = (x * x * x + x) % self.q
+        y = sqrt_mod(rhs, self.q)
+        if y is None:
+            raise ValueError("x is not on the curve")
+        if y & 1 != sign & 1:
+            y = self.q - y
+        return GroupElement(self, (x, y), "g1")
+
+    # ------------------------------------------------------------------
+    # Pairing
+    # ------------------------------------------------------------------
+    def _pair(self, p, q_point):
+        if p is None or q_point is None:
+            return (1, 0)
+        f = self._miller_loop(p, q_point)
+        return self._final_exponentiation(f)
+
+    def _miller_loop(self, p, q_point):
+        """f_{r,P}(φ(Q)) with denominator elimination.
+
+        Line through T (slope lam) evaluated at φ(Q) = (−xQ, i·yQ):
+            i·yQ − yT − lam·(−xQ − xT)  =  (lam·(xQ + xT) − yT)  +  i·yQ.
+        """
+        q = self.q
+        xp, yp = p
+        xq, yq = q_point
+        fa, fb = 1, 0  # f = fa + fb·i
+        tx, ty = xp, yp
+        r = self.order
+        for bit_index in range(r.bit_length() - 2, -1, -1):
+            # --- doubling step ---
+            lam = (3 * tx * tx + 1) * pow(2 * ty, -1, q) % q
+            la = (lam * (xq + tx) - ty) % q
+            lb = yq
+            # f = f² · (la + lb·i)
+            sa = (fa + fb) * (fa - fb) % q
+            sb = 2 * fa * fb % q
+            fa = (sa * la - sb * lb) % q
+            fb = (sa * lb + sb * la) % q
+            nx = (lam * lam - 2 * tx) % q
+            ty = (lam * (tx - nx) - ty) % q
+            tx = nx
+            if (r >> bit_index) & 1:
+                # --- addition step: T + P ---
+                if tx == xp:
+                    if (ty + yp) % q == 0:
+                        # Vertical line: contributes an F_q factor, which the
+                        # final exponentiation kills; T becomes infinity.
+                        # This only happens at the very last iteration.
+                        tx, ty = None, None
+                        continue
+                    lam = (3 * tx * tx + 1) * pow(2 * ty, -1, q) % q
+                else:
+                    lam = (ty - yp) * pow(tx - xp, -1, q) % q
+                la = (lam * (xq + xp) - yp) % q
+                lb = yq
+                fa, fb = (fa * la - fb * lb) % q, (fa * lb + fb * la) % q
+                nx = (lam * lam - tx - xp) % q
+                ty = (lam * (tx - nx) - ty) % q
+                tx = nx
+        return (fa, fb)
+
+    def _final_exponentiation(self, f):
+        """f ^ ((q²−1)/r)  =  (f^(q−1)) ^ h,  with f^q = conj(f)."""
+        q = self.q
+        fa, fb = f
+        # f^(q-1) = conj(f) / f.
+        norm = (fa * fa + fb * fb) % q
+        inv_norm = pow(norm, -1, q)
+        # conj(f) * inv(f) = (fa - fb i) * (fa - fb i)/norm = conj(f)^2/norm.
+        ca, cb = fa, (-fb) % q
+        sa = (ca * ca - cb * cb) % q
+        sb = 2 * ca * cb % q
+        ua, ub = sa * inv_norm % q, sb * inv_norm % q
+        return self._gt_pow((ua, ub), self._final_exp_h)
+
+    # ------------------------------------------------------------------
+    # GT = F_q² arithmetic on raw (a, b) pairs
+    # ------------------------------------------------------------------
+    def _gt_mul(self, x, y):
+        q = self.q
+        ac = x[0] * y[0]
+        bd = x[1] * y[1]
+        cross = (x[0] + x[1]) * (y[0] + y[1]) - ac - bd
+        return ((ac - bd) % q, cross % q)
+
+    def _gt_pow(self, x, n: int):
+        q = self.q
+        ra, rb = 1, 0
+        ba, bb = x
+        while n:
+            if n & 1:
+                ra, rb = (ra * ba - rb * bb) % q, (ra * bb + rb * ba) % q
+            sa = (ba + bb) * (ba - bb) % q
+            bb = 2 * ba * bb % q
+            ba = sa
+            n >>= 1
+        return (ra, rb)
+
+    def _gt_inv(self, x):
+        q = self.q
+        norm = (x[0] * x[0] + x[1] * x[1]) % q
+        inv_norm = pow(norm, -1, q)
+        return (x[0] * inv_norm % q, (-x[1]) * inv_norm % q)
+
+    def _gt_one(self):
+        return (1, 0)
+
+    def _gt_is_one(self, x):
+        return x == (1, 0)
+
+    def _gt_eq(self, x, y):
+        return x == y
+
+    def multi_pair(self, pairs):
+        """Product pairing with a single shared final exponentiation."""
+        from repro.pairing.interface import GTElement
+
+        acc = (1, 0)
+        for p, q_el in pairs:
+            if p.which != "g1" or q_el.which != "g2":
+                raise ValueError("multi_pair expects (G1, G2) pairs")
+            if self.counter is not None:
+                self.counter.pairings += 1
+            if p.point is None or q_el.point is None:
+                continue
+            acc = self._gt_mul(acc, self._miller_loop(p.point, q_el.point))
+        return GTElement(self, self._final_exponentiation(acc))
+
+    def __eq__(self, other):
+        return isinstance(other, TypeAPairingGroup) and other.params == self.params
+
+    def __hash__(self):
+        return hash(("TypeAPairingGroup", self.params.r, self.params.q))
+
+    def __repr__(self):
+        return f"TypeAPairingGroup({self.params.name}, |r|={self.order.bit_length()})"
+
+
+def _jac_double(x, y, z, q):
+    """Jacobian doubling on y² = x³ + a·x with a = 1."""
+    if y == 0:
+        return (0, 0, 0)
+    ysq = y * y % q
+    s = 4 * x * ysq % q
+    z2 = z * z % q
+    # m = 3x² + a·z⁴ with a = 1
+    m = (3 * x * x + z2 * z2) % q
+    nx = (m * m - 2 * s) % q
+    ny = (m * (s - nx) - 8 * ysq * ysq) % q
+    nz = 2 * y * z % q
+    return (nx, ny, nz)
+
+
+def _jac_add(x1, y1, z1, x2, y2, z2, q):
+    """Jacobian addition (general case, handles doubling fallback)."""
+    if z1 == 0:
+        return (x2, y2, z2)
+    if z2 == 0:
+        return (x1, y1, z1)
+    z1sq = z1 * z1 % q
+    z2sq = z2 * z2 % q
+    u1 = x1 * z2sq % q
+    u2 = x2 * z1sq % q
+    s1 = y1 * z2sq * z2 % q
+    s2 = y2 * z1sq * z1 % q
+    if u1 == u2:
+        if s1 != s2:
+            return (0, 0, 0)
+        return _jac_double(x1, y1, z1, q)
+    h = (u2 - u1) % q
+    r = (s2 - s1) % q
+    hsq = h * h % q
+    hcu = hsq * h % q
+    v = u1 * hsq % q
+    nx = (r * r - hcu - 2 * v) % q
+    ny = (r * (v - nx) - s1 * hcu) % q
+    nz = h * z1 * z2 % q
+    return (nx, ny, nz)

@@ -1,0 +1,32 @@
+"""Tests for machine calibration."""
+
+from repro.analysis.calibrate import UnitCosts, calibrate
+
+
+class TestCalibrate:
+    def test_all_units_positive(self, group, rng):
+        units = calibrate(group, repeats=3, rng=rng)
+        for value in units.as_dict().values():
+            assert value > 0
+
+    def test_relative_magnitudes(self, group, rng):
+        """A pairing costs more than a group multiplication; an
+        exponentiation costs more than a Z_p multiplication."""
+        units = calibrate(group, repeats=5, rng=rng)
+        assert units.pair > units.mul_g1
+        assert units.exp_g1 > units.mul_zp
+
+    def test_as_dict_keys(self):
+        units = UnitCosts(exp_g1=1, pair=2, mul_g1=3, hash_g1=4, mul_zp=5)
+        assert set(units.as_dict()) == {"exp_g1", "pair", "mul_g1", "hash_g1", "mul_zp"}
+
+    def test_frozen(self):
+        import dataclasses
+
+        units = UnitCosts(exp_g1=1, pair=2, mul_g1=3, hash_g1=4, mul_zp=5)
+        try:
+            units.exp_g1 = 9
+            raised = False
+        except dataclasses.FrozenInstanceError:
+            raised = True
+        assert raised

@@ -1,0 +1,156 @@
+"""Tests for the closed-form cost model (Table I / Fig. 6 / Table II)."""
+
+import pytest
+
+from repro.analysis.calibrate import UnitCosts
+from repro.analysis.cost_model import (
+    PAPER_DATA_BYTES,
+    CostModel,
+    oruta_sign_counts,
+    oruta_verification_counts,
+    sw08_exp_counts,
+    table1_exp_pair_counts,
+    verification_counts,
+)
+
+# Synthetic units with the paper-era PBC cost ratio (pairing ~80x a G1
+# exponentiation, which is what makes "Our Scheme" ~2.5x slower than
+# "Our Scheme*" at k = 100 in Figure 4(a)).
+UNITS = UnitCosts(exp_g1=0.001, pair=0.08, mul_g1=0.00001, hash_g1=0.0005, mul_zp=1e-7)
+
+
+@pytest.fixture()
+def model():
+    return CostModel(UNITS)
+
+
+class TestTable1Formulas:
+    def test_single_basic(self):
+        c = table1_exp_pair_counts(n=100, k=10)
+        assert c.exp_g1 == 100 * 13
+        assert c.pair == 200
+
+    def test_single_optimized(self):
+        c = table1_exp_pair_counts(n=100, k=10, optimized=True)
+        assert c.exp_g1 == 100 * 15
+        assert c.pair == 2
+
+    def test_multi_basic(self):
+        c = table1_exp_pair_counts(n=100, k=10, t=3)
+        assert c.exp_g1 == 100 * (10 + 7)
+        assert c.pair == 600
+
+    def test_multi_optimized(self):
+        c = table1_exp_pair_counts(n=100, k=10, t=3, optimized=True)
+        assert c.exp_g1 == 100 * (10 + 14)
+        assert c.pair == 4
+
+    def test_seconds_linear(self):
+        c = table1_exp_pair_counts(n=10, k=5)
+        assert c.seconds(UNITS) == pytest.approx(10 * 8 * UNITS.exp_g1 + 20 * UNITS.pair)
+
+    def test_per_block_ms(self):
+        c = table1_exp_pair_counts(n=10, k=5)
+        assert c.per_block_ms(10, UNITS) == pytest.approx(c.seconds(UNITS) * 100)
+
+    def test_baseline_formulas(self):
+        assert sw08_exp_counts(10, 5).exp_g1 == 60
+        assert oruta_sign_counts(10, 5, 4).exp_g1 == 10 * (5 + 7)
+        assert verification_counts(460, 1000).exp_g1 == 1460
+        assert verification_counts(460, 1000).pair == 2
+        assert oruta_verification_counts(460, 1000, 10).pair == 11
+
+
+class TestWorkloadGeometry:
+    def test_paper_block_count(self, model):
+        """2 GB at k = 1000, |p| = 160 -> ~100,000 blocks (Table II)."""
+        n = model.n_blocks(1000)
+        assert 100_000 <= n <= 110_000
+
+    def test_block_count_inverse_in_k(self, model):
+        assert model.n_blocks(100) == pytest.approx(10 * model.n_blocks(1000), rel=0.01)
+
+
+class TestFigure6Curves:
+    def test_k100_signing_comm_is_about_40mb(self, model):
+        """Figure 6(a): k = 100 -> ~40 MB."""
+        mb = model.signing_communication_bytes(100) / 1024**2
+        assert 40 <= mb <= 43
+
+    def test_k1000_signing_comm_is_about_4mb(self, model):
+        mb = model.signing_communication_bytes(1000) / 1024**2
+        assert 4 <= mb <= 4.3
+
+    def test_multi_sem_scales_with_w(self, model):
+        """Figure 6(a): w = 5, k = 1000 -> ~20 MB."""
+        single = model.signing_communication_bytes(1000, w=1)
+        five = model.signing_communication_bytes(1000, w=5)
+        assert five == 5 * single
+        assert 20 <= five / 1024**2 <= 21.5
+
+    def test_storage_k100_is_20mb(self, model):
+        """Figure 6(b): storage falls as 1/k; k = 100 -> ~20 MB."""
+        mb = model.signature_storage_bytes(100) / 1024**2
+        assert 20 <= mb <= 21.5
+
+    def test_storage_monotone_decreasing(self, model):
+        values = [model.signature_storage_bytes(k) for k in (100, 200, 500, 1000)]
+        assert values == sorted(values, reverse=True)
+
+    def test_oruta_storage_d_times_larger(self, model):
+        assert model.oruta_signature_storage_bytes(1000, d=10) == 10 * model.signature_storage_bytes(1000)
+
+    def test_knox_storage_constant_factor(self, model):
+        assert model.knox_signature_storage_bytes(1000) == 10 * model.signature_storage_bytes(1000)
+
+
+class TestTable2:
+    def test_sampling_speedup(self, model):
+        """c = 460 cuts verification cost dramatically versus all blocks."""
+        n = model.n_blocks(1000)
+        full = model.verification_seconds(n, 1000)
+        sampled = model.verification_seconds(460, 1000)
+        assert full / sampled > 50
+
+    def test_communication_drops_with_sampling(self, model):
+        n = model.n_blocks(1000)
+        full = model.verification_communication_bytes(n, 1000)
+        sampled = model.verification_communication_bytes(460, 1000)
+        assert full > 40 * sampled
+
+    def test_full_challenge_about_2mb(self, model):
+        """Paper: 2.27 MB at n = 100,000 (consistent with |id| = 20 bits)."""
+        n = model.n_blocks(1000)
+        mb = model.verification_communication_bytes(n, 1000) / 1024**2
+        assert 2.0 <= mb <= 2.6
+
+    def test_oruta_response_larger(self, model):
+        ours = model.verification_communication_bytes(460, 1000)
+        oruta = model.oruta_verification_communication_bytes(460, 1000, d=10)
+        assert oruta > ours
+
+
+class TestSigningTimes:
+    def test_optimized_close_to_sw08(self, model):
+        """Figure 4(a)'s punchline: batch unblinding ~= SW08 signing."""
+        ours = model.signing_per_block_ms(100, optimized=True)
+        sw08 = model.sw08_per_block_ms(100)
+        assert ours / sw08 < 1.1
+
+    def test_basic_much_slower_than_optimized(self, model):
+        basic = model.signing_per_block_ms(100)
+        optimized = model.signing_per_block_ms(100, optimized=True)
+        assert basic > 2 * optimized
+
+    def test_multi_sem_mild_overhead(self, model):
+        """Figure 4(b): multi-SEM (t = 3) close to single-SEM."""
+        single = model.signing_per_block_ms(100, optimized=True)
+        multi = model.signing_per_block_ms(100, t=3, optimized=True)
+        assert 1.0 < multi / single < 1.5
+
+    def test_times_increase_with_k(self, model):
+        times = [model.signing_per_block_ms(k, optimized=True) for k in (20, 100, 200)]
+        assert times == sorted(times)
+
+    def test_default_data_size(self, model):
+        assert model.data_bytes == PAPER_DATA_BYTES

@@ -1,0 +1,86 @@
+"""Tests for the ASCII figure renderer."""
+
+import pytest
+
+from repro.analysis.calibrate import UnitCosts
+from repro.analysis.cost_model import CostModel
+from repro.analysis.figures import Series, figure_4a, figure_5b, figure_6a, figure_6b, render_chart
+
+UNITS = UnitCosts(exp_g1=0.001, pair=0.08, mul_g1=1e-5, hash_g1=5e-4, mul_zp=1e-7)
+MODEL = CostModel(UNITS)
+
+
+class TestRenderChart:
+    def test_basic_render(self):
+        chart = render_chart(
+            "title", [1.0, 2.0, 3.0], [Series("s", [1.0, 2.0, 3.0])], width=20, height=6
+        )
+        assert chart.startswith("title")
+        assert "* s" in chart
+        lines = chart.splitlines()
+        assert len(lines) == 1 + 6 + 2 + 1  # title + grid + axis + legend
+
+    def test_monotone_series_plots_monotone(self):
+        chart = render_chart(
+            "t", [0.0, 1.0], [Series("up", [0.0, 10.0])], width=10, height=5
+        )
+        rows = chart.splitlines()[1:6]
+        first_col = min(i for i, row in enumerate(rows) if "*" in row)
+        # The max point appears on the top row.
+        assert "*" in rows[0]
+        assert first_col == 0
+
+    def test_multiple_series_distinct_markers(self):
+        chart = render_chart(
+            "t", [1.0, 2.0], [Series("a", [1, 2]), Series("b", [2, 1])],
+            width=12, height=5,
+        )
+        assert "* a" in chart and "o b" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            render_chart("t", [], [])
+        with pytest.raises(ValueError):
+            render_chart("t", [1.0], [Series("s", [1.0, 2.0])])
+
+    def test_all_zero_series(self):
+        chart = render_chart("t", [1.0, 2.0], [Series("z", [0.0, 0.0])])
+        assert "z" in chart  # renders without dividing by zero
+
+    def test_unit_label(self):
+        chart = render_chart("t", [1.0], [Series("s", [5.0])], y_unit="MB")
+        assert "MB |" in chart
+
+
+class TestPaperFigures:
+    def test_figure_4a_contains_all_series(self):
+        chart = figure_4a(MODEL, MODEL, [20, 100, 200])
+        for label in ("Our Scheme", "Our Scheme*", "SW08"):
+            assert label in chart
+
+    def test_figure_5b(self):
+        chart = figure_5b(MODEL, [2, 3, 4], [100, 1000])
+        assert "k=100" in chart and "k=1000" in chart
+
+    def test_figure_6a(self):
+        chart = figure_6a(MODEL, [100, 500, 1000])
+        assert "w=5" in chart
+
+    def test_figure_6b(self):
+        chart = figure_6b(MODEL, [100, 500, 1000])
+        assert "signatures" in chart
+
+    def test_make_figures_tool_runs(self, tmp_path, monkeypatch, capsys):
+        import runpy
+        import sys
+
+        monkeypatch.setattr(sys, "argv", ["make_figures.py", "--fast"])
+        import pathlib
+
+        tool = pathlib.Path(__file__).parent.parent.parent / "tools" / "make_figures.py"
+        try:
+            runpy.run_path(str(tool), run_name="__main__")
+        except SystemExit as exc:
+            assert exc.code == 0
+        out = capsys.readouterr().out
+        assert "Fig 4(a)" in out and "Fig 6(b)" in out

@@ -1,0 +1,111 @@
+"""Tests for the Knox (homomorphic MAC + group signature) baseline."""
+
+import pytest
+
+from repro.baselines.knox import KnoxGroup, KnoxResponse, KnoxVerifier
+from repro.core.verifier import PublicVerifier
+
+
+@pytest.fixture()
+def knox(params_k4, rng):
+    kg = KnoxGroup(params_k4, d=3, rng=rng)
+    kg.sign_and_store(b"knox protected shared data " * 6, b"f")
+    return kg
+
+
+@pytest.fixture()
+def helper(params_k4, knox, rng):
+    return PublicVerifier(params_k4, knox.gs.w, rng=rng)
+
+
+class TestKnoxAudit:
+    def test_designated_verifier_accepts(self, knox, params_k4, helper):
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        assert verifier.verify(ch, knox.generate_proof(b"f", ch))
+
+    def test_sampled_audit(self, knox, params_k4, helper):
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"), sample_size=2)
+        assert verifier.verify(ch, knox.generate_proof(b"f", ch))
+
+    def test_tampered_data_detected(self, knox, params_k4, helper):
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        blocks, _ = knox._files[b"f"]
+        elements = list(blocks[0].elements)
+        elements[0] = (elements[0] + 1) % params_k4.order
+        import dataclasses
+
+        blocks[0] = dataclasses.replace(blocks[0], elements=tuple(elements))
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        assert not verifier.verify(ch, knox.generate_proof(b"f", ch))
+
+    def test_not_publicly_verifiable(self, knox, params_k4, helper, rng):
+        """Without the shared MAC key, verification is impossible: a guessed
+        key rejects honest proofs."""
+        from repro.baselines.knox import KnoxMacKey
+
+        wrong_key = KnoxMacKey(
+            taus=tuple(rng.randrange(params_k4.order) for _ in range(params_k4.k)),
+            prf_seed=rng.randbytes(32),
+        )
+        impostor = KnoxVerifier(params_k4, wrong_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        assert not impostor.verify(ch, knox.generate_proof(b"f", ch))
+
+    def test_wrong_alpha_count(self, knox, params_k4, helper):
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        proof = knox.generate_proof(b"f", ch)
+        assert not verifier.verify(ch, KnoxResponse(proof.mac_aggregate, proof.alphas[:-1]))
+
+    def test_forged_mac_rejected(self, knox, params_k4, helper):
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        proof = knox.generate_proof(b"f", ch)
+        forged = KnoxResponse((proof.mac_aggregate + 1) % params_k4.order, proof.alphas)
+        assert not verifier.verify(ch, forged)
+
+
+class TestKnoxGroupSignatures:
+    def test_block_signatures_verify(self, knox):
+        blocks, _ = knox._files[b"f"]
+        for index in range(min(3, len(blocks))):
+            sig = knox.block_signature(b"f", index)
+            assert knox.gs.verify(blocks[index].block_id + b"|knox", sig)
+
+    def test_manager_can_open_block_author(self, knox):
+        """Group signatures give accountability: the manager identifies the
+        round-robin author of each block."""
+        blocks, _ = knox._files[b"f"]
+        for index in range(min(3, len(blocks))):
+            assert knox.gs.open(knox.block_signature(b"f", index)) == index % knox.d
+
+
+class TestKnoxCosts:
+    def test_metadata_an_order_larger_than_sem_pdp(self, knox, params_k4, group):
+        """Knox's per-block metadata (MAC + group signature) versus one G1
+        element — the Table III storage gap."""
+        n = knox.n_blocks(b"f")
+        sem_pdp_bytes = n * group.g1_element_bytes()
+        assert knox.metadata_bytes(b"f") > 3 * sem_pdp_bytes
+
+    def test_no_group_dynamics(self, knox):
+        """Revocation invalidates all stored metadata (re-signing needed)."""
+        invalidated = knox.revoke_member(0)
+        assert invalidated == [b"f"]
+        assert len(knox.member_keys) == 2
+        with pytest.raises(KeyError):
+            knox.n_blocks(b"f")
+
+    def test_verification_needs_no_pairings(self, knox, params_k4, helper, group):
+        """The MAC check is pairing-free (that's why Knox retreats from
+        public verifiability: the fast path needs the secret key)."""
+        from repro.core.accounting import CostTracker
+
+        verifier = KnoxVerifier(params_k4, knox.mac_key)
+        ch = helper.generate_challenge(b"f", knox.n_blocks(b"f"))
+        proof = knox.generate_proof(b"f", ch)
+        with CostTracker(group) as tracker:
+            assert verifier.verify(ch, proof)
+        assert tracker.pairings == 0

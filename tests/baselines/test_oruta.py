@@ -1,0 +1,150 @@
+"""Tests for the Oruta (HARS ring signature) baseline."""
+
+import pytest
+
+from repro.baselines.oruta import (
+    HARSRing,
+    OrutaGroup,
+    OrutaResponse,
+    OrutaVerifier,
+    RingSignature,
+)
+from repro.core.verifier import PublicVerifier
+
+
+@pytest.fixture()
+def ring(group, rng):
+    return HARSRing(group, d=4, rng=rng)
+
+
+class TestHARS:
+    def test_sign_verify_every_member(self, group, ring, rng):
+        aggregate = group.random_g1(rng)
+        for signer in range(ring.d):
+            sig = ring.sign(aggregate, signer)
+            assert ring.verify(aggregate, sig)
+
+    def test_wrong_aggregate_rejected(self, group, ring, rng):
+        sig = ring.sign(group.random_g1(rng), 0)
+        assert not ring.verify(group.random_g1(rng), sig)
+
+    def test_wrong_length_rejected(self, group, ring, rng):
+        aggregate = group.random_g1(rng)
+        sig = ring.sign(aggregate, 0)
+        truncated = RingSignature(components=sig.components[:-1])
+        assert not ring.verify(aggregate, truncated)
+
+    def test_signature_size_is_d(self, group, ring, rng):
+        sig = ring.sign(group.random_g1(rng), 1)
+        assert len(sig) == ring.d
+
+    def test_anonymity_components_all_random_looking(self, group, ring, rng):
+        """No component slot is fixed: two signatures by the same signer
+        differ in every component."""
+        aggregate = group.random_g1(rng)
+        s1 = ring.sign(aggregate, 2)
+        s2 = ring.sign(aggregate, 2)
+        differing = sum(
+            1 for a, b in zip(s1.components, s2.components) if a != b
+        )
+        assert differing == ring.d
+
+    def test_homomorphic_combination(self, group, ring, rng):
+        """σ(m1)^a · σ(m2)^b verifies against m1^a · m2^b — the property
+        Oruta's sampling audit relies on."""
+        m1, m2 = group.random_g1(rng), group.random_g1(rng)
+        s1 = ring.sign(m1, 0)
+        s2 = ring.sign(m2, 3)  # different signers!
+        a, b = 5, 9
+        combined = RingSignature(
+            components=tuple(
+                c1**a * c2**b for c1, c2 in zip(s1.components, s2.components)
+            )
+        )
+        assert ring.verify(m1**a * m2**b, combined)
+
+    def test_minimum_ring_size(self, group, rng):
+        with pytest.raises(ValueError):
+            HARSRing(group, d=1, rng=rng)
+
+    def test_signer_out_of_range(self, group, ring, rng):
+        with pytest.raises(ValueError):
+            ring.sign(group.random_g1(rng), ring.d)
+
+
+@pytest.fixture()
+def oruta(params_k4, rng):
+    og = OrutaGroup(params_k4, d=3, rng=rng)
+    og.sign_and_store(b"ring signed shared file " * 6, b"f")
+    return og
+
+
+class TestOrutaPdp:
+    def test_audit_round_trip(self, oruta, params_k4, rng):
+        verifier = OrutaVerifier(params_k4, oruta.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, oruta.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"))
+        assert verifier.verify(ch, oruta.generate_proof(b"f", ch))
+
+    def test_sampled_audit(self, oruta, params_k4, rng):
+        verifier = OrutaVerifier(params_k4, oruta.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, oruta.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"), sample_size=2)
+        assert verifier.verify(ch, oruta.generate_proof(b"f", ch))
+
+    def test_custom_signers(self, params_k4, rng):
+        og = OrutaGroup(params_k4, d=3, rng=rng)
+        blocks = og.sign_and_store(b"x" * 120, b"f", signers=None)
+        og2 = OrutaGroup(params_k4, d=3, rng=rng)
+        og2.sign_and_store(b"x" * 120, b"f", signers=[0] * len(blocks))
+        verifier = OrutaVerifier(params_k4, og2.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, og2.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", og2.n_blocks(b"f"))
+        assert verifier.verify(ch, og2.generate_proof(b"f", ch))
+
+    def test_tampered_alpha_rejected(self, oruta, params_k4, rng):
+        verifier = OrutaVerifier(params_k4, oruta.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, oruta.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"))
+        proof = oruta.generate_proof(b"f", ch)
+        bad = OrutaResponse(
+            phis=proof.phis,
+            alphas=((proof.alphas[0] + 1) % params_k4.order,) + proof.alphas[1:],
+        )
+        assert not verifier.verify(ch, bad)
+
+    def test_tampered_phi_rejected(self, oruta, params_k4, rng, group):
+        verifier = OrutaVerifier(params_k4, oruta.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, oruta.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"))
+        proof = oruta.generate_proof(b"f", ch)
+        bad = OrutaResponse(
+            phis=(proof.phis[0] * group.g1(),) + proof.phis[1:], alphas=proof.alphas
+        )
+        assert not verifier.verify(ch, bad)
+
+    def test_storage_is_d_elements_per_block(self, oruta):
+        n = oruta.n_blocks(b"f")
+        assert oruta.signature_storage_elements(b"f") == n * 3
+
+    def test_verification_pairing_cost_is_d_plus_1(self, oruta, params_k4, rng, group):
+        from repro.core.accounting import CostTracker
+
+        verifier = OrutaVerifier(params_k4, oruta.ring.pks, rng=rng)
+        helper = PublicVerifier(params_k4, oruta.ring.pks[0], rng=rng)
+        ch = helper.generate_challenge(b"f", oruta.n_blocks(b"f"))
+        proof = oruta.generate_proof(b"f", ch)
+        with CostTracker(group) as tracker:
+            assert verifier.verify(ch, proof)
+        assert tracker.pairings == 3 + 1  # d + 1
+
+    def test_response_size_grows_with_d(self, oruta):
+        helper_bits = 160
+        ch_n = oruta.n_blocks(b"f")
+        from repro.core.verifier import PublicVerifier
+        import random
+
+        helper = PublicVerifier(oruta.params, oruta.ring.pks[0], rng=random.Random(1))
+        ch = helper.generate_challenge(b"f", ch_n)
+        proof = oruta.generate_proof(b"f", ch)
+        assert proof.paper_size_bits(helper_bits) == (oruta.params.k + 3) * helper_bits

@@ -1,0 +1,70 @@
+"""Tests for the SW08 baseline."""
+
+import pytest
+
+from repro.baselines.sw08 import SW08Owner, SW08Verifier
+from repro.core.accounting import CostTracker
+from repro.core.cloud import CloudServer
+
+
+@pytest.fixture()
+def deployment(params_k4, rng):
+    owner = SW08Owner(params_k4, rng=rng)
+    cloud = CloudServer(params_k4, rng=rng)
+    verifier = SW08Verifier(params_k4, owner.pk, rng=rng)
+    signed = owner.sign_file(b"owner signed data " * 8, b"f")
+    cloud.store(signed)
+    return owner, cloud, verifier, signed
+
+
+class TestSW08:
+    def test_audit_round_trip(self, deployment):
+        _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"f", len(signed.blocks))
+        assert verifier.verify_owner_data(ch, cloud.generate_proof(b"f", ch))
+
+    def test_sampled_audit(self, deployment):
+        _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"f", len(signed.blocks), sample_size=3)
+        assert verifier.verify(ch, cloud.generate_proof(b"f", ch))
+
+    def test_tamper_detected(self, deployment):
+        _, cloud, verifier, signed = deployment
+        cloud.tamper_block(b"f", 1)
+        ch = verifier.generate_challenge(b"f", len(signed.blocks))
+        assert not verifier.verify(ch, cloud.generate_proof(b"f", ch))
+
+    def test_signatures_same_shape_as_sem_pdp(self, params_k4, rng, group):
+        """The paper's compatibility claim: SW08 and SEM-PDP signatures are
+        indistinguishable objects — the cloud runs identical Response code."""
+        from repro.core.owner import DataOwner
+        from repro.core.sem import SecurityMediator
+
+        sw_owner = SW08Owner(params_k4, rng=rng)
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        sem_owner = DataOwner(params_k4, sem.pk, rng=rng)
+        sw_signed = sw_owner.sign_file(b"data", b"f")
+        sem_signed = sem_owner.sign_file(b"data", b"f", sem)
+        assert len(sw_signed.signatures[0].to_bytes()) == len(sem_signed.signatures[0].to_bytes())
+
+    def test_signing_is_local_no_pairings(self, params_k4, rng, group):
+        owner = SW08Owner(params_k4, rng=rng)
+        with CostTracker(group) as tracker:
+            owner.sign_file(b"local signing " * 5, b"f")
+        assert tracker.pairings == 0
+
+    def test_sign_exp_budget(self, params_k4, rng, group):
+        """n(k+1) Exp_G1 (Table I's implicit SW08 row)."""
+        owner = SW08Owner(params_k4, rng=rng)
+        data = bytes(range(1, 200))
+        with CostTracker(group) as tracker:
+            signed = owner.sign_file(data, b"f")
+        n = len(signed.blocks)
+        assert tracker.exp_g1 <= n * (params_k4.k + 1)
+
+    def test_fixed_keypair_reuse(self, params_k4, rng):
+        from repro.crypto.bls import bls_keygen
+
+        kp = bls_keygen(params_k4.group, rng)
+        owner = SW08Owner(params_k4, keypair=kp)
+        assert owner.pk == kp.pk

@@ -1,0 +1,147 @@
+"""Tests for block encoding and the aggregate-and-hash map."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import (
+    Block,
+    aggregate_block,
+    decode_data,
+    encode_data,
+    make_block_id,
+)
+
+
+class TestEncodeDecode:
+    def test_round_trip(self, params_k4):
+        data = b"hello shared cloud storage" * 7
+        blocks = encode_data(data, params_k4, b"fid")
+        assert decode_data(blocks, params_k4) == data
+
+    def test_empty_data(self, params_k4):
+        blocks = encode_data(b"", params_k4, b"fid")
+        assert len(blocks) >= 1
+        assert decode_data(blocks, params_k4) == b""
+
+    def test_single_byte(self, params_k4):
+        assert decode_data(encode_data(b"x", params_k4, b"f"), params_k4) == b"x"
+
+    def test_exact_block_multiple(self, params_k4):
+        size = params_k4.block_bytes() * 3 - 8  # minus length header
+        data = bytes(range(256)) * (size // 256) + bytes(size % 256)
+        blocks = encode_data(data, params_k4, b"f")
+        assert len(blocks) == 3
+        assert decode_data(blocks, params_k4) == data
+
+    def test_elements_below_order(self, params_k4):
+        data = b"\xff" * 200
+        for block in encode_data(data, params_k4, b"f"):
+            assert all(0 <= e < params_k4.order for e in block.elements)
+
+    def test_block_count_formula(self, params_k4):
+        data = bytes(1000)
+        blocks = encode_data(data, params_k4, b"f")
+        import math
+
+        expected = math.ceil((1000 + 8) / params_k4.block_bytes())
+        assert len(blocks) == expected
+
+    def test_block_ids_sequential(self, params_k4):
+        blocks = encode_data(bytes(100), params_k4, b"myfile")
+        for index, block in enumerate(blocks):
+            assert block.block_id == make_block_id(b"myfile", index)
+
+    def test_k1_encoding(self, params_k1):
+        data = b"one element per block"
+        assert decode_data(encode_data(data, params_k1, b"f"), params_k1) == data
+
+    def test_decode_rejects_truncation(self, params_k4):
+        with pytest.raises(ValueError):
+            decode_data([], params_k4)
+
+    def test_decode_rejects_corrupt_header(self, params_k4):
+        blocks = encode_data(b"abc", params_k4, b"f")
+        # Largest in-range element: decodes to a length far beyond the data.
+        huge = ((1 << (8 * params_k4.element_bytes())) - 1, *blocks[0].elements[1:])
+        corrupted = [Block(block_id=blocks[0].block_id, elements=huge)] + blocks[1:]
+        with pytest.raises(ValueError):
+            decode_data(corrupted, params_k4)
+
+    def test_decode_rejects_out_of_range_element(self, params_k4):
+        blocks = encode_data(b"abc", params_k4, b"f")
+        too_big = (1 << (8 * params_k4.element_bytes()), *blocks[0].elements[1:])
+        corrupted = [Block(block_id=blocks[0].block_id, elements=too_big)] + blocks[1:]
+        with pytest.raises(ValueError):
+            decode_data(corrupted, params_k4)
+
+    @settings(max_examples=30)
+    @given(st.binary(max_size=300))
+    def test_round_trip_property(self, data):
+        from repro.core.params import setup
+        from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+        params = _cached_params()
+        blocks = encode_data(data, params, b"f")
+        assert decode_data(blocks, params) == data
+
+
+_PARAMS_CACHE = []
+
+
+def _cached_params():
+    if not _PARAMS_CACHE:
+        from repro.core.params import setup
+        from repro.pairing import toy_group
+
+        _PARAMS_CACHE.append(setup(toy_group(), k=3))
+    return _PARAMS_CACHE[0]
+
+
+class TestBlock:
+    def test_empty_block_rejected(self):
+        with pytest.raises(ValueError):
+            Block(block_id=b"x", elements=())
+
+    def test_block_is_frozen(self, params_k4):
+        block = encode_data(b"data", params_k4, b"f")[0]
+        with pytest.raises(Exception):
+            block.elements = ()
+
+
+class TestAggregateBlock:
+    def test_matches_formula(self, params_k4):
+        block = encode_data(b"some data here", params_k4, b"f")[0]
+        group = params_k4.group
+        expected = group.hash_to_g1(block.block_id)
+        for u, m in zip(params_k4.u, block.elements):
+            expected = expected * u**m
+        assert aggregate_block(params_k4, block) == expected
+
+    def test_wrong_width_rejected(self, params_k4):
+        bad = Block(block_id=b"x", elements=(1, 2))
+        with pytest.raises(ValueError):
+            aggregate_block(params_k4, bad)
+
+    def test_zero_elements_skip_exponentiation(self, params_k4):
+        zero_block = Block(block_id=b"z", elements=(0,) * params_k4.k)
+        assert aggregate_block(params_k4, zero_block) == params_k4.group.hash_to_g1(b"z")
+
+    def test_aggregate_is_linear_in_exponent(self, params_k4):
+        """The homomorphic property the Response algorithm relies on."""
+        group = params_k4.group
+        p = params_k4.order
+        b1 = Block(block_id=b"i1", elements=(1, 2, 3, 4))
+        b2 = Block(block_id=b"i2", elements=(5, 6, 7, 8))
+        beta1, beta2 = 11, 13
+        combined_elements = tuple((beta1 * a + beta2 * b) % p for a, b in zip(b1.elements, b2.elements))
+        lhs = aggregate_block(params_k4, b1) ** beta1 * aggregate_block(params_k4, b2) ** beta2
+        rhs = group.hash_to_g1(b"i1") ** beta1 * group.hash_to_g1(b"i2") ** beta2
+        for u, m in zip(params_k4.u, combined_elements):
+            rhs = rhs * u**m
+        assert lhs == rhs
+
+    def test_distinct_blocks_distinct_aggregates(self, params_k4):
+        blocks = encode_data(bytes(range(200)), params_k4, b"f")
+        aggregates = {aggregate_block(params_k4, b).to_bytes() for b in blocks}
+        assert len(aggregates) == len(blocks)

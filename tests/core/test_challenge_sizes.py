@@ -1,0 +1,54 @@
+"""Tests for challenge/response size accounting (paper Section VI-A2)."""
+
+import pytest
+
+from repro.core.challenge import Challenge, ProofResponse
+
+
+def _challenge(c, id_len=12, beta=1000):
+    return Challenge(
+        indices=tuple(range(c)),
+        block_ids=tuple(b"i" * id_len for _ in range(c)),
+        betas=tuple(beta + i for i in range(c)),
+    )
+
+
+class TestChallengeSizes:
+    def test_paper_size_formula(self):
+        ch = _challenge(10)
+        # c(|id| + |p|) with the default |id| = |p|.
+        assert ch.paper_size_bits(160) == 10 * (160 + 160)
+
+    def test_paper_size_custom_id_bits(self):
+        ch = _challenge(10)
+        assert ch.paper_size_bits(160, id_bits=20) == 10 * (20 + 160)
+
+    def test_wire_size_counts_actual_bytes(self):
+        ch = _challenge(4, id_len=5, beta=300)  # 300 -> 2 bytes each
+        assert ch.wire_size_bytes() == 4 * 5 + 4 * 2
+
+    def test_wire_size_minimum_one_byte_per_beta(self):
+        ch = Challenge(indices=(0,), block_ids=(b"x",), betas=(1,))
+        assert ch.wire_size_bytes() == 1 + 1
+
+    def test_len(self):
+        assert len(_challenge(7)) == 7
+
+
+class TestResponseSizes:
+    def test_paper_size_formula(self, group):
+        resp = ProofResponse(sigma=group.g1(), alphas=(1, 2, 3))
+        assert resp.paper_size_bits(160) == (3 + 1) * 160
+
+    def test_wire_size(self, group):
+        resp = ProofResponse(sigma=group.g1(), alphas=(1, 2, 3))
+        scalar = (group.order.bit_length() + 7) // 8
+        assert resp.wire_size_bytes() == len(group.g1().to_bytes()) + 3 * scalar
+
+    def test_response_constant_in_challenge_size(self, group):
+        """The PDP selling point: response size depends on k only."""
+        small = ProofResponse(sigma=group.g1(), alphas=tuple(range(4)))
+        # Response for a 10x bigger challenge has identical size.
+        assert small.paper_size_bits(160) == ProofResponse(
+            sigma=group.g1() ** 99, alphas=tuple(range(100, 104))
+        ).paper_size_bits(160)

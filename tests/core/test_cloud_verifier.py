@@ -1,0 +1,204 @@
+"""Tests for CloudServer (Response) and PublicVerifier (Challenge/Verify)."""
+
+import pytest
+
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.sem import SecurityMediator
+from repro.core.verifier import (
+    PublicVerifier,
+    blocks_needed_for_detection,
+    detection_probability,
+)
+
+
+@pytest.fixture()
+def deployment(group, params_k4, rng):
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+    owner = DataOwner(params_k4, sem.pk, rng=rng)
+    cloud = CloudServer(params_k4, org_pk=sem.pk, rng=rng)
+    verifier = PublicVerifier(params_k4, sem.pk, rng=rng)
+    signed = owner.sign_file(b"cloud stored shared data " * 10, b"file", sem)
+    cloud.store(signed)
+    return sem, owner, cloud, verifier, signed
+
+
+class TestChallengeGeneration:
+    def test_full_challenge(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert len(ch) == len(signed.blocks)
+        assert sorted(ch.indices) == list(range(len(signed.blocks)))
+
+    def test_sampled_challenge(self, deployment):
+        _, _, _, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), sample_size=3)
+        assert len(ch) == 3
+        assert all(0 <= i < len(signed.blocks) for i in ch.indices)
+
+    def test_sample_larger_than_n_clamps(self, deployment):
+        _, _, _, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), sample_size=10**6)
+        assert len(ch) == len(signed.blocks)
+
+    def test_small_exponent_challenge(self, deployment):
+        _, _, _, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), beta_bits=16)
+        assert all(0 < b < (1 << 16) for b in ch.betas)
+
+    def test_betas_nonzero(self, deployment):
+        _, _, _, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert all(b != 0 for b in ch.betas)
+
+    def test_challenge_validation(self):
+        with pytest.raises(ValueError):
+            Challenge(indices=(0, 0), block_ids=(b"a", b"b"), betas=(1, 2))
+        with pytest.raises(ValueError):
+            Challenge(indices=(0,), block_ids=(b"a", b"b"), betas=(1, 2))
+
+
+class TestResponseAndVerify:
+    def test_honest_proof_verifies(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_sampled_proof_verifies(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), sample_size=4)
+        assert verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_small_exponents_verify(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), beta_bits=16)
+        assert verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_single_block_challenge(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks), sample_size=1)
+        assert verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_empty_challenge_rejected(self, deployment, params_k4):
+        _, _, cloud, _, _ = deployment
+        empty = Challenge(indices=(), block_ids=(), betas=())
+        with pytest.raises(ValueError):
+            cloud.generate_proof(b"file", empty)
+
+    def test_wrong_alpha_count_rejected(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        proof = cloud.generate_proof(b"file", ch)
+        bad = ProofResponse(sigma=proof.sigma, alphas=proof.alphas[:-1])
+        assert not verifier.verify(ch, bad)
+
+
+class TestTamperDetection:
+    def test_tampered_block_detected(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        cloud.tamper_block(b"file", 2)
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert not verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_tampered_signature_detected(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        cloud.tamper_signature(b"file", 1)
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert not verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_dropped_block_detected(self, deployment):
+        _, _, cloud, verifier, signed = deployment
+        cloud.drop_block(b"file", 0)
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert not verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_unsampled_corruption_missed(self, deployment):
+        """Sampling that avoids the corrupt block accepts — by design."""
+        _, _, cloud, verifier, signed = deployment
+        last = len(signed.blocks) - 1
+        cloud.tamper_block(b"file", last)
+        ch = verifier.generate_challenge(b"file", last)  # never samples `last`
+        assert verifier.verify(ch, cloud.generate_proof(b"file", ch))
+
+    def test_forged_sigma_rejected(self, deployment, group):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        proof = cloud.generate_proof(b"file", ch)
+        forged = ProofResponse(sigma=group.random_g1(), alphas=proof.alphas)
+        assert not verifier.verify(ch, forged)
+
+    def test_shifted_alphas_rejected(self, deployment, params_k4):
+        _, _, cloud, verifier, signed = deployment
+        ch = verifier.generate_challenge(b"file", len(signed.blocks))
+        proof = cloud.generate_proof(b"file", ch)
+        shifted = (proof.alphas[-1],) + proof.alphas[:-1]
+        assert not verifier.verify(ch, ProofResponse(sigma=proof.sigma, alphas=shifted))
+
+    def test_replayed_response_fails_fresh_challenge(self, deployment):
+        """Fresh random betas make recorded responses worthless."""
+        _, _, cloud, verifier, signed = deployment
+        ch1 = verifier.generate_challenge(b"file", len(signed.blocks))
+        old = cloud.generate_proof(b"file", ch1)
+        ch2 = verifier.generate_challenge(b"file", len(signed.blocks))
+        assert ch1.betas != ch2.betas
+        assert not verifier.verify(ch2, old)
+
+
+class TestUploadAdmission:
+    def test_valid_upload_accepted(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        cloud = CloudServer(params_k4, org_pk=sem.pk, verify_on_upload=True, rng=rng)
+        cloud.store(owner.sign_file(b"data", b"f", sem))
+        assert cloud.has_file(b"f")
+
+    def test_forged_upload_rejected(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        impostor_sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, impostor_sem.pk, rng=rng)
+        cloud = CloudServer(params_k4, org_pk=sem.pk, verify_on_upload=True, rng=rng)
+        signed = owner.sign_file(b"data", b"f", impostor_sem)
+        with pytest.raises(PermissionError):
+            cloud.store(signed)
+
+    def test_verify_on_upload_requires_key(self, params_k4, rng):
+        cloud = CloudServer(params_k4, verify_on_upload=True, rng=rng)
+        sem = SecurityMediator(params_k4.group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        with pytest.raises(ValueError):
+            cloud.store(owner.sign_file(b"d", b"f", sem))
+
+    def test_storage_accounting(self, deployment, group):
+        _, _, cloud, _, signed = deployment
+        stored = cloud.retrieve(b"file")
+        assert stored.n_blocks == len(signed.blocks)
+        assert stored.signature_storage_bytes() == len(signed.blocks) * group.g1_element_bytes()
+        assert cloud.stored_files == 1
+
+
+class TestDetectionProbability:
+    def test_formula(self):
+        assert detection_probability(0.0, 100) == 0.0
+        assert detection_probability(1.0, 1) == 1.0
+        assert abs(detection_probability(0.01, 460) - (1 - 0.99**460)) < 1e-12
+
+    def test_paper_c460_claim(self):
+        """c = 460 detects 1% corruption with > 99% probability (Table II)."""
+        assert detection_probability(0.01, 460) > 0.99
+
+    def test_blocks_needed(self):
+        assert blocks_needed_for_detection(0.01, 0.99) == 459  # ceil(ln.01/ln.99)
+        assert detection_probability(0.01, blocks_needed_for_detection(0.01, 0.99)) >= 0.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detection_probability(-0.1, 10)
+        with pytest.raises(ValueError):
+            blocks_needed_for_detection(0.0, 0.5)
+        with pytest.raises(ValueError):
+            blocks_needed_for_detection(0.5, 1.0)
+
+    def test_monotonicity(self):
+        probs = [detection_probability(0.05, c) for c in (1, 10, 50, 100)]
+        assert probs == sorted(probs)

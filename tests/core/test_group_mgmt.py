@@ -1,0 +1,84 @@
+"""Dedicated tests for the group manager and credentials."""
+
+import pytest
+
+from repro.core.group_mgmt import GroupManager, MemberCredential
+from repro.core.sem import SecurityMediator
+
+
+class TestMemberCredential:
+    def test_fresh_tokens_distinct(self, rng):
+        assert MemberCredential.fresh(rng).token != MemberCredential.fresh(rng).token
+
+    def test_token_length(self, rng):
+        assert len(MemberCredential.fresh(rng).token) == 16
+
+    def test_system_randomness_path(self):
+        assert len(MemberCredential.fresh().token) == 16
+
+    def test_frozen(self, rng):
+        credential = MemberCredential.fresh(rng)
+        with pytest.raises(Exception):
+            credential.token = b"forged"
+
+
+class TestGroupManager:
+    def test_join_propagates_to_all_sems(self, group, rng):
+        sems = [SecurityMediator(group, rng=rng) for _ in range(3)]
+        manager = GroupManager(sems=sems, rng=rng)
+        credential = manager.join("alice")
+        assert all(sem.serves(credential) for sem in sems)
+
+    def test_late_registered_sem_learns_existing_members(self, group, rng):
+        manager = GroupManager(rng=rng)
+        credential = manager.join("alice")
+        late_sem = SecurityMediator(group, rng=rng)
+        manager.register_sem(late_sem)
+        assert late_sem.serves(credential)
+
+    def test_revocation_propagates(self, group, rng):
+        sems = [SecurityMediator(group, rng=rng) for _ in range(2)]
+        manager = GroupManager(sems=sems, rng=rng)
+        credential = manager.join("alice")
+        manager.revoke("alice")
+        assert not any(sem.serves(credential) for sem in sems)
+
+    def test_member_count_and_enrollment(self, rng):
+        manager = GroupManager(rng=rng)
+        manager.join("a")
+        manager.join("b")
+        assert manager.member_count == 2
+        assert manager.is_enrolled("a") and not manager.is_enrolled("c")
+
+    def test_double_join_rejected(self, rng):
+        manager = GroupManager(rng=rng)
+        manager.join("a")
+        with pytest.raises(ValueError):
+            manager.join("a")
+
+    def test_revoke_unknown_rejected(self, rng):
+        with pytest.raises(KeyError):
+            GroupManager(rng=rng).revoke("ghost")
+
+    def test_rejoin_after_revocation_gets_fresh_credential(self, group, rng):
+        sem = SecurityMediator(group, rng=rng)
+        manager = GroupManager(sems=[sem], rng=rng)
+        old = manager.join("alice")
+        manager.revoke("alice")
+        new = manager.join("alice")
+        assert new.token != old.token
+        assert sem.serves(new)
+        assert not sem.serves(old)  # the old credential stays dead
+
+    def test_manager_knows_identity_sems_do_not(self, group, rng):
+        """The accountability/anonymity split: only the manager can map a
+        credential back to a member id."""
+        sem = SecurityMediator(group, rng=rng)
+        manager = GroupManager(sems=[sem], rng=rng)
+        credential = manager.join("alice")
+        assert manager._members["alice"] == credential
+        # The SEM stores only raw tokens, no names anywhere.
+        assert credential.token in sem._members
+        assert not any(
+            isinstance(entry, str) for entry in sem._members
+        )

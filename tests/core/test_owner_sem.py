@@ -1,0 +1,148 @@
+"""Tests of the owner ↔ SEM signing workflow (Blind/Sign/Unblind)."""
+
+import pytest
+
+from repro.core.blocks import aggregate_block
+from repro.core.group_mgmt import MemberCredential
+from repro.core.owner import DataOwner
+from repro.core.sem import RevokedMemberError, SecurityMediator, UnknownMemberError
+from repro.crypto.bls import bls_verify_element
+
+
+@pytest.fixture()
+def sem(group, rng):
+    return SecurityMediator(group, rng=rng, require_membership=False)
+
+
+@pytest.fixture()
+def owner(params_k4, sem, rng):
+    return DataOwner(params_k4, sem.pk, rng=rng)
+
+
+class TestSignFile:
+    def test_signatures_verify_under_sem_key(self, params_k4, sem, owner):
+        signed = owner.sign_file(b"shared medical records " * 5, b"f1", sem)
+        for block, sig in zip(signed.blocks, signed.signatures):
+            element = aggregate_block(params_k4, block)
+            assert bls_verify_element(params_k4.group, sem.pk, element, sig)
+
+    def test_batch_and_nonbatch_agree(self, params_k4, sem, rng):
+        data = b"identical data"
+        o1 = DataOwner(params_k4, sem.pk, rng=rng)
+        batch = o1.sign_file(data, b"f", sem, batch=True)
+        nonbatch = o1.sign_file(data, b"f", sem, batch=False)
+        # Signatures are deterministic functions of (block, sk).
+        assert batch.signatures == nonbatch.signatures
+
+    def test_batch_verification_catches_bad_sem(self, params_k4, rng, group):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        sem.fail_mode = "byzantine"
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        with pytest.raises(ValueError):
+            owner.sign_file(b"data", b"f", sem, batch=True)
+
+    def test_per_signature_verification_catches_bad_sem(self, params_k4, rng, group):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        sem.fail_mode = "byzantine"
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        with pytest.raises(ValueError):
+            owner.sign_file(b"data", b"f", sem, batch=False)
+
+    def test_stats_accumulate(self, params_k4, sem, owner, group):
+        signed = owner.sign_file(b"x" * 300, b"f", sem)
+        n = len(signed.blocks)
+        element = group.g1_element_bytes()
+        assert owner.stats.blocks == n
+        assert owner.stats.bytes_to_sem == n * element
+        assert owner.stats.bytes_from_sem == n * element
+
+    def test_encryption_layer(self, params_k4, sem, owner):
+        key = bytes(32)
+        plaintext = b"secret patient data " * 4
+        signed = owner.sign_file(plaintext, b"f", sem, encrypt_key=key)
+        assert signed.encrypted and signed.nonce is not None
+        from repro.core.blocks import decode_data
+
+        stored = decode_data(list(signed.blocks), params_k4)
+        assert stored != plaintext
+        assert DataOwner.decrypt_file(stored, key, signed.nonce) == plaintext
+
+    def test_signed_file_invariant(self, params_k4, sem, owner):
+        signed = owner.sign_file(b"d", b"f", sem)
+        from repro.core.owner import SignedFile
+
+        with pytest.raises(ValueError):
+            SignedFile(file_id=b"f", blocks=signed.blocks, signatures=signed.signatures[:-1])
+
+
+class TestBlindUnblindPrimitives:
+    def test_blind_block_hides_aggregate(self, params_k4, owner):
+        from repro.core.blocks import encode_data
+
+        block = encode_data(b"data", params_k4, b"f")[0]
+        state = owner.blind_block(block)
+        assert state.blinded != aggregate_block(params_k4, block)
+
+    def test_unblind_checks_by_default(self, params_k4, sem, owner, group):
+        from repro.core.blocks import encode_data
+
+        block = encode_data(b"data", params_k4, b"f")[0]
+        state = owner.blind_block(block)
+        with pytest.raises(ValueError):
+            owner.unblind(state, group.random_g1(), check=True)
+
+
+class TestMembershipEnforcement:
+    def test_unknown_member_rejected(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng)  # membership required
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        with pytest.raises(UnknownMemberError):
+            owner.sign_file(b"data", b"f", sem)
+
+    def test_enrolled_member_accepted(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng)
+        credential = MemberCredential.fresh(rng)
+        sem.add_member(credential)
+        owner = DataOwner(params_k4, sem.pk, credential=credential, rng=rng)
+        signed = owner.sign_file(b"data", b"f", sem)
+        assert len(signed.signatures) == len(signed.blocks)
+
+    def test_revoked_member_rejected(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng)
+        credential = MemberCredential.fresh(rng)
+        sem.add_member(credential)
+        sem.remove_member(credential)
+        owner = DataOwner(params_k4, sem.pk, credential=credential, rng=rng)
+        with pytest.raises(RevokedMemberError):
+            owner.sign_file(b"data", b"f", sem)
+
+    def test_crashed_sem_raises_connection_error(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        sem.fail_mode = "crash"
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        with pytest.raises(ConnectionError):
+            owner.sign_file(b"data", b"f", sem)
+
+    def test_serves_predicate(self, group, rng):
+        sem = SecurityMediator(group, rng=rng)
+        credential = MemberCredential.fresh(rng)
+        assert not sem.serves(credential)
+        sem.add_member(credential)
+        assert sem.serves(credential)
+
+
+class TestSEMTranscript:
+    def test_transcript_contains_only_blinded_values(self, group, params_k4, rng):
+        """The SEM's view must not include any block aggregate."""
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        signed = owner.sign_file(b"private data " * 3, b"f", sem)
+        aggregates = {aggregate_block(params_k4, b).to_bytes() for b in signed.blocks}
+        seen = {entry.blinded.to_bytes() for entry in sem.transcript}
+        assert not aggregates & seen
+
+    def test_transcript_length(self, group, params_k4, rng):
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        signed = owner.sign_file(b"x" * 100, b"f", sem)
+        assert len(sem.transcript) == len(signed.blocks)

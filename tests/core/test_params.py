@@ -1,0 +1,51 @@
+"""Tests for Setup (system parameter generation)."""
+
+import pytest
+
+from repro.core.params import setup
+
+
+class TestSetup:
+    def test_k_elements_generated(self, group):
+        params = setup(group, k=6)
+        assert len(params.u) == 6
+        assert params.k == 6
+
+    def test_u_elements_distinct_and_nontrivial(self, group):
+        params = setup(group, k=8)
+        serialized = {u.to_bytes() for u in params.u}
+        assert len(serialized) == 8
+        assert all(not u.is_identity() for u in params.u)
+
+    def test_u_elements_in_subgroup(self, group):
+        params = setup(group, k=3)
+        assert all((u**group.order).is_identity() for u in params.u)
+
+    def test_deterministic_from_seed(self, group):
+        a = setup(group, k=3, seed=b"seed-1")
+        b = setup(group, k=3, seed=b"seed-1")
+        assert [u.to_bytes() for u in a.u] == [u.to_bytes() for u in b.u]
+
+    def test_different_seeds_differ(self, group):
+        a = setup(group, k=3, seed=b"seed-1")
+        b = setup(group, k=3, seed=b"seed-2")
+        assert a.u[0] != b.u[0]
+
+    def test_rejects_bad_k(self, group):
+        with pytest.raises(ValueError):
+            setup(group, k=0)
+
+    def test_order_property(self, group):
+        params = setup(group, k=1)
+        assert params.order == group.order
+
+    def test_element_and_block_bytes(self, group):
+        params = setup(group, k=5)
+        assert params.element_bytes() == (group.order.bit_length() - 1) // 8
+        assert params.block_bytes() == 5 * params.element_bytes()
+
+    def test_prefix_stability(self, group):
+        """u_1..u_k are a prefix of u_1..u_{k+1} (same derivation)."""
+        small = setup(group, k=2, seed=b"s")
+        large = setup(group, k=4, seed=b"s")
+        assert [u.to_bytes() for u in small.u] == [u.to_bytes() for u in large.u[:2]]

@@ -1,0 +1,66 @@
+"""Robustness fuzzing of the binary codecs: malformed input must fail
+with ValueError — never crash with arbitrary exceptions or loop forever."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.serial import (
+    decode_challenge,
+    decode_response,
+    decode_signed_file,
+)
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+
+class TestCodecFuzz:
+    @_SETTINGS
+    @given(st.binary(max_size=200))
+    def test_signed_file_decoder_never_crashes(self, params_k4, data):
+        try:
+            decode_signed_file(data, params_k4)
+        except ValueError:
+            pass  # the only acceptable failure mode
+
+    @_SETTINGS
+    @given(st.binary(max_size=200))
+    def test_challenge_decoder_never_crashes(self, params_k4, data):
+        try:
+            decode_challenge(data, params_k4)
+        except ValueError:
+            pass
+
+    @_SETTINGS
+    @given(st.binary(max_size=200))
+    def test_response_decoder_never_crashes(self, params_k4, data):
+        try:
+            decode_response(data, params_k4)
+        except ValueError:
+            pass
+
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(st.binary(min_size=1, max_size=40), st.integers(0, 60))
+    def test_bitflips_in_valid_encoding_rejected_or_roundtrip(
+        self, group, params_k4, rng, payload, flip_at
+    ):
+        """Flipping a byte of a valid encoding either fails cleanly or
+        still decodes to *some* structurally valid object (it must never
+        crash)."""
+        from repro.core.owner import DataOwner
+        from repro.core.sem import SecurityMediator
+        from repro.core.serial import encode_signed_file
+
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        signed = owner.sign_file(payload, b"fz", sem)
+        data = bytearray(encode_signed_file(signed, params_k4))
+        data[flip_at % len(data)] ^= 0x5A
+        try:
+            decode_signed_file(bytes(data), params_k4)
+        except ValueError:
+            pass

@@ -1,0 +1,109 @@
+"""Tests for BLS signatures."""
+
+import pytest
+
+from repro.crypto.bls import (
+    bls_aggregate,
+    bls_batch_verify,
+    bls_keygen,
+    bls_sign,
+    bls_sign_element,
+    bls_verify,
+    bls_verify_element,
+)
+
+
+class TestSignVerify:
+    def test_round_trip(self, group, rng):
+        kp = bls_keygen(group, rng)
+        sig = bls_sign(group, kp.sk, b"message")
+        assert bls_verify(group, kp.pk, b"message", sig)
+
+    def test_wrong_message_rejected(self, group, rng):
+        kp = bls_keygen(group, rng)
+        sig = bls_sign(group, kp.sk, b"message")
+        assert not bls_verify(group, kp.pk, b"other", sig)
+
+    def test_wrong_key_rejected(self, group, rng):
+        kp1 = bls_keygen(group, rng)
+        kp2 = bls_keygen(group, rng)
+        sig = bls_sign(group, kp1.sk, b"message")
+        assert not bls_verify(group, kp2.pk, b"message", sig)
+
+    def test_tampered_signature_rejected(self, group, rng):
+        kp = bls_keygen(group, rng)
+        sig = bls_sign(group, kp.sk, b"message") * group.g1()
+        assert not bls_verify(group, kp.pk, b"message", sig)
+
+    def test_identity_signature_rejected(self, group, rng):
+        kp = bls_keygen(group, rng)
+        assert not bls_verify(group, kp.pk, b"message", group.g1_identity())
+
+    def test_sign_element_form(self, group, rng):
+        kp = bls_keygen(group, rng)
+        element = group.random_g1(rng)
+        sig = bls_sign_element(element, kp.sk)
+        assert bls_verify_element(group, kp.pk, element, sig)
+
+    def test_keygen_distinct(self, group, rng):
+        assert bls_keygen(group, rng).sk != bls_keygen(group, rng).sk
+
+    def test_determinism(self, group, rng):
+        kp = bls_keygen(group, rng)
+        assert bls_sign(group, kp.sk, b"m") == bls_sign(group, kp.sk, b"m")
+
+
+class TestAggregation:
+    def test_aggregate_same_key(self, group, rng):
+        kp = bls_keygen(group, rng)
+        msgs = [b"m1", b"m2", b"m3"]
+        sigs = [bls_sign(group, kp.sk, m) for m in msgs]
+        agg_sig = bls_aggregate(sigs)
+        agg_elt = group.hash_to_g1(b"m1") * group.hash_to_g1(b"m2") * group.hash_to_g1(b"m3")
+        assert bls_verify_element(group, kp.pk, agg_elt, agg_sig)
+
+    def test_aggregate_empty_raises(self):
+        with pytest.raises(ValueError):
+            bls_aggregate([])
+
+    def test_aggregate_single(self, group, rng):
+        kp = bls_keygen(group, rng)
+        sig = bls_sign(group, kp.sk, b"x")
+        assert bls_aggregate([sig]) == sig
+
+
+class TestBatchVerify:
+    def test_valid_batch(self, group, rng):
+        kp = bls_keygen(group, rng)
+        elements = [group.random_g1(rng) for _ in range(5)]
+        sigs = [bls_sign_element(e, kp.sk) for e in elements]
+        assert bls_batch_verify(group, kp.pk, elements, sigs, rng)
+
+    def test_one_bad_signature_detected(self, group, rng):
+        kp = bls_keygen(group, rng)
+        elements = [group.random_g1(rng) for _ in range(5)]
+        sigs = [bls_sign_element(e, kp.sk) for e in elements]
+        sigs[2] = sigs[2] * group.g1()
+        assert not bls_batch_verify(group, kp.pk, elements, sigs, rng)
+
+    def test_swapped_signatures_detected(self, group, rng):
+        """Unrandomized batch checks accept swapped sigs; ours must not."""
+        kp = bls_keygen(group, rng)
+        elements = [group.random_g1(rng) for _ in range(3)]
+        sigs = [bls_sign_element(e, kp.sk) for e in elements]
+        sigs[0], sigs[1] = sigs[1], sigs[0]
+        assert not bls_batch_verify(group, kp.pk, elements, sigs, rng)
+
+    def test_empty_batch_true(self, group, rng):
+        kp = bls_keygen(group, rng)
+        assert bls_batch_verify(group, kp.pk, [], [], rng)
+
+    def test_length_mismatch(self, group, rng):
+        kp = bls_keygen(group, rng)
+        with pytest.raises(ValueError):
+            bls_batch_verify(group, kp.pk, [group.g1()], [], rng)
+
+    def test_batch_of_one(self, group, rng):
+        kp = bls_keygen(group, rng)
+        e = group.random_g1(rng)
+        assert bls_batch_verify(group, kp.pk, [e], [bls_sign_element(e, kp.sk)], rng)

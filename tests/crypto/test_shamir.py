@@ -1,0 +1,124 @@
+"""Tests for (w, t)-Shamir secret sharing."""
+
+import random
+from itertools import combinations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import ShamirShare, recover_secret, split_secret
+
+P = 2**61 - 1
+
+
+class TestSplitRecover:
+    def test_basic_round_trip(self):
+        rng = random.Random(1)
+        shares = split_secret(42, w=5, t=3, p=P, rng=rng)
+        assert recover_secret(shares[:3], P) == 42
+
+    def test_any_t_subset_recovers(self):
+        rng = random.Random(2)
+        secret = rng.randrange(P)
+        shares = split_secret(secret, w=5, t=3, p=P, rng=rng)
+        for subset in combinations(shares, 3):
+            assert recover_secret(list(subset), P) == secret
+
+    def test_more_than_t_recovers(self):
+        rng = random.Random(3)
+        shares = split_secret(7, w=5, t=3, p=P, rng=rng)
+        assert recover_secret(shares, P) == 7
+
+    def test_paper_w_2t_minus_1(self):
+        # The paper's deployment: w = 2t − 1.
+        rng = random.Random(4)
+        for t in (2, 3, 4):
+            w = 2 * t - 1
+            shares = split_secret(99, w=w, t=t, p=P, rng=rng)
+            assert len(shares) == w
+            assert recover_secret(shares[-t:], P) == 99
+
+    def test_t_equals_1(self):
+        rng = random.Random(5)
+        shares = split_secret(13, w=3, t=1, p=P, rng=rng)
+        for s in shares:
+            assert recover_secret([s], P) == 13
+            assert s.y == 13  # degree-0 polynomial
+
+    def test_t_equals_w(self):
+        rng = random.Random(6)
+        shares = split_secret(5, w=4, t=4, p=P, rng=rng)
+        assert recover_secret(shares, P) == 5
+
+    def test_custom_abscissae(self):
+        rng = random.Random(7)
+        xs = [10, 20, 30]
+        shares = split_secret(77, w=3, t=2, p=P, rng=rng, xs=xs)
+        assert [s.x for s in shares] == xs
+        assert recover_secret(shares[:2], P) == 77
+
+    @settings(max_examples=25)
+    @given(st.integers(0, P - 1))
+    def test_property_round_trip(self, secret):
+        rng = random.Random(secret & 0xFFFF)
+        shares = split_secret(secret, w=7, t=4, p=P, rng=rng)
+        picked = rng.sample(shares, 4)
+        assert recover_secret(picked, P) == secret
+
+
+class TestSecrecy:
+    def test_fewer_than_t_shares_give_wrong_value(self):
+        """t−1 shares interpolate to something unrelated to the secret."""
+        rng = random.Random(8)
+        misses = 0
+        for trial in range(20):
+            secret = rng.randrange(P)
+            shares = split_secret(secret, w=5, t=3, p=P, rng=rng)
+            guess = recover_secret(shares[:2], P)
+            if guess != secret:
+                misses += 1
+        assert misses >= 19  # hitting the secret has probability ~1/p
+
+    def test_t_minus_1_shares_consistent_with_any_secret(self):
+        """Information-theoretic secrecy: for any candidate secret there is
+        a polynomial matching the observed t−1 shares."""
+        rng = random.Random(9)
+        shares = split_secret(1234, w=3, t=2, p=P, rng=rng)
+        observed = shares[0]
+        for candidate in (0, 1, 999, P - 1):
+            # A line through (0, candidate) and observed always exists.
+            slope = (observed.y - candidate) * pow(observed.x, -1, P) % P
+            assert (candidate + slope * observed.x) % P == observed.y
+
+
+class TestValidation:
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            split_secret(1, w=3, t=0, p=P)
+        with pytest.raises(ValueError):
+            split_secret(1, w=3, t=4, p=P)
+
+    def test_field_too_small(self):
+        with pytest.raises(ValueError):
+            split_secret(1, w=7, t=2, p=7)
+
+    def test_duplicate_abscissae(self):
+        with pytest.raises(ValueError):
+            split_secret(1, w=2, t=2, p=P, xs=[1, 1])
+
+    def test_zero_abscissa_rejected(self):
+        with pytest.raises(ValueError):
+            split_secret(1, w=2, t=2, p=P, xs=[0, 1])
+
+    def test_wrong_xs_count(self):
+        with pytest.raises(ValueError):
+            split_secret(1, w=3, t=2, p=P, xs=[1, 2])
+
+    def test_recover_empty(self):
+        with pytest.raises(ValueError):
+            recover_secret([], P)
+
+    def test_share_as_point(self):
+        s = ShamirShare(3, 9)
+        assert s.as_point() == (3, 9)

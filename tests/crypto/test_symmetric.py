@@ -1,0 +1,102 @@
+"""Tests for the from-scratch ChaCha20 implementation (RFC 8439)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.symmetric import ChaCha20, _quarter_round, chacha20_decrypt, chacha20_encrypt
+
+KEY = bytes(range(32))
+NONCE = bytes(12)
+
+
+class TestRfc8439Vectors:
+    def test_quarter_round_vector(self):
+        # RFC 8439 section 2.1.1.
+        state = [0x11111111, 0x01020304, 0x9B8D6F43, 0x01234567] + [0] * 12
+        _quarter_round(state, 0, 1, 2, 3)
+        assert state[0] == 0xEA2A92F4
+        assert state[1] == 0xCB1CF8CE
+        assert state[2] == 0x4581472E
+        assert state[3] == 0x5881C4BB
+
+    def test_block_function_vector(self):
+        # RFC 8439 section 2.3.2: key 00..1f, nonce 000000090000004a00000000,
+        # counter 1.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        cipher = ChaCha20(key, nonce, initial_counter=1)
+        block = cipher._block(1)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption_vector(self):
+        # RFC 8439 section 2.4.2.
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        ciphertext = chacha20_encrypt(key, nonce, plaintext, counter=1)
+        assert ciphertext[:16] == bytes.fromhex("6e2e359a2568f98041ba0728dd0d6981")
+        assert ciphertext[-16:] == bytes.fromhex("0bbf74a35be6b40b8eedf2785e42874d")
+        assert len(ciphertext) == 114
+
+
+class TestRoundTrip:
+    def test_encrypt_decrypt(self):
+        pt = b"the paper's data privacy layer" * 10
+        ct = chacha20_encrypt(KEY, NONCE, pt)
+        assert ct != pt
+        assert chacha20_decrypt(KEY, NONCE, ct) == pt
+
+    def test_empty(self):
+        assert chacha20_encrypt(KEY, NONCE, b"") == b""
+
+    def test_exact_block_boundary(self):
+        for size in (63, 64, 65, 128, 129):
+            pt = bytes(size)
+            assert len(chacha20_encrypt(KEY, NONCE, pt)) == size
+            assert chacha20_decrypt(KEY, NONCE, chacha20_encrypt(KEY, NONCE, pt)) == pt
+
+    @given(st.binary(max_size=500))
+    def test_round_trip_property(self, pt):
+        assert chacha20_decrypt(KEY, NONCE, chacha20_encrypt(KEY, NONCE, pt)) == pt
+
+    def test_wrong_key_garbles(self):
+        pt = b"sensitive health record"
+        ct = chacha20_encrypt(KEY, NONCE, pt)
+        other = bytes([KEY[0] ^ 1]) + KEY[1:]
+        assert chacha20_decrypt(other, NONCE, ct) != pt
+
+    def test_nonce_matters(self):
+        pt = b"same plaintext"
+        n2 = bytes(11) + b"\x01"
+        assert chacha20_encrypt(KEY, NONCE, pt) != chacha20_encrypt(KEY, n2, pt)
+
+    def test_counter_offset(self):
+        pt = bytes(128)
+        full = chacha20_encrypt(KEY, NONCE, pt, counter=1)
+        tail = chacha20_encrypt(KEY, NONCE, pt[64:], counter=2)
+        assert full[64:] == tail
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(b"short", NONCE)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            ChaCha20(KEY, b"short")
+
+    def test_keystream_length(self):
+        c = ChaCha20(KEY, NONCE)
+        for n in (0, 1, 63, 64, 65, 200):
+            assert len(c.keystream(n)) == n

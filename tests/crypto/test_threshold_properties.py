@@ -1,0 +1,82 @@
+"""Property-based tests for threshold blind BLS (hypothesis)."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.shamir import recover_secret
+from repro.crypto.threshold import combine_shares, distribute_key, sign_share
+from repro.pairing import toy_group
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+
+
+@pytest.fixture(scope="module")
+def env():
+    group = toy_group()
+    rng = random.Random(0xA11CE)
+    return group, rng
+
+
+class TestThresholdProperties:
+    @_SETTINGS
+    @given(data=st.data())
+    def test_any_t_of_w_reconstructs(self, env, data):
+        group, rng = env
+        t = data.draw(st.integers(1, 4))
+        w = data.draw(st.integers(t, t + 4))
+        keys = distribute_key(group, w, t, rng=rng)
+        blinded = group.random_g1(rng)
+        master_sk = recover_secret(keys.shares[:t], group.order)
+        expected = blinded**master_sk
+        subset = data.draw(
+            st.sets(st.integers(0, w - 1), min_size=t, max_size=t)
+        )
+        shares = [(keys.shares[j].x, sign_share(blinded, keys.shares[j])) for j in subset]
+        assert combine_shares(group, shares) == expected
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_combination_order_irrelevant(self, env, data):
+        group, rng = env
+        keys = distribute_key(group, 5, 3, rng=rng)
+        blinded = group.random_g1(rng)
+        indices = [0, 2, 4]
+        shares = [(keys.shares[j].x, sign_share(blinded, keys.shares[j])) for j in indices]
+        shuffled = list(shares)
+        data.draw(st.randoms(use_true_random=False)).shuffle(shuffled)
+        assert combine_shares(group, shares) == combine_shares(group, shuffled)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_one_wrong_share_breaks_combination(self, env, data):
+        group, rng = env
+        keys = distribute_key(group, 5, 3, rng=rng)
+        blinded = group.random_g1(rng)
+        master_sk = recover_secret(keys.shares[:3], group.order)
+        expected = blinded**master_sk
+        bad_position = data.draw(st.integers(0, 2))
+        shares = []
+        for position, share in enumerate(keys.shares[:3]):
+            signature = sign_share(blinded, share)
+            if position == bad_position:
+                signature = signature * group.g1()
+            shares.append((share.x, signature))
+        assert combine_shares(group, shares) != expected
+
+    @_SETTINGS
+    @given(st.integers(1, 2**30))
+    def test_share_signing_is_homomorphic(self, env, exponent):
+        """sign_share(m^e) == sign_share(m)^e — the linearity the blind
+        protocol and the batch checks both lean on."""
+        group, rng = env
+        keys = distribute_key(group, 3, 2, rng=rng)
+        m = group.random_g1(rng)
+        share = keys.shares[0]
+        assert sign_share(m**exponent, share) == sign_share(m, share) ** exponent

@@ -1,0 +1,108 @@
+"""Tests for fixed-base precomputed exponentiation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import aggregate_block, encode_data
+from repro.ec.fixed_base import FixedBaseTable, aggregate_with_tables, build_tables
+
+
+@pytest.fixture(scope="module")
+def table(group):
+    import random
+
+    base = group.g1() ** random.Random(3).randrange(2, group.order)
+    return base, FixedBaseTable(base, group.order.bit_length(), window=4)
+
+
+class TestFixedBaseTable:
+    def test_matches_plain_pow(self, group, table):
+        base, t = table
+        for e in (1, 2, 3, 15, 16, 17, 255, 0xDEADBEEF, group.order - 1):
+            assert t.power(e) == base**e
+
+    def test_zero_exponent(self, group, table):
+        _, t = table
+        assert t.power(0).is_identity()
+
+    def test_exponent_reduced_mod_order(self, group, table):
+        base, t = table
+        assert t.power(group.order + 7) == base**7
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 2**64 - 1))
+    def test_property_matches_pow(self, e):
+        import random
+
+        from repro.pairing import toy_group
+
+        group = toy_group()
+        base = group.g1() ** 12345
+        t = _cached_table(group, base)
+        assert t.power(e) == base**e
+
+    def test_window_sizes(self, group):
+        base = group.g1() ** 777
+        bits = group.order.bit_length()
+        for window in (1, 2, 3, 5, 8):
+            t = FixedBaseTable(base, bits, window=window)
+            assert t.power(0xABCDEF) == base**0xABCDEF
+
+    def test_bad_window(self, group):
+        with pytest.raises(ValueError):
+            FixedBaseTable(group.g1(), 64, window=0)
+
+    def test_storage_accounting(self, group):
+        t = FixedBaseTable(group.g1(), 64, window=4)
+        assert t.digits == 16
+        assert t.storage_points() == 16 * 15
+
+    def test_uses_no_exponentiations(self, group, table):
+        """The whole point: powers come out as multiplications only."""
+        from repro.pairing.interface import OperationCounter
+
+        _, t = table
+        counter = OperationCounter()
+        group.attach_counter(counter)
+        try:
+            t.power(0x123456789ABCDEF)
+        finally:
+            group.detach_counter()
+        assert counter.exp_g1 == 0
+        assert counter.mul_g1 > 0
+
+
+_TABLE_CACHE = {}
+
+
+def _cached_table(group, base):
+    key = base.to_bytes()
+    if key not in _TABLE_CACHE:
+        _TABLE_CACHE[key] = FixedBaseTable(base, group.order.bit_length(), window=4)
+    return _TABLE_CACHE[key]
+
+
+class TestAggregateWithTables:
+    def test_matches_plain_aggregate(self, params_k4):
+        tables = build_tables(list(params_k4.u), params_k4.order.bit_length())
+        for block in encode_data(bytes(range(1, 150)), params_k4, b"f"):
+            assert aggregate_with_tables(params_k4, block, tables) == aggregate_block(
+                params_k4, block
+            )
+
+    def test_wrong_table_count(self, params_k4):
+        tables = build_tables(list(params_k4.u[:-1]), params_k4.order.bit_length())
+        block = encode_data(b"x", params_k4, b"f")[0]
+        with pytest.raises(ValueError):
+            aggregate_with_tables(params_k4, block, tables)
+
+    def test_signatures_from_fast_aggregates_verify(self, group, params_k4, rng):
+        """Fast aggregation composes with the full signing pipeline."""
+        from repro.crypto.bls import bls_keygen, bls_verify_element
+
+        kp = bls_keygen(group, rng)
+        tables = build_tables(list(params_k4.u), params_k4.order.bit_length())
+        block = encode_data(b"fast path", params_k4, b"f")[0]
+        element = aggregate_with_tables(params_k4, block, tables)
+        assert bls_verify_element(group, kp.pk, element, element**kp.sk)

@@ -1,0 +1,105 @@
+"""Tests for wNAF and multi-scalar multiplication."""
+
+import random
+
+import pytest
+
+from repro.ec.curve import EllipticCurve
+from repro.ec.scalar_mul import _wnaf_digits, multi_scalar_mul, scalar_mul_wnaf
+from repro.mathkit.field import PrimeField
+
+F = PrimeField(1000003)
+CURVE = EllipticCurve(F(2), F(3), F(0))
+
+
+def _find_point():
+    from repro.mathkit.ntheory import sqrt_mod
+
+    for x in range(1, 1000):
+        rhs = (x**3 + 2 * x + 3) % 1000003
+        y = sqrt_mod(rhs, 1000003)
+        if y is not None:
+            return CURVE.point(F(x), F(y))
+    raise AssertionError("no point found")
+
+
+P_BASE = _find_point()
+
+
+class TestWnafDigits:
+    def test_zero(self):
+        assert _wnaf_digits(0, 4) == []
+
+    def test_reconstruction(self):
+        rng = random.Random(2)
+        for _ in range(50):
+            n = rng.getrandbits(64)
+            for width in (2, 3, 4, 5):
+                digits = _wnaf_digits(n, width)
+                assert sum(d << i for i, d in enumerate(digits)) == n
+
+    def test_nonzero_digits_are_odd(self):
+        digits = _wnaf_digits(0xDEADBEEF, 4)
+        assert all(d % 2 == 1 for d in digits if d != 0)
+
+    def test_digit_bounds(self):
+        for width in (2, 3, 4, 5):
+            digits = _wnaf_digits(0xABCDEF0123456789, width)
+            half = 1 << (width - 1)
+            assert all(-half < d < half for d in digits)
+
+
+class TestWnafMul:
+    @pytest.mark.parametrize("n", [0, 1, 2, 3, 7, 16, 255, 12345, 999331])
+    def test_matches_double_and_add(self, n):
+        assert scalar_mul_wnaf(P_BASE, n) == n * P_BASE
+
+    def test_random_scalars(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            n = rng.getrandbits(40)
+            assert scalar_mul_wnaf(P_BASE, n) == n * P_BASE
+
+    def test_negative(self):
+        assert scalar_mul_wnaf(P_BASE, -17) == (-17) * P_BASE
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 6])
+    def test_widths(self, width):
+        assert scalar_mul_wnaf(P_BASE, 987654321, width=width) == 987654321 * P_BASE
+
+
+class TestMultiScalarMul:
+    def test_matches_naive(self):
+        rng = random.Random(5)
+        points = [n * P_BASE for n in (1, 2, 5, 11)]
+        scalars = [rng.getrandbits(30) for _ in points]
+        expected = CURVE.infinity()
+        for pt, sc in zip(points, scalars):
+            expected = expected + sc * pt
+        assert multi_scalar_mul(points, scalars) == expected
+
+    def test_single_term(self):
+        assert multi_scalar_mul([P_BASE], [7]) == 7 * P_BASE
+
+    def test_zero_scalars(self):
+        assert multi_scalar_mul([P_BASE, P_BASE], [0, 0]).infinity
+
+    def test_negative_scalars(self):
+        assert multi_scalar_mul([P_BASE, 2 * P_BASE], [-3, 5]) == (-3) * P_BASE + 10 * P_BASE
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            multi_scalar_mul([P_BASE], [1, 2])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            multi_scalar_mul([], [])
+
+    def test_many_terms(self):
+        rng = random.Random(6)
+        points = [n * P_BASE for n in range(1, 33)]
+        scalars = [rng.getrandbits(20) for _ in points]
+        expected = CURVE.infinity()
+        for pt, sc in zip(points, scalars):
+            expected = expected + sc * pt
+        assert multi_scalar_mul(points, scalars) == expected

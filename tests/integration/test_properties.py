@@ -1,0 +1,148 @@
+"""Property-based tests of protocol-level invariants (hypothesis).
+
+These complement the example-based unit tests with randomized structure:
+arbitrary payloads, arbitrary challenge subsets, arbitrary tamper
+positions — the invariants must hold for all of them.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import make_block_id
+from repro.core.challenge import Challenge
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.params import setup
+from repro.core.sem import SecurityMediator
+from repro.core.verifier import PublicVerifier
+from repro.pairing import toy_group
+
+_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class _Deployment:
+    """One shared deployment; hypothesis draws payloads/subsets against it."""
+
+    def __init__(self):
+        rng = random.Random(77)
+        self.group = toy_group()
+        self.params = setup(self.group, k=3)
+        self.sem = SecurityMediator(self.group, rng=rng, require_membership=False)
+        self.owner = DataOwner(self.params, self.sem.pk, rng=rng)
+        self.cloud = CloudServer(self.params, rng=rng)
+        self.verifier = PublicVerifier(self.params, self.sem.pk, rng=rng)
+        self.rng = rng
+
+
+@pytest.fixture(scope="module")
+def dep():
+    return _Deployment()
+
+
+class TestArbitraryPayloads:
+    @_SETTINGS
+    @given(data=st.binary(min_size=0, max_size=400))
+    def test_any_payload_signs_and_audits(self, dep, data):
+        fid = b"prop-%d" % (hash(data) & 0xFFFF)
+        signed = dep.owner.sign_file(data, fid, dep.sem)
+        dep.cloud.store(signed)
+        ch = dep.verifier.generate_challenge(fid, len(signed.blocks))
+        assert dep.verifier.verify(ch, dep.cloud.generate_proof(fid, ch))
+
+    @_SETTINGS
+    @given(data=st.binary(min_size=1, max_size=300), key=st.binary(min_size=32, max_size=32))
+    def test_encrypting_never_breaks_audits(self, dep, data, key):
+        fid = b"enc-%d" % (hash((data, key)) & 0xFFFF)
+        signed = dep.owner.sign_file(data, fid, dep.sem, encrypt_key=key)
+        dep.cloud.store(signed)
+        ch = dep.verifier.generate_challenge(fid, len(signed.blocks))
+        assert dep.verifier.verify(ch, dep.cloud.generate_proof(fid, ch))
+
+
+class TestArbitraryChallenges:
+    @pytest.fixture(scope="class")
+    def stored(self, dep):
+        data = bytes(range(1, 250))
+        signed = dep.owner.sign_file(data, b"fixed", dep.sem)
+        dep.cloud.store(signed)
+        return len(signed.blocks)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_any_subset_any_betas_verifies(self, dep, stored, data):
+        n = stored
+        size = data.draw(st.integers(1, n))
+        indices = sorted(data.draw(
+            st.sets(st.integers(0, n - 1), min_size=size, max_size=size)
+        ))
+        betas = [
+            data.draw(st.integers(1, dep.params.order - 1)) for _ in indices
+        ]
+        ch = Challenge(
+            indices=tuple(indices),
+            block_ids=tuple(make_block_id(b"fixed", i) for i in indices),
+            betas=tuple(betas),
+        )
+        assert dep.verifier.verify(ch, dep.cloud.generate_proof(b"fixed", ch))
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_challenged_tamper_always_detected(self, dep, stored, data):
+        """If the tampered block IS challenged, detection is certain."""
+        n = stored
+        victim = data.draw(st.integers(0, n - 1))
+        fid = b"victim-%d" % victim
+        payload = bytes(range(1, 250))
+        signed = dep.owner.sign_file(payload, fid, dep.sem)
+        dep.cloud.store(signed)
+        dep.cloud.tamper_block(fid, victim)
+        others = data.draw(st.sets(st.integers(0, n - 1), max_size=3))
+        indices = sorted(others | {victim})
+        ch = Challenge(
+            indices=tuple(indices),
+            block_ids=tuple(make_block_id(fid, i) for i in indices),
+            betas=tuple(
+                data.draw(st.integers(1, dep.params.order - 1)) for _ in indices
+            ),
+        )
+        assert not dep.verifier.verify(ch, dep.cloud.generate_proof(fid, ch))
+
+
+class TestResponseLinearity:
+    """The algebraic heart of PDP: responses are linear in the challenge."""
+
+    @pytest.fixture(scope="class")
+    def stored(self, dep):
+        signed = dep.owner.sign_file(bytes(range(1, 200)), b"lin", dep.sem)
+        dep.cloud.store(signed)
+        return len(signed.blocks)
+
+    @_SETTINGS
+    @given(data=st.data())
+    def test_merging_challenges_merges_responses(self, dep, stored, data):
+        """proof(β) * proof(β') == proof(β + β') for same-index challenges."""
+        n = stored
+        indices = tuple(sorted(data.draw(
+            st.sets(st.integers(0, n - 1), min_size=1, max_size=4)
+        )))
+        ids = tuple(make_block_id(b"lin", i) for i in indices)
+        p = dep.params.order
+        betas1 = tuple(data.draw(st.integers(1, p - 1)) for _ in indices)
+        betas2 = tuple(data.draw(st.integers(1, p - 1)) for _ in indices)
+        merged = tuple((a + b) % p for a, b in zip(betas1, betas2))
+        if any(b == 0 for b in merged):
+            return  # Challenge requires nonzero betas; skip the null case
+        r1 = dep.cloud.generate_proof(b"lin", Challenge(indices, ids, betas1))
+        r2 = dep.cloud.generate_proof(b"lin", Challenge(indices, ids, betas2))
+        rm = dep.cloud.generate_proof(b"lin", Challenge(indices, ids, merged))
+        assert rm.sigma == r1.sigma * r2.sigma
+        assert rm.alphas == tuple(
+            (a + b) % p for a, b in zip(r1.alphas, r2.alphas)
+        )

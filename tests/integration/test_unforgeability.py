@@ -1,0 +1,138 @@
+"""Consolidated unforgeability negatives: everything an adversary without
+the signing key might plausibly try, against every verification path."""
+
+import pytest
+
+from repro.core.blocks import Block, aggregate_block, make_block_id
+from repro.core.challenge import Challenge, ProofResponse
+from repro.core.cloud import CloudServer
+from repro.core.owner import DataOwner
+from repro.core.sem import SecurityMediator
+from repro.core.verifier import PublicVerifier
+
+
+@pytest.fixture()
+def world(group, params_k4, rng):
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+    owner = DataOwner(params_k4, sem.pk, rng=rng)
+    cloud = CloudServer(params_k4, rng=rng)
+    verifier = PublicVerifier(params_k4, sem.pk, rng=rng)
+    signed = owner.sign_file(bytes(range(1, 200)), b"f", sem)
+    cloud.store(signed)
+    return sem, owner, cloud, verifier, signed
+
+
+class TestSignatureForgeries:
+    def test_signature_transplant_between_blocks(self, world, params_k4, rng):
+        """Valid signatures are bound to their block: swapping two stored
+        signatures breaks every challenge touching either block."""
+        _, _, cloud, verifier, signed = world
+        stored = cloud.retrieve(b"f")
+        stored.signatures[0], stored.signatures[1] = (
+            stored.signatures[1],
+            stored.signatures[0],
+        )
+        ch = verifier.generate_challenge(b"f", stored.n_blocks)
+        assert not verifier.verify(ch, cloud.generate_proof(b"f", ch))
+
+    def test_signature_reuse_across_files(self, world, params_k4, rng):
+        """A signature from file f cannot vouch for the same bytes in g
+        (H(id) binds the file id)."""
+        sem, owner, cloud, verifier, signed = world
+        fake_blocks = [
+            Block(block_id=make_block_id(b"g", i), elements=b.elements)
+            for i, b in enumerate(signed.blocks)
+        ]
+        from repro.core.owner import SignedFile
+
+        forged = SignedFile(
+            file_id=b"g", blocks=tuple(fake_blocks), signatures=signed.signatures
+        )
+        cloud.store(forged)
+        ch = verifier.generate_challenge(b"g", len(fake_blocks))
+        assert not verifier.verify(ch, cloud.generate_proof(b"g", ch))
+
+    def test_scaled_signature_rejected(self, world, params_k4, rng, group):
+        _, _, cloud, verifier, signed = world
+        ch = verifier.generate_challenge(b"f", len(signed.blocks), sample_size=2)
+        proof = cloud.generate_proof(b"f", ch)
+        scaled = ProofResponse(sigma=proof.sigma**2, alphas=proof.alphas)
+        assert not verifier.verify(ch, scaled)
+        doubled_alphas = tuple(2 * a % params_k4.order for a in proof.alphas)
+        # Scaling sigma AND alphas still fails: H(id)^beta terms don't scale.
+        both = ProofResponse(sigma=proof.sigma**2, alphas=doubled_alphas)
+        assert not verifier.verify(ch, both)
+
+    def test_identity_sigma_rejected(self, world, params_k4, group):
+        _, _, cloud, verifier, signed = world
+        ch = verifier.generate_challenge(b"f", len(signed.blocks))
+        proof = cloud.generate_proof(b"f", ch)
+        forged = ProofResponse(sigma=group.g1_identity(), alphas=proof.alphas)
+        assert not verifier.verify(ch, forged)
+
+    def test_zero_alphas_rejected(self, world, params_k4):
+        _, _, cloud, verifier, signed = world
+        ch = verifier.generate_challenge(b"f", len(signed.blocks))
+        proof = cloud.generate_proof(b"f", ch)
+        zeroed = ProofResponse(sigma=proof.sigma, alphas=(0,) * params_k4.k)
+        assert not verifier.verify(ch, zeroed)
+
+
+class TestMixAndMatchAttacks:
+    def test_proof_for_subset_fails_superset_challenge(self, world):
+        """A proof computed over fewer blocks than challenged fails."""
+        _, _, cloud, verifier, signed = world
+        full = verifier.generate_challenge(b"f", len(signed.blocks))
+        partial = Challenge(
+            indices=full.indices[:2],
+            block_ids=full.block_ids[:2],
+            betas=full.betas[:2],
+        )
+        small_proof = cloud.generate_proof(b"f", partial)
+        assert not verifier.verify(full, small_proof)
+
+    def test_two_valid_proofs_cannot_be_merged_naively(self, world, group, params_k4):
+        """σ1·σ2 with concatenated alphas is not a valid proof for the
+        union challenge (the alphas must be recomputed jointly)."""
+        _, _, cloud, verifier, signed = world
+        n = len(signed.blocks)
+        ch1 = verifier.generate_challenge(b"f", n, sample_size=2)
+        ch2 = verifier.generate_challenge(b"f", n, sample_size=2)
+        p1 = cloud.generate_proof(b"f", ch1)
+        p2 = cloud.generate_proof(b"f", ch2)
+        if set(ch1.indices) & set(ch2.indices):
+            pytest.skip("sampled overlapping indices; union ill-defined")
+        union = Challenge(
+            indices=ch1.indices + ch2.indices,
+            block_ids=ch1.block_ids + ch2.block_ids,
+            betas=ch1.betas + ch2.betas,
+        )
+        merged = ProofResponse(
+            sigma=p1.sigma * p2.sigma,
+            alphas=p1.alphas,  # an attacker must pick SOME k alphas
+        )
+        # NOTE: summing the alpha vectors IS valid (linearity) — tested
+        # positively in test_properties — but reusing either one alone fails:
+        assert not verifier.verify(union, merged)
+
+    def test_cross_organization_signatures_rejected(self, group, params_k4, rng):
+        """Signatures from a different organization's SEM never verify."""
+        sem_a = SecurityMediator(group, rng=rng, require_membership=False)
+        sem_b = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem_b.pk, rng=rng)
+        signed = owner.sign_file(b"other org data", b"f", sem_b)
+        cloud = CloudServer(params_k4, rng=rng)
+        cloud.store(signed)
+        verifier_a = PublicVerifier(params_k4, sem_a.pk, rng=rng)
+        ch = verifier_a.generate_challenge(b"f", len(signed.blocks))
+        assert not verifier_a.verify(ch, cloud.generate_proof(b"f", ch))
+
+    def test_blinded_element_is_not_a_signature(self, world, group, params_k4, rng):
+        """The SEM's transcript values (blinded messages / blind sigs) are
+        useless as verification metadata for any block."""
+        sem, owner, cloud, verifier, signed = world
+        entry = sem.transcript[0]
+        stored = cloud.retrieve(b"f")
+        stored.signatures[0] = entry.blind_signature
+        ch = verifier.generate_challenge(b"f", stored.n_blocks)
+        assert not verifier.verify(ch, cloud.generate_proof(b"f", ch))

@@ -1,0 +1,106 @@
+"""Tests for the prime-field element wrapper."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mathkit.field import FieldElement, PrimeField
+
+P = 2**61 - 1
+F = PrimeField(P)
+
+elements = st.integers(0, P - 1)
+
+
+class TestConstruction:
+    def test_reduction(self):
+        assert F(P + 5).value == 5
+        assert F(-1).value == P - 1
+
+    def test_zero_one(self):
+        assert F.zero().value == 0
+        assert F.one().value == 1
+
+    def test_rejects_bad_characteristic(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_random_in_range(self):
+        import random
+
+        rng = random.Random(9)
+        for _ in range(10):
+            assert 0 <= F.random(rng).value < P
+
+    def test_random_nonzero(self):
+        import random
+
+        rng = random.Random(9)
+        assert all(F.random_nonzero(rng).value != 0 for _ in range(20))
+
+
+class TestArithmetic:
+    @given(elements, elements)
+    def test_add_commutes(self, a, b):
+        assert F(a) + F(b) == F(b) + F(a)
+
+    @given(elements, elements)
+    def test_sub_add_inverse(self, a, b):
+        assert (F(a) - F(b)) + F(b) == F(a)
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert F(a) * (F(b) + F(c)) == F(a) * F(b) + F(a) * F(c)
+
+    @given(elements)
+    def test_division_round_trip(self, a):
+        if a == 0:
+            return
+        assert (F(a) / F(a)) == F.one()
+        assert F(a).inverse() * F(a) == F.one()
+
+    def test_int_mixing(self):
+        assert F(5) + 3 == F(8)
+        assert 3 + F(5) == F(8)
+        assert F(5) - 3 == F(2)
+        assert 7 - F(5) == F(2)
+        assert F(5) * 2 == F(10)
+        assert 10 / F(5) == F(2)
+
+    def test_pow(self):
+        assert F(3) ** 4 == F(81)
+        # Fermat: a^(p-1) == 1.
+        assert F(123456) ** (P - 1) == F.one()
+
+    def test_neg(self):
+        assert -F(5) + F(5) == F.zero()
+
+    def test_cross_field_rejected(self):
+        other = PrimeField(101)
+        with pytest.raises(ValueError):
+            F(1) + other(1)
+
+
+class TestProtocol:
+    def test_bool(self):
+        assert not F(0)
+        assert F(1)
+
+    def test_int_conversion(self):
+        assert int(F(42)) == 42
+
+    def test_hash_eq_consistency(self):
+        assert hash(F(7)) == hash(F(P + 7))
+        assert len({F(1), F(1), F(2)}) == 2
+
+    def test_eq_with_int(self):
+        assert F(5) == 5
+        assert F(5) == 5 + P
+
+    def test_repr(self):
+        assert "FieldElement" in repr(F(3))
+
+    def test_field_eq_and_hash(self):
+        assert PrimeField(P) == PrimeField(P)
+        assert hash(PrimeField(P)) == hash(PrimeField(P))
+        assert PrimeField(P) != PrimeField(101)

@@ -1,0 +1,99 @@
+"""Tests for F_p² = F_p[i]/(i² + 1)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.mathkit.fp2 import Fp2Element, QuadraticExtension
+
+P = 2**89 - 1  # Mersenne prime, 89 % 4 == ... (2^89-1) % 4 == 3
+F2 = QuadraticExtension(P)
+
+coords = st.integers(0, P - 1)
+
+
+def elem(a, b):
+    return F2(a, b)
+
+
+class TestConstruction:
+    def test_requires_3_mod_4(self):
+        with pytest.raises(ValueError):
+            QuadraticExtension(13)  # 13 % 4 == 1
+
+    def test_identities(self):
+        assert F2.zero().is_zero()
+        assert F2.one().is_one()
+        assert F2.i() * F2.i() == F2(-1)
+
+    def test_random(self):
+        import random
+
+        e = F2.random(random.Random(2))
+        assert 0 <= e.a < P and 0 <= e.b < P
+
+
+class TestArithmetic:
+    @given(coords, coords, coords, coords)
+    def test_mul_commutes(self, a, b, c, d):
+        assert elem(a, b) * elem(c, d) == elem(c, d) * elem(a, b)
+
+    @given(coords, coords)
+    def test_square_matches_mul(self, a, b):
+        x = elem(a, b)
+        assert x.square() == x * x
+
+    @given(coords, coords)
+    def test_inverse(self, a, b):
+        x = elem(a, b)
+        if x.is_zero():
+            return
+        assert (x * x.inverse()).is_one()
+        assert (x / x).is_one()
+
+    @given(coords, coords)
+    def test_conjugate_norm(self, a, b):
+        x = elem(a, b)
+        assert (x * x.conjugate()) == F2(x.norm())
+
+    def test_int_scalar_mul(self):
+        assert elem(2, 3) * 4 == elem(8, 12)
+        assert 4 * elem(2, 3) == elem(8, 12)
+
+    def test_pow_known(self):
+        x = elem(0, 1)
+        assert x**2 == elem(-1, 0)
+        assert x**4 == F2.one()
+
+    def test_pow_negative(self):
+        x = elem(5, 7)
+        assert (x**-3) * (x**3) == F2.one()
+
+    @given(coords, coords)
+    def test_frobenius_is_p_power(self, a, b):
+        x = elem(a, b)
+        assert x.frobenius() == x**P
+
+    @given(coords, coords)
+    def test_fermat_order(self, a, b):
+        x = elem(a, b)
+        if x.is_zero():
+            return
+        assert (x ** (P * P - 1)).is_one()
+
+    def test_neg_sub(self):
+        x = elem(3, 4)
+        assert x + (-x) == F2.zero()
+        assert x - x == F2.zero()
+
+
+class TestProtocol:
+    def test_hash_consistency(self):
+        assert hash(elem(1, 2)) == hash(elem(1 + P, 2 + P))
+
+    def test_repr(self):
+        assert "Fp2" in repr(elem(1, 2))
+
+    def test_extension_eq(self):
+        assert QuadraticExtension(P) == QuadraticExtension(P)
+        assert hash(QuadraticExtension(P)) == hash(QuadraticExtension(P))

@@ -1,0 +1,221 @@
+"""Unit and property tests for repro.mathkit.ntheory."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathkit.ntheory import (
+    crt,
+    egcd,
+    inverse_mod,
+    is_prime,
+    jacobi_symbol,
+    next_prime,
+    random_prime,
+    sqrt_mod,
+)
+
+SMALL_PRIMES = [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47]
+SMALL_COMPOSITES = [0, 1, 4, 6, 8, 9, 10, 12, 15, 21, 25, 27, 49, 91, 221]
+CARMICHAELS = [561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265]
+LARGE_PRIMES = [
+    (1 << 127) - 1,  # Mersenne
+    2**255 - 19,  # Curve25519 field prime
+    0xFFFFFFFF00000001000000000000000000000000FFFFFFFFFFFFFFFFFFFFFFFF,  # P-256
+]
+
+
+class TestEgcd:
+    def test_basic(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == 2
+
+    def test_coprime(self):
+        g, x, y = egcd(17, 31)
+        assert g == 1
+        assert 17 * x + 31 * y == 1
+
+    def test_zero_cases(self):
+        assert egcd(0, 5)[0] == 5
+        assert egcd(5, 0)[0] == 5
+
+    @given(st.integers(1, 10**12), st.integers(1, 10**12))
+    def test_bezout_identity(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+
+class TestInverseMod:
+    def test_known(self):
+        assert inverse_mod(3, 7) == 5
+
+    def test_round_trip(self):
+        p = 1009
+        for a in range(1, 50):
+            assert a * inverse_mod(a, p) % p == 1
+
+    def test_non_invertible_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            inverse_mod(6, 9)
+
+    def test_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            inverse_mod(0, 7)
+
+    @given(st.integers(2, 10**9))
+    def test_inverse_property(self, n):
+        a = n * 2 + 1
+        m = 2**61 - 1  # prime
+        assert a * inverse_mod(a, m) % m == 1
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("p", SMALL_PRIMES)
+    def test_small_primes(self, p):
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("n", SMALL_COMPOSITES)
+    def test_small_composites(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize("n", CARMICHAELS)
+    def test_carmichael_numbers_rejected(self, n):
+        assert not is_prime(n)
+
+    @pytest.mark.parametrize("p", LARGE_PRIMES)
+    def test_large_primes(self, p):
+        assert is_prime(p)
+
+    def test_large_composite(self):
+        assert not is_prime((2**127 - 1) * (2**89 - 1))
+
+    def test_negative(self):
+        assert not is_prime(-7)
+
+    def test_product_of_two_close_primes(self):
+        p = next_prime(10**15)
+        q = next_prime(p)
+        assert not is_prime(p * q)
+
+
+class TestNextPrime:
+    def test_sequence(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(7) == 11
+        assert next_prime(10) == 11
+
+    def test_large(self):
+        p = next_prime(10**12)
+        assert is_prime(p)
+        assert p > 10**12
+
+
+class TestRandomPrime:
+    def test_bit_length(self):
+        rng = random.Random(1)
+        for bits in [8, 16, 64, 128]:
+            p = random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert is_prime(p)
+
+    def test_deterministic_with_seed(self):
+        assert random_prime(64, random.Random(5)) == random_prime(64, random.Random(5))
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            random_prime(1)
+
+
+class TestJacobi:
+    def test_known_values(self):
+        # (a/7) for a = 1..6: QRs mod 7 are {1,2,4}.
+        assert [jacobi_symbol(a, 7) for a in range(1, 7)] == [1, 1, -1, 1, -1, -1]
+
+    def test_zero(self):
+        assert jacobi_symbol(0, 7) == 0
+        assert jacobi_symbol(21, 7) == 0
+
+    def test_even_modulus_raises(self):
+        with pytest.raises(ValueError):
+            jacobi_symbol(3, 8)
+
+    @given(st.integers(0, 10**9))
+    def test_multiplicativity(self, a):
+        n = 1000003  # prime
+        assert jacobi_symbol(a * a, n) in (0, 1)
+
+
+class TestSqrtMod:
+    @pytest.mark.parametrize("p", [7, 11, 13, 17, 10007, 1000003, 2**61 - 1])
+    def test_round_trip(self, p):
+        rng = random.Random(p)
+        for _ in range(20):
+            x = rng.randrange(p)
+            root = sqrt_mod(x * x % p, p)
+            assert root is not None
+            assert root * root % p == x * x % p
+
+    def test_non_residue_none(self):
+        # 3 is not a QR mod 7.
+        assert sqrt_mod(3, 7) is None
+
+    def test_zero(self):
+        assert sqrt_mod(0, 13) == 0
+
+    def test_p_equals_3_mod_4_branch(self):
+        p = 10007  # 10007 % 4 == 3
+        assert p % 4 == 3
+        root = sqrt_mod(4, p)
+        assert root * root % p == 4
+
+    def test_tonelli_shanks_branch(self):
+        p = 1000003 * 0 + 13  # placeholder to keep explicit values below
+        p = 17  # 17 % 4 == 1 -> Tonelli-Shanks path
+        assert p % 4 == 1
+        for a in range(1, p):
+            root = sqrt_mod(a, p)
+            if root is not None:
+                assert root * root % p == a
+
+    def test_highly_2_adic_prime(self):
+        # p - 1 = 2^32 * 3 * 5 * 17 * 257 * 65537: stresses Tonelli-Shanks.
+        p = (1 << 32) * 3 * 5 * 17 * 257 * 65537 + 1
+        assert is_prime(p)
+        rng = random.Random(3)
+        for _ in range(5):
+            x = rng.randrange(1, p)
+            got = sqrt_mod(x * x % p, p)
+            assert got * got % p == x * x % p
+
+
+class TestCrt:
+    def test_basic(self):
+        assert crt([2, 3], [3, 5]) == 8
+
+    def test_three_moduli(self):
+        x = crt([1, 2, 3], [5, 7, 11])
+        assert x % 5 == 1 and x % 7 == 2 and x % 11 == 3
+
+    def test_not_coprime_raises(self):
+        with pytest.raises(ValueError):
+            crt([1, 2], [4, 6])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            crt([1], [3, 5])
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            crt([], [])
+
+    @settings(max_examples=25)
+    @given(st.integers(0, 10**6))
+    def test_reconstruction(self, x):
+        moduli = [101, 103, 107, 109]
+        residues = [x % m for m in moduli]
+        assert crt(residues, moduli) == x % (101 * 103 * 107 * 109)

@@ -1,0 +1,98 @@
+"""Tests for polynomials over Z_p and Lagrange interpolation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathkit.poly import (
+    Polynomial,
+    lagrange_basis_at_zero,
+    lagrange_interpolate_at_zero,
+)
+
+P = 2**61 - 1
+
+
+class TestPolynomial:
+    def test_degree(self):
+        assert Polynomial([1, 2, 3], P).degree == 2
+        assert Polynomial([5], P).degree == 0
+        assert Polynomial([0], P).degree == -1
+        assert Polynomial([1, 0, 0], P).degree == 0  # trailing zeros trimmed
+
+    def test_evaluate_horner(self):
+        f = Polynomial([1, 2, 3], P)  # 1 + 2x + 3x²
+        assert f(0) == 1
+        assert f(1) == 6
+        assert f(2) == 1 + 4 + 12
+
+    def test_call_alias(self):
+        f = Polynomial([7], P)
+        assert f(123) == f.evaluate(123) == 7
+
+    def test_add(self):
+        f = Polynomial([1, 2], P)
+        g = Polynomial([3, 4, 5], P)
+        assert (f + g)(10) == (f(10) + g(10)) % P
+
+    def test_mul(self):
+        f = Polynomial([1, 1], P)  # 1 + x
+        g = Polynomial([1, P - 1], P)  # 1 - x
+        assert f * g == Polynomial([1, 0, P - 1], P)  # 1 - x²
+
+    def test_scalar_mul(self):
+        f = Polynomial([1, 2], P)
+        assert (f * 3)(5) == (3 * f(5)) % P
+        assert (3 * f)(5) == (3 * f(5)) % P
+
+    def test_cross_field_rejected(self):
+        with pytest.raises(ValueError):
+            Polynomial([1], P) + Polynomial([1], 101)
+        with pytest.raises(ValueError):
+            Polynomial([1], P) * Polynomial([1], 101)
+
+    @given(st.lists(st.integers(0, P - 1), min_size=1, max_size=6), st.integers(0, P - 1))
+    def test_evaluation_matches_naive(self, coeffs, x):
+        f = Polynomial(coeffs, P)
+        naive = sum(c * pow(x, i, P) for i, c in enumerate(coeffs)) % P
+        assert f(x) == naive
+
+
+class TestLagrange:
+    def test_basis_sums_to_one_for_constant(self):
+        # Interpolating the constant polynomial 1 must give 1.
+        xs = [1, 2, 3, 4]
+        basis = lagrange_basis_at_zero(xs, P)
+        assert sum(basis) % P == 1
+
+    def test_recovers_f0(self):
+        rng = random.Random(4)
+        for degree in range(5):
+            coeffs = [rng.randrange(P) for _ in range(degree + 1)]
+            f = Polynomial(coeffs, P)
+            xs = rng.sample(range(1, 100), degree + 1)
+            points = [(x, f(x)) for x in xs]
+            assert lagrange_interpolate_at_zero(points, P) == coeffs[0]
+
+    def test_more_points_than_degree_ok(self):
+        f = Polynomial([42, 7], P)
+        points = [(x, f(x)) for x in (1, 2, 3, 4, 5)]
+        assert lagrange_interpolate_at_zero(points, P) == 42
+
+    def test_duplicate_abscissae_rejected(self):
+        with pytest.raises(ValueError):
+            lagrange_basis_at_zero([1, 1], P)
+
+    def test_basis_independent_of_polynomial(self):
+        # Eq. 11's point: the basis only depends on the xs.
+        xs = [3, 6, 9]
+        assert lagrange_basis_at_zero(xs, P) == lagrange_basis_at_zero(xs, P)
+
+    @settings(max_examples=20)
+    @given(st.integers(0, P - 1), st.integers(0, P - 1), st.integers(0, P - 1))
+    def test_quadratic_property(self, a0, a1, a2):
+        f = Polynomial([a0, a1, a2], P)
+        points = [(x, f(x)) for x in (11, 22, 33)]
+        assert lagrange_interpolate_at_zero(points, P) == a0

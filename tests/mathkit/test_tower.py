@@ -1,0 +1,97 @@
+"""Tests for the generic polynomial extension fields (BN254 tower)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mathkit.tower import ExtFieldSpec
+
+P = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+FQ2 = ExtFieldSpec(P, (1, 0))  # u² + 1
+FQ12 = ExtFieldSpec(P, (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0))
+
+coords = st.integers(0, P - 1)
+
+
+class TestFQ2:
+    def test_gen_squares_to_minus_one(self):
+        u = FQ2.gen()
+        assert u * u == FQ2(P - 1)
+
+    def test_identity_elements(self):
+        assert FQ2.zero().is_zero()
+        assert FQ2.one().is_one()
+        assert (FQ2.one() * FQ2([3, 4])) == FQ2([3, 4])
+
+    def test_int_coercion(self):
+        assert FQ2(5) == FQ2([5, 0])
+        assert FQ2([1, 2]) + 1 == FQ2([2, 2])
+        assert 2 * FQ2([1, 2]) == FQ2([2, 4])
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            FQ2([1, 2, 3])
+
+    @given(coords, coords)
+    def test_inverse(self, a, b):
+        x = FQ2([a, b])
+        if x.is_zero():
+            return
+        assert (x * x.inverse()).is_one()
+        assert (x / x).is_one()
+
+    def test_zero_inverse_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            FQ2.zero().inverse()
+
+    @given(coords, coords, coords, coords)
+    def test_mul_commutative(self, a, b, c, d):
+        assert FQ2([a, b]) * FQ2([c, d]) == FQ2([c, d]) * FQ2([a, b])
+
+    def test_division_forms(self):
+        x = FQ2([3, 4])
+        assert x / 2 * 2 == x
+        assert (1 / x) * x == FQ2.one()
+        assert (2 - x) + x == FQ2(2)
+
+    def test_pow_negative(self):
+        x = FQ2([3, 4])
+        assert x**-2 * x**2 == FQ2.one()
+
+
+class TestFQ12:
+    def test_modulus_relation(self):
+        w = FQ12.gen()
+        # w¹² = 18w⁶ − 82.
+        lhs = w**12
+        rhs = 18 * w**6 - FQ12(82)
+        assert lhs == rhs
+
+    def test_associativity_sample(self):
+        w = FQ12.gen()
+        a = w**5 + FQ12(3)
+        b = w**7 + FQ12(11)
+        c = w**2 - FQ12(1)
+        assert (a * b) * c == a * (b * c)
+
+    def test_inverse_round_trip(self):
+        w = FQ12.gen()
+        x = w**9 + 5 * w**3 + FQ12(7)
+        assert (x * x.inverse()).is_one()
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(coords, min_size=12, max_size=12))
+    def test_inverse_property(self, coeffs):
+        x = FQ12(coeffs)
+        if x.is_zero():
+            return
+        assert (x * x.inverse()).is_one()
+
+    def test_distributivity(self):
+        w = FQ12.gen()
+        a, b, c = w + FQ12(1), w**3, w**6 + FQ12(2)
+        assert a * (b + c) == a * b + a * c
+
+    def test_spec_equality(self):
+        assert FQ12 == ExtFieldSpec(P, (82, 0, 0, 0, 0, 0, -18, 0, 0, 0, 0, 0))
+        assert FQ2 != FQ12

@@ -1,0 +1,92 @@
+"""Edge cases of the protocol actor layer."""
+
+import pytest
+
+from repro.net import build_protocol_network
+from repro.net.message import Message
+
+
+@pytest.fixture()
+def network(params_k4, rng):
+    return build_protocol_network(params_k4, rng=rng)
+
+
+def _upload(sim, owner, data=b"actor edge data " * 4, fid=b"f"):
+    for m in owner.start_upload(data, fid):
+        sim.send(m)
+    sim.run()
+
+
+class TestCloudNode:
+    def test_unknown_file_challenge_errors(self, network):
+        sim, owner, verifier = network
+        sim.send(verifier.start_audit(b"ghost", 3))
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_multiple_files(self, network):
+        sim, owner, verifier = network
+        _upload(sim, owner, fid=b"f1")
+        _upload(sim, owner, fid=b"f2")
+        assert owner.completed_uploads == [b"f1", b"f2"]
+        for fid in (b"f1", b"f2"):
+            n = sim.nodes["cloud"].server.retrieve(fid).n_blocks
+            sim.send(verifier.start_audit(fid, n))
+        sim.run()
+        assert verifier.audit_results == {b"f1": True, b"f2": True}
+
+
+class TestVerifierNode:
+    def test_repeated_audits_update_results(self, network):
+        sim, owner, verifier = network
+        _upload(sim, owner)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        sim.send(verifier.start_audit(b"f", n))
+        sim.run()
+        assert verifier.audit_results[b"f"] is True
+        sim.nodes["cloud"].server.tamper_block(b"f", 0)
+        sim.send(verifier.start_audit(b"f", n))
+        sim.run()
+        assert verifier.audit_results[b"f"] is False
+
+
+class TestOwnerNode:
+    def test_stray_sign_response_ignored(self, network, group):
+        sim, owner, _ = network
+        stray = Message(
+            sender="sem-0", recipient="owner", msg_type="sign_response",
+            payload=[group.g1()],
+        )
+        sim.send(stray)
+        sim.run()  # no pending upload: must be silently dropped
+        assert owner.completed_uploads == []
+
+    def test_stray_upload_ack_ignored(self, network):
+        sim, owner, _ = network
+        sim.send(Message(sender="cloud", recipient="owner",
+                         msg_type="upload_ack", payload=b"ghost"))
+        sim.run()
+        assert owner.completed_uploads == []
+
+    def test_byzantine_single_sem_raises_at_owner(self, params_k4, rng, group):
+        """A single-SEM deployment with a bad SEM fails loudly (Eq. 7)."""
+        sim, owner, _ = build_protocol_network(params_k4, rng=rng)
+        # Replace the SEM node's key after the fact: its signatures no
+        # longer match the public key the owner holds.
+        sim.nodes["sem-0"]._sk = (sim.nodes["sem-0"]._sk + 1) % group.order
+        for m in owner.start_upload(b"bad sem data", b"f"):
+            sim.send(m)
+        with pytest.raises(ValueError):
+            sim.run()
+
+    def test_sequential_uploads_after_completion(self, network):
+        sim, owner, _ = network
+        _upload(sim, owner, fid=b"a")
+        _upload(sim, owner, fid=b"b")  # pending cleared by the ack
+        assert owner.completed_uploads == [b"a", b"b"]
+
+    def test_threshold_property(self, network, params_k4, rng):
+        _, owner, _ = network
+        assert owner.threshold == 1
+        sim2, owner2, _ = build_protocol_network(params_k4, threshold=3, rng=rng)
+        assert owner2.threshold == 3

@@ -1,0 +1,107 @@
+"""End-to-end protocol runs over the simulated network."""
+
+import pytest
+
+from repro.net import build_protocol_network
+from repro.net.channel import Channel
+
+
+@pytest.fixture()
+def network(params_k4, rng):
+    return build_protocol_network(params_k4, rng=rng)
+
+
+def _upload(sim, owner, data=b"network data " * 8, file_id=b"f"):
+    for message in owner.start_upload(data, file_id):
+        sim.send(message)
+    sim.run()
+
+
+class TestSingleSemProtocol:
+    def test_upload_completes(self, network):
+        sim, owner, _ = network
+        _upload(sim, owner)
+        assert owner.completed_uploads == [b"f"]
+        assert sim.nodes["cloud"].server.has_file(b"f")
+
+    def test_audit_over_network(self, network):
+        sim, owner, verifier = network
+        _upload(sim, owner)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        sim.send(verifier.start_audit(b"f", n))
+        sim.run()
+        assert verifier.audit_results == {b"f": True}
+
+    def test_audit_detects_server_tampering(self, network):
+        sim, owner, verifier = network
+        _upload(sim, owner)
+        sim.nodes["cloud"].server.tamper_block(b"f", 0)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        sim.send(verifier.start_audit(b"f", n))
+        sim.run()
+        assert verifier.audit_results == {b"f": False}
+
+    def test_sampled_audit_over_network(self, network):
+        sim, owner, verifier = network
+        _upload(sim, owner)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        sim.send(verifier.start_audit(b"f", n, sample_size=2))
+        sim.run()
+        assert verifier.audit_results[b"f"]
+
+    def test_owner_sem_traffic_is_two_elements_per_block(self, network, params_k4):
+        """The paper's signing-communication claim, on honest wire sizes."""
+        sim, owner, _ = network
+        _upload(sim, owner)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        element = params_k4.group.g1_element_bytes()
+        assert sim.bytes_between("owner", "sem-0") == n * element
+        assert sim.bytes_between("sem-0", "owner") == n * element
+
+    def test_concurrent_upload_rejected(self, network):
+        sim, owner, _ = network
+        owner.start_upload(b"first", b"f1")
+        with pytest.raises(RuntimeError):
+            owner.start_upload(b"second", b"f2")
+
+    def test_upload_with_latency_channels(self, params_k4, rng):
+        sim, owner, verifier = build_protocol_network(
+            params_k4,
+            rng=rng,
+            owner_sem_channel=Channel(latency_s=0.2, anonymous=True),
+        )
+        _upload(sim, owner)
+        assert owner.completed_uploads == [b"f"]
+        assert sim.now >= 0.4  # at least one round trip over the slow link
+
+
+class TestMultiSemProtocol:
+    def test_upload_with_full_cluster(self, params_k4, rng):
+        sim, owner, verifier = build_protocol_network(params_k4, threshold=2, rng=rng)
+        _upload(sim, owner)
+        assert owner.completed_uploads == [b"f"]
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        sim.send(verifier.start_audit(b"f", n))
+        sim.run()
+        assert verifier.audit_results[b"f"]
+
+    def test_tolerates_crashed_sem(self, params_k4, rng):
+        sim, owner, verifier = build_protocol_network(params_k4, threshold=2, rng=rng)
+        sim.nodes["sem-2"].crash()
+        _upload(sim, owner)
+        assert owner.completed_uploads == [b"f"]
+
+    def test_insufficient_sems_stalls_without_completion(self, params_k4, rng):
+        sim, owner, _ = build_protocol_network(params_k4, threshold=2, rng=rng)
+        sim.nodes["sem-0"].crash()
+        sim.nodes["sem-1"].crash()
+        _upload(sim, owner)
+        assert owner.completed_uploads == []  # stalled, not wrong
+
+    def test_multi_sem_traffic_scales_with_w(self, params_k4, rng):
+        sim, owner, _ = build_protocol_network(params_k4, threshold=2, rng=rng)
+        _upload(sim, owner)
+        n = sim.nodes["cloud"].server.retrieve(b"f").n_blocks
+        element = params_k4.group.g1_element_bytes()
+        total_to_sems = sum(sim.bytes_between("owner", f"sem-{j}") for j in range(3))
+        assert total_to_sems == 3 * n * element  # w = 3 copies out

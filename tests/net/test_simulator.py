@@ -1,0 +1,137 @@
+"""Tests for the discrete-event simulator and node dispatch."""
+
+import random
+
+import pytest
+
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+
+
+class Echo(Node):
+    """Replies to 'ping' with 'pong'."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.on("ping", lambda m: self.make_message(m.sender, "pong", m.payload))
+        self.on("pong", lambda m: None)
+
+
+class TestSimulator:
+    def _pair(self):
+        sim = Simulator()
+        sim.add_node(Echo("a"))
+        sim.add_node(Echo("b"))
+        return sim
+
+    def test_request_response(self):
+        sim = self._pair()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping", payload=b"x"))
+        sim.run()
+        assert sim.delivered == 2
+        assert sim.nodes["a"].received[0].msg_type == "pong"
+
+    def test_virtual_clock_advances_by_latency(self):
+        sim = self._pair()
+        sim.connect("a", "b", Channel(latency_s=1.5))
+        sim.send(Message(sender="a", recipient="b", msg_type="ping", payload=b"x"))
+        sim.run()
+        assert sim.now == pytest.approx(3.0)  # ping 1.5 + pong 1.5
+
+    def test_fifo_on_equal_time(self):
+        sim = Simulator()
+        log = []
+        sink = Node("sink")
+        sink.on("m", lambda m: log.append(m.payload))
+        sim.add_node(sink)
+        for i in range(5):
+            sim.send(Message(sender="x", recipient="sink", msg_type="m", payload=bytes([i])))
+        sim.run()
+        assert log == [bytes([i]) for i in range(5)]
+
+    def test_unknown_recipient_raises(self):
+        sim = self._pair()
+        with pytest.raises(KeyError):
+            sim.send(Message(sender="a", recipient="ghost", msg_type="ping"))
+
+    def test_unhandled_type_raises(self):
+        sim = self._pair()
+        sim.send(Message(sender="a", recipient="b", msg_type="mystery"))
+        with pytest.raises(KeyError):
+            sim.run()
+
+    def test_crashed_node_swallows(self):
+        sim = self._pair()
+        sim.nodes["b"].crash()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping"))
+        sim.run()
+        assert sim.nodes["a"].received == []
+        sim.nodes["b"].recover()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping"))
+        sim.run()
+        assert sim.nodes["a"].received[0].msg_type == "pong"
+
+    def test_dropped_messages_counted(self):
+        sim = Simulator()
+        sim.add_node(Echo("a"))
+        sim.add_node(Echo("b"))
+        sim.connect("a", "b", Channel(drop_rate=1.0, rng=random.Random(1)))
+        sim.send(Message(sender="a", recipient="b", msg_type="ping"))
+        sim.run()
+        assert sim.dropped == 1
+        assert sim.delivered == 0
+
+    def test_byte_accounting_per_direction(self):
+        sim = self._pair()
+        sim.connect("a", "b", Channel())
+        sim.send(Message(sender="a", recipient="b", msg_type="ping", payload=b"12345"))
+        sim.run()
+        assert sim.bytes_between("a", "b") == 5
+        assert sim.bytes_between("b", "a") == 5  # pong echoes payload
+
+    def test_total_bytes(self):
+        sim = self._pair()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping", payload=b"123"))
+        sim.run()
+        assert sim.total_bytes() == 6  # default channel: ping + pong
+
+    def test_run_until(self):
+        sim = self._pair()
+        sim.connect("a", "b", Channel(latency_s=10.0))
+        sim.send(Message(sender="a", recipient="b", msg_type="ping"))
+        sim.run(until=5.0)
+        assert sim.delivered == 0
+        sim.run()
+        assert sim.delivered == 2
+
+    def test_max_events(self):
+        sim = self._pair()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping"))
+        sim.run(max_events=1)
+        assert sim.delivered == 1
+
+    def test_duplicate_node_rejected(self):
+        sim = self._pair()
+        with pytest.raises(ValueError):
+            sim.add_node(Echo("a"))
+
+    def test_multi_reply(self):
+        sim = Simulator()
+        fanout = Node("fan")
+        fanout.on(
+            "go",
+            lambda m: [
+                fanout.make_message("sink", "m", b"1"),
+                fanout.make_message("sink", "m", b"2"),
+            ],
+        )
+        seen = []
+        sink = Node("sink")
+        sink.on("m", lambda m: seen.append(m.payload))
+        sim.add_node(fanout)
+        sim.add_node(sink)
+        sim.send(Message(sender="x", recipient="fan", msg_type="go"))
+        sim.run()
+        assert seen == [b"1", b"2"]

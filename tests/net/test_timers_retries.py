@@ -1,0 +1,150 @@
+"""Tests for simulator timers and owner-side retransmission."""
+
+import random
+
+import pytest
+
+from repro.net import build_protocol_network
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+
+
+class TestTimers:
+    def test_timer_fires_at_time(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [5.0]
+        assert sim.timers_fired == 1
+
+    def test_timers_interleave_with_messages(self):
+        sim = Simulator()
+        log = []
+        sink = Node("sink")
+        sink.on("m", lambda m: log.append(("msg", sim.now)))
+        sim.add_node(sink)
+        sim.connect("x", "sink", Channel(latency_s=2.0))
+        sim.schedule(1.0, lambda: log.append(("timer", sim.now)))
+        sim.send(Message(sender="x", recipient="sink", msg_type="m"))
+        sim.schedule(3.0, lambda: log.append(("timer", sim.now)))
+        sim.run()
+        assert log == [("timer", 1.0), ("msg", 2.0), ("timer", 3.0)]
+
+    def test_timer_callbacks_may_send_messages(self):
+        sim = Simulator()
+        sink = Node("sink")
+        seen = []
+        sink.on("m", lambda m: seen.append(m.payload))
+        sim.add_node(sink)
+        sim.schedule(
+            1.0,
+            lambda: Message(sender="t", recipient="sink", msg_type="m", payload=b"late"),
+        )
+        sim.run()
+        assert seen == [b"late"]
+
+    def test_cancelled_timer_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        timer_id = sim.schedule(1.0, lambda: fired.append(1))
+        sim.cancel_timer(timer_id)
+        sim.run()
+        assert fired == []
+        assert sim.timers_fired == 0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_nodes_get_sim_reference(self):
+        sim = Simulator()
+        node = sim.add_node(Node("n"))
+        assert node.sim is sim
+
+
+class _DropFirst(Channel):
+    """Deterministically drops the first ``n`` messages, then delivers."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        self.remaining = n
+
+    def should_drop(self) -> bool:
+        if self.remaining > 0:
+            self.remaining -= 1
+            return True
+        return False
+
+
+class TestRetransmission:
+    def _lossy_network(self, params_k4, drop_rate, seed=123):
+        rng = random.Random(seed)
+        channel_rng = random.Random(seed + 1)
+        sim, owner, verifier = build_protocol_network(
+            params_k4,
+            rng=rng,
+            owner_sem_channel=Channel(drop_rate=drop_rate, rng=channel_rng),
+            retry_timeout_s=1.0,
+            max_retries=10,
+        )
+        return sim, owner, verifier
+
+    def test_upload_survives_dropped_requests(self, params_k4, rng):
+        sim, owner, _ = build_protocol_network(
+            params_k4, rng=rng, retry_timeout_s=1.0, max_retries=10
+        )
+        sim.connect("owner", "sem-0", _DropFirst(2), bidirectional=False)
+        for message in owner.start_upload(b"lossy network data " * 5, b"f"):
+            sim.send(message)
+        sim.run()
+        assert owner.completed_uploads == [b"f"]
+        assert sim.dropped == 2  # first two requests lost; retries healed them
+        assert sim.timers_fired >= 2
+
+    def test_no_retries_without_timeout_configured(self, params_k4, rng):
+        sim, owner, _ = build_protocol_network(
+            params_k4,
+            rng=rng,
+            owner_sem_channel=Channel(drop_rate=1.0, rng=random.Random(1)),
+        )
+        for message in owner.start_upload(b"data", b"f"):
+            sim.send(message)
+        sim.run()
+        assert owner.completed_uploads == []  # stalled: everything dropped
+
+    def test_retries_bounded(self, params_k4):
+        sim, owner, _ = self._lossy_network(params_k4, drop_rate=1.0)
+        for message in owner.start_upload(b"data", b"f"):
+            sim.send(message)
+        sim.run()
+        assert owner.completed_uploads == []
+        assert owner._pending.retries == 10  # gave up at max_retries
+
+    def test_duplicate_sign_responses_harmless(self, params_k4, rng):
+        """Retransmitted requests can yield duplicate responses; the owner
+        must stay idempotent."""
+        sim, owner, _ = build_protocol_network(params_k4, rng=rng, retry_timeout_s=0.5)
+        messages = owner.start_upload(b"dup test data " * 3, b"f")
+        for message in messages:
+            sim.send(message)
+            sim.send(message)  # duplicate the request wholesale
+        sim.run()
+        assert owner.completed_uploads == [b"f"]
+        assert sim.nodes["cloud"].server.has_file(b"f")
+
+    def test_upload_retransmitted_when_ack_lost(self, params_k4, rng):
+        sim, owner, _ = build_protocol_network(params_k4, rng=rng, retry_timeout_s=1.0)
+        # Cloud -> owner acks always dropped; owner -> cloud uploads fine.
+        sim.connect("cloud", "owner", Channel(drop_rate=1.0, rng=random.Random(2)),
+                    bidirectional=False)
+        for message in owner.start_upload(b"ack loss " * 3, b"f"):
+            sim.send(message)
+        sim.run()
+        # The file made it even though the owner never saw an ack.
+        assert sim.nodes["cloud"].server.has_file(b"f")
+        assert owner.completed_uploads == []
+        # And the retransmissions stopped at the bound.
+        assert owner._pending.retries == owner.max_retries

@@ -1,0 +1,100 @@
+"""Tests for the repro-pdp command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def deployment(tmp_path):
+    state = tmp_path / "st"
+    assert main(["--state-dir", str(state), "init", "--param-set", "toy-64",
+                 "-k", "4", "--seed", "7"]) == 0
+    assert main(["--state-dir", str(state), "enroll", "alice"]) == 0
+    doc = tmp_path / "doc.txt"
+    doc.write_bytes(b"cli-managed shared document " * 4)
+    return state, doc
+
+
+def _run(state, *argv) -> int:
+    return main(["--state-dir", str(state), *argv])
+
+
+class TestLifecycle:
+    def test_upload_and_audit(self, deployment):
+        state, doc = deployment
+        assert _run(state, "upload", "alice", str(doc), "--file-id", "d/1") == 0
+        assert _run(state, "audit", "d/1") == 0
+        assert _run(state, "audit", "d/1", "--sample", "2") == 0
+
+    def test_tamper_fails_audit(self, deployment):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "tamper", "d/1", "--block", "0") == 0
+        assert _run(state, "audit", "d/1") == 1
+
+    def test_no_batch_upload(self, deployment):
+        state, doc = deployment
+        assert _run(state, "upload", "alice", str(doc), "--file-id", "d/2",
+                    "--no-batch") == 0
+        assert _run(state, "audit", "d/2") == 0
+
+    def test_info(self, deployment, capsys):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "info") == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "d/1" in out
+
+    def test_revoke_blocks_new_uploads(self, deployment):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "revoke", "alice") == 0
+        assert _run(state, "upload", "alice", str(doc), "--file-id", "d/2") == 2
+        # ... but existing files still audit.
+        assert _run(state, "audit", "d/1") == 0
+
+    def test_state_survives_process_boundaries(self, deployment):
+        """Every command reloads state from disk — nothing is in-memory."""
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        persisted = json.loads((state / "state.json").read_text())
+        assert persisted["files"]["d/1"]["blocks"] > 0
+        assert (state / "cloud" / "d__1.spdp").exists()
+
+
+class TestErrors:
+    def test_audit_before_init(self, tmp_path):
+        assert main(["--state-dir", str(tmp_path / "nope"), "audit", "x"]) == 2
+
+    def test_double_init_requires_force(self, deployment):
+        state, _ = deployment
+        assert _run(state, "init") == 2
+        assert _run(state, "init", "--force", "--param-set", "toy-64") == 0
+
+    def test_unknown_param_set(self, tmp_path):
+        assert main(["--state-dir", str(tmp_path / "s"), "init",
+                     "--param-set", "bogus"]) == 2
+
+    def test_double_enroll(self, deployment):
+        state, _ = deployment
+        assert _run(state, "enroll", "alice") == 2
+
+    def test_upload_unknown_member(self, deployment):
+        state, doc = deployment
+        assert _run(state, "upload", "mallory", str(doc), "--file-id", "x") == 2
+
+    def test_audit_unknown_file(self, deployment):
+        state, _ = deployment
+        assert _run(state, "audit", "ghost") == 2
+
+    def test_tamper_out_of_range(self, deployment):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "tamper", "d/1", "--block", "999") == 2
+
+    def test_revoke_unknown(self, deployment):
+        state, _ = deployment
+        assert _run(state, "revoke", "nobody") == 2

@@ -1,0 +1,24 @@
+"""Every example script must run cleanly (they double as integration tests)."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script, capsys, monkeypatch, tmp_path):
+    monkeypatch.chdir(tmp_path)  # scripts must not depend on the CWD
+    monkeypatch.setattr(sys, "argv", [str(script)])
+    runpy.run_path(str(script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert out  # every example narrates what it does
+    assert "FAIL\n" not in out.replace("FAIL (as it should be)", "")
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "the deliverable requires at least three examples"

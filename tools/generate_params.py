@@ -1,0 +1,30 @@
+"""One-off generator for the pinned type-A parameter sets.
+
+Run from the repo root:  python tools/generate_params.py
+Prints the ``_register(TypeAParams(...))`` blocks pasted at the bottom of
+``src/repro/pairing/params.py``.
+"""
+
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.pairing.params import generate_type_a_params  # noqa: E402
+
+SPECS = [
+    ("paper-160", 160, 512, 20130701),
+    ("test-80", 80, 160, 20130702),
+    ("toy-64", 64, 80, 20130703),
+]
+
+for name, rbits, qbits, seed in SPECS:
+    p = generate_type_a_params(rbits=rbits, qbits=qbits, seed=seed, name=name)
+    print("_register(TypeAParams(")
+    print(f'    name="{p.name}",')
+    print(f"    r={p.r},")
+    print(f"    q={p.q},")
+    print(f"    h={p.h},")
+    print(f"    gx={p.gx},")
+    print(f"    gy={p.gy},")
+    print("))")
+    print(f"# seed={seed}, rbits={rbits}, qbits={qbits}")

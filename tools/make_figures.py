@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Render the paper's figure shapes as ASCII charts.
+
+Calibrates unit costs on this machine (plus the paper-era unit costs for
+Figure 4a, whose shape is ratio-dependent) and renders Figures 4(a), 5(b),
+6(a), 6(b) to stdout and benchmarks/results/figures.txt.
+
+    python tools/make_figures.py [--fast]
+"""
+
+import argparse
+import pathlib
+import random
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent / "src"))
+
+from repro.analysis.calibrate import UnitCosts, calibrate  # noqa: E402
+from repro.analysis.cost_model import CostModel  # noqa: E402
+from repro.analysis.figures import figure_4a, figure_5b, figure_6a, figure_6b  # noqa: E402
+from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup  # noqa: E402
+
+PAPER_UNITS = UnitCosts(exp_g1=0.000134, pair=0.0106, mul_g1=2e-6, hash_g1=5e-4, mul_zp=1e-7)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--fast", action="store_true",
+                        help="calibrate on toy parameters (quick smoke run)")
+    args = parser.parse_args()
+
+    name = "toy-64" if args.fast else "paper-160"
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[name])
+    units = calibrate(group, repeats=5, rng=random.Random(0))
+    model = CostModel(units)
+    paper_model = CostModel(PAPER_UNITS)
+
+    ks = [20, 50, 100, 150, 200]
+    charts = [
+        figure_4a(model, paper_model, ks),
+        figure_5b(model, [2, 3, 4, 5, 6], [100, 1000]),
+        figure_6a(model, [100, 200, 400, 600, 800, 1000]),
+        figure_6b(model, [100, 200, 400, 600, 800, 1000]),
+    ]
+    output = "\n\n".join(charts)
+    print(output)
+    results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    results.mkdir(exist_ok=True)
+    (results / "figures.txt").write_text(output + "\n")
+    print(f"\nwritten to {results / 'figures.txt'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
