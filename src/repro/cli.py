@@ -198,6 +198,60 @@ def cmd_tamper(args) -> int:
     return 0
 
 
+def cmd_serve_sim(args) -> int:
+    """Run the batched signing service under the discrete-event simulator."""
+    from repro.net.channel import Channel
+    from repro.service import BatchConfig, FailoverConfig, build_service_network
+
+    if args.param_set not in TYPE_A_PARAM_SETS:
+        raise CliError(f"unknown param set {args.param_set!r}; "
+                       f"choose from {sorted(TYPE_A_PARAM_SETS)}")
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[args.param_set])
+    params = setup(group, args.k)
+    rng = random.Random(args.seed)
+    threshold = args.threshold if args.threshold and args.threshold > 1 else None
+    w = 1 if threshold is None else 2 * threshold - 1
+    if args.crash >= (threshold or 1):
+        raise CliError(f"crashing {args.crash} SEMs exceeds the t-1 = "
+                       f"{(threshold or 1) - 1} tolerance of a t={threshold or 1} deployment")
+    channel = Channel(latency_s=args.latency, drop_rate=args.drop_rate,
+                      rng=random.Random(rng.getrandbits(64)))
+    sim, service, clients = build_service_network(
+        params,
+        threshold=threshold,
+        n_clients=args.clients,
+        rng=rng,
+        batch_config=BatchConfig(max_batch=args.max_batch, max_wait_s=args.max_wait),
+        failover_config=FailoverConfig(timeout_s=args.timeout),
+        client_service_channel=channel,
+        service_sem_channel=channel,
+    )
+    for j in range(args.crash):
+        sim.nodes[f"sem-{j}"].crash()
+    for i, client in enumerate(clients):
+        for n in range(args.requests):
+            data = rng.randbytes(args.file_bytes)
+            sim.send(client.request_for_data(data, f"file-{i}-{n}".encode()))
+    sim.run()
+    summary = service.metrics.summary()
+    expected = args.clients * args.requests
+    completed = sum(len(c.completed) for c in clients)
+    failed = sum(len(c.failed) for c in clients)
+    lost = expected - completed - failed
+    print(f"serve-sim: {args.param_set}, k={args.k}, "
+          f"{w} SEM(s) (t={threshold or 1}, {args.crash} crashed), "
+          f"{args.clients} client(s) x {args.requests} request(s)")
+    print(f"  completed {completed}, failed {failed}, lost {lost} "
+          f"in {sim.now:.3f}s virtual time ({sim.total_bytes()} bytes on the wire)")
+    print(f"  batches: {summary['batches']} (mean size {summary['batch_size_mean']:.1f}), "
+          f"signatures: {summary['signatures_produced']}")
+    print(f"  queue high watermark: {summary['queue_high_watermark']}, "
+          f"retries: {summary['retries']}, failovers: {summary['failovers']}")
+    print(f"  latency p50 {summary['latency_p50_s']:.3f}s, "
+          f"p99 {summary['latency_p99_s']:.3f}s (virtual)")
+    return 0 if completed == expected else 1
+
+
 def cmd_info(args) -> int:
     root = Path(args.state_dir)
     state = load_state(root)
@@ -253,6 +307,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file_id")
     p.add_argument("--block", type=int, required=True)
     p.set_defaults(fn=cmd_tamper)
+
+    p = sub.add_parser(
+        "serve-sim", help="run the batched signing service in the simulator"
+    )
+    p.add_argument("--param-set", default="toy-64")
+    p.add_argument("-k", type=int, default=4, help="elements per block")
+    p.add_argument("--threshold", type=int, default=None,
+                   help="deploy w = 2t-1 SEMs with threshold t (default: one SEM)")
+    p.add_argument("--clients", type=int, default=2)
+    p.add_argument("--requests", type=int, default=2, help="requests per client")
+    p.add_argument("--file-bytes", type=int, default=64)
+    p.add_argument("--max-batch", type=int, default=16)
+    p.add_argument("--max-wait", type=float, default=0.02, help="flush age trigger (s)")
+    p.add_argument("--timeout", type=float, default=0.5, help="per-SEM deadline (s)")
+    p.add_argument("--latency", type=float, default=0.005, help="channel latency (s)")
+    p.add_argument("--drop-rate", type=float, default=0.0)
+    p.add_argument("--crash", type=int, default=0, help="crash the first N SEMs")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("info", help="show deployment state")
     p.set_defaults(fn=cmd_info)

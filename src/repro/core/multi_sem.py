@@ -66,6 +66,26 @@ class SEMCluster:
         for sem in self.sems:
             sem.remove_member(credential)
 
+    def endpoints(self) -> list:
+        """The cluster as service-layer endpoints (name, abscissa, pk, transport).
+
+        Feeds :class:`repro.service.failover.FailoverMultiSEMClient`, whose
+        per-endpoint transports are the SEMs' own ``sign_blinded_batch``
+        methods — crash-injected SEMs raise ``ConnectionError`` exactly as
+        an unreachable network endpoint would.
+        """
+        from repro.service.failover import SEMEndpoint
+
+        return [
+            SEMEndpoint(
+                name=f"sem-{j}",
+                x=self.key_shares.shares[j].x,
+                share_pk=self.key_shares.share_pks[j],
+                transport=self.sems[j].sign_blinded_batch,
+            )
+            for j in range(self.w)
+        ]
+
     def crash(self, index: int) -> None:
         """Inject a crash failure into SEM ``index``."""
         self.sems[index].fail_mode = "crash"

@@ -105,5 +105,26 @@ class SecurityMediator:
     def sign_blinded_batch(
         self, blinded_messages: list[GroupElement], credential: MemberCredential | None = None
     ) -> list[GroupElement]:
-        """Sign many blinded messages in one round trip."""
-        return [self.sign_blinded(m, credential) for m in blinded_messages]
+        """Sign many blinded messages in one round trip.
+
+        Vectorized: the failure-injection and membership checks run once
+        per batch (one credential covers one request), not once per
+        element — the per-element path through :meth:`sign_blinded` exists
+        for single-message protocol steps.
+        """
+        if self.fail_mode == "crash":
+            raise ConnectionError("SEM is down (injected failure)")
+        if self.require_membership:
+            if credential is None or credential.token not in self._members:
+                if credential is not None and credential.token in self._revoked:
+                    raise RevokedMemberError("credential has been revoked")
+                raise UnknownMemberError("credential is not an enrolled member")
+        sk = self._sk
+        if self.fail_mode == "byzantine":
+            sk = (self._sk + 1) % self.group.order
+        signatures = [sign_blinded(m, sk) for m in blinded_messages]
+        self.transcript.extend(
+            SigningTranscriptEntry(blinded=m, blind_signature=s)
+            for m, s in zip(blinded_messages, signatures)
+        )
+        return signatures

@@ -43,21 +43,40 @@ class _PendingUpload:
 
 
 class SEMNode(Node):
-    """A mediator node answering sign_request with sign_response."""
+    """A mediator node answering sign_request with sign_response.
 
-    def __init__(self, name: str, group, sk: int):
+    Failure injection for service-layer experiments: ``crash()`` makes the
+    node fail-silent (inherited), ``fail_mode="byzantine"`` returns
+    well-formed shares under a perturbed key, and ``service_delay_s``
+    models a slow mediator — replies are deferred by that much virtual
+    time, which is how failover timeouts get exercised without losing the
+    message.
+    """
+
+    def __init__(self, name: str, group, sk: int, service_delay_s: float = 0.0):
         super().__init__(name)
         self.group = group
         self._sk = sk
         self.pk = group.g2() ** sk
+        self.fail_mode: str | None = None  # None | "byzantine"
+        self.service_delay_s = service_delay_s
+        self.signed_batches = 0
         self.on("sign_request", self._handle_sign_request)
 
     def _handle_sign_request(self, message: Message):
         blinded = message.payload
-        signatures = [m**self._sk for m in blinded]
-        return self.make_message(
+        sk = self._sk
+        if self.fail_mode == "byzantine":
+            sk = (self._sk + 1) % self.group.order
+        signatures = [m**sk for m in blinded]
+        self.signed_batches += 1
+        reply = self.make_message(
             message.sender, "sign_response", signatures, reply_to=message.msg_id
         )
+        if self.service_delay_s > 0 and self.sim is not None:
+            self.sim.schedule(self.service_delay_s, lambda r=reply: r)
+            return None
+        return reply
 
 
 class OwnerNode(Node):

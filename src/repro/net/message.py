@@ -8,6 +8,7 @@ counts reflect what a real implementation would transfer.
 
 from __future__ import annotations
 
+import enum
 import itertools
 from dataclasses import dataclass, field
 
@@ -30,8 +31,12 @@ def payload_size(payload, scalar_bytes: int = _SCALAR_FALLBACK_BYTES) -> int:
         return 2 * max(qbytes, scalar_bytes)
     if isinstance(payload, bool):
         return 1
+    if isinstance(payload, enum.Enum):
+        return payload_size(payload.value, scalar_bytes)
     if isinstance(payload, int):
         return max(1, (payload.bit_length() + 7) // 8)
+    if isinstance(payload, float):
+        return 8  # IEEE 754 double on the wire
     if isinstance(payload, (bytes, bytearray)):
         return len(payload)
     if isinstance(payload, str):

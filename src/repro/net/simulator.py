@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import random
 from dataclasses import dataclass, field
 
 from repro.net.channel import Channel
@@ -35,6 +36,7 @@ class Simulator:
         self._queue: list[_Event] = []
         self._seq = itertools.count()
         self._timer_ids = itertools.count()
+        self._pending_timers: set[int] = set()
         self._cancelled_timers: set[int] = set()
         self.now = 0.0
         self.delivered = 0
@@ -59,6 +61,7 @@ class Simulator:
         if delay_s < 0:
             raise ValueError("delay must be non-negative")
         timer_id = next(self._timer_ids)
+        self._pending_timers.add(timer_id)
         heapq.heappush(
             self._queue,
             _Event(
@@ -71,21 +74,36 @@ class Simulator:
         return timer_id
 
     def cancel_timer(self, timer_id: int) -> None:
-        self._cancelled_timers.add(timer_id)
+        """Cancel a pending timer; a no-op for timers that already fired."""
+        if timer_id in self._pending_timers:
+            self._cancelled_timers.add(timer_id)
+
+    @staticmethod
+    def _clone_channel(template: Channel) -> Channel:
+        """An independent channel with the template's parameters.
+
+        Each clone gets its own deterministically derived RNG — sharing the
+        template's RNG object would correlate drop decisions across links
+        that are supposed to be independent.
+        """
+        rng = template.rng
+        if rng is not None:
+            rng = random.Random(rng.getrandbits(64))
+        return Channel(
+            latency_s=template.latency_s,
+            bandwidth_bps=template.bandwidth_bps,
+            authenticated=template.authenticated,
+            anonymous=template.anonymous,
+            drop_rate=template.drop_rate,
+            rng=rng,
+        )
 
     def connect(self, sender: str, recipient: str, channel: Channel,
                 bidirectional: bool = True) -> None:
         self._channels[(sender, recipient)] = channel
         if bidirectional:
-            # Share stats object intentionally? No: independent reverse channel.
-            self._channels[(recipient, sender)] = Channel(
-                latency_s=channel.latency_s,
-                bandwidth_bps=channel.bandwidth_bps,
-                authenticated=channel.authenticated,
-                anonymous=channel.anonymous,
-                drop_rate=channel.drop_rate,
-                rng=channel.rng,
-            )
+            # Independent reverse channel: fresh stats and a derived RNG.
+            self._channels[(recipient, sender)] = self._clone_channel(channel)
 
     def channel(self, sender: str, recipient: str) -> Channel:
         """The directed channel between two nodes.
@@ -97,15 +115,7 @@ class Simulator:
         key = (sender, recipient)
         existing = self._channels.get(key)
         if existing is None:
-            template = self._default_channel
-            existing = Channel(
-                latency_s=template.latency_s,
-                bandwidth_bps=template.bandwidth_bps,
-                authenticated=template.authenticated,
-                anonymous=template.anonymous,
-                drop_rate=template.drop_rate,
-                rng=template.rng,
-            )
+            existing = self._clone_channel(self._default_channel)
             self._channels[key] = existing
         return existing
 
@@ -134,6 +144,7 @@ class Simulator:
             self.now = max(self.now, event.time)
             processed += 1
             if event.callback is not None:
+                self._pending_timers.discard(event.timer_id)
                 if event.timer_id in self._cancelled_timers:
                     self._cancelled_timers.discard(event.timer_id)
                     continue
@@ -156,6 +167,6 @@ class Simulator:
         return self.channel(sender, recipient).stats.bytes_total
 
     def total_bytes(self) -> int:
-        return sum(ch.stats.bytes_total for ch in self._channels.values()) + (
-            self._default_channel.stats.bytes_total
-        )
+        # The default channel is only ever a clone template — traffic is
+        # recorded on the per-pair clones in ``_channels``, never on it.
+        return sum(ch.stats.bytes_total for ch in self._channels.values())

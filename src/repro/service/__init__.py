@@ -1,0 +1,76 @@
+"""SEM signing service layer.
+
+The paper's SEM is an organizational *server*: every member routes every
+block through it (Section III), so under the ROADMAP's target workload the
+mediator is the throughput- and availability-critical component.  This
+package wraps the library-level :class:`~repro.core.sem.SecurityMediator`
+and :mod:`~repro.crypto.blind_bls` primitives in a service:
+
+* :mod:`repro.service.api` — validated ``SignRequest``/``SignResponse``
+  payload contract (fail-fast, AsyncFlow-style);
+* :mod:`repro.service.queues` — bounded admission queues with explicit
+  backpressure policies;
+* :mod:`repro.service.pipeline` — the vectorized blind-sign pass that
+  amortizes fixed-base precomputation and Eq. 7 batch verification across
+  a whole batch;
+* :mod:`repro.service.workers` — a worker pool for the heavy
+  exponentiations (multiprocessing, with a deterministic in-process
+  fallback used under the simulator);
+* :mod:`repro.service.batcher` — the batch aggregator that coalesces
+  pending requests into signing passes;
+* :mod:`repro.service.failover` — multi-SEM client with per-SEM timeouts,
+  retry-with-backoff, and Lagrange reconstruction as soon as t shares
+  arrive (Section V's t−1 fault tolerance);
+* :mod:`repro.service.simnodes` — the service as discrete-event simulator
+  nodes, so seeded experiments can inject latency, drops, and SEM crashes;
+* :mod:`repro.service.metrics` — queue depth, batch-size histogram, and
+  p50/p99 latency, exported through the accounting path.
+"""
+
+from repro.service.api import (
+    RequestValidationError,
+    ResponseStatus,
+    SignRequest,
+    SignResponse,
+)
+from repro.service.batcher import BatchConfig, BatchingSEMService
+from repro.service.failover import (
+    FailoverConfig,
+    FailoverError,
+    FailoverMultiSEMClient,
+    SEMEndpoint,
+    SigningRound,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.pipeline import SigningPipeline
+from repro.service.queues import BoundedQueue, QueueFullError
+from repro.service.simnodes import (
+    SEMServiceNode,
+    ServiceClientNode,
+    build_service_network,
+)
+from repro.service.workers import InlineWorkerPool, ProcessWorkerPool, make_worker_pool
+
+__all__ = [
+    "BatchConfig",
+    "BatchingSEMService",
+    "BoundedQueue",
+    "FailoverConfig",
+    "FailoverError",
+    "FailoverMultiSEMClient",
+    "InlineWorkerPool",
+    "ProcessWorkerPool",
+    "QueueFullError",
+    "RequestValidationError",
+    "ResponseStatus",
+    "SEMEndpoint",
+    "SEMServiceNode",
+    "ServiceClientNode",
+    "ServiceMetrics",
+    "SigningPipeline",
+    "SigningRound",
+    "SignRequest",
+    "SignResponse",
+    "build_service_network",
+    "make_worker_pool",
+]

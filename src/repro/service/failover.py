@@ -1,0 +1,350 @@
+"""Multi-SEM failover: timeouts, retry-with-backoff, early reconstruction.
+
+Section V's promise is operational: with w = 2t − 1 mediators, signing
+succeeds while up to t − 1 of them are crashed, slow, or byzantine.  The
+library-level :class:`~repro.core.multi_sem.MultiSEMClient` exercises the
+cryptography but calls every SEM synchronously and in order; this module
+adds the *service orchestration* around the same math:
+
+* :class:`SigningRound` — a sans-I/O state machine for one batch signing
+  round.  It consumes events (``on_response``, ``on_timeout``) and emits
+  :class:`SendRequest`/:class:`ArmTimer` actions, completing with combined
+  blind signatures **as soon as t valid share batches arrive** (Eq. 11–12)
+  — it never waits for stragglers.  Being pure, the same machine drives
+  both the synchronous client below and the discrete-event simulator nodes
+  in :mod:`repro.service.simnodes`.
+* :class:`FailoverMultiSEMClient` — a drop-in ``sign_blinded_batch``
+  transport over callable per-SEM endpoints, for direct library use.
+
+Endpoint lifecycle within a round::
+
+    IDLE ──send──▶ INFLIGHT ──valid shares──▶ VALID   (counts toward t)
+                    │    ▲                └─invalid──▶ INVALID (byzantine; no retry)
+              timeout    └──retry+backoff (attempts < max_attempts)
+                    │
+                    └──attempts exhausted──▶ EXHAUSTED
+
+The round fails only when every endpoint is VALID/INVALID/EXHAUSTED and
+fewer than t are VALID — i.e. exactly when more than t − 1 SEMs are
+unavailable, matching the paper's bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.multi_sem import InsufficientSharesError
+from repro.crypto.threshold import batch_verify_shares, combine_shares, verify_share
+from repro.mathkit.poly import lagrange_basis_at_zero
+from repro.pairing.interface import GroupElement, PairingGroup
+
+
+class FailoverError(InsufficientSharesError):
+    """The round ended with fewer than t valid share batches."""
+
+
+@dataclass(frozen=True)
+class SEMEndpoint:
+    """One mediator as seen by the client: identity, key share, transport.
+
+    ``transport`` (``sign_blinded_batch(blinded, credential)``-shaped) is
+    used by the synchronous client; simulator nodes address the endpoint
+    by ``name`` instead and leave it None.
+    """
+
+    name: str
+    x: int  # Shamir abscissa of this SEM's key share
+    share_pk: GroupElement  # pk_j = g2^{y_j}
+    transport: object | None = None
+
+
+@dataclass(frozen=True)
+class FailoverConfig:
+    """Timeout/retry policy for one signing round."""
+
+    timeout_s: float = 1.0  # per-attempt response deadline
+    max_attempts: int = 3  # total tries per SEM (1 = no retry)
+    backoff_base_s: float = 0.25  # delay before the first retry
+    backoff_factor: float = 2.0  # multiplier per further retry
+    fanout: int | None = None  # SEMs contacted up front (None = all)
+
+    def backoff_s(self, attempt: int) -> float:
+        """Delay before attempt number ``attempt`` (attempt 1 = first retry)."""
+        return self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+
+
+@dataclass(frozen=True)
+class SendRequest:
+    """Action: (re)send the round's blinded batch to one SEM."""
+
+    endpoint_index: int
+    delay_s: float = 0.0  # backoff before sending (0 on first attempt)
+
+
+@dataclass(frozen=True)
+class ArmTimer:
+    """Action: consider the in-flight attempt timed out after ``delay_s``."""
+
+    endpoint_index: int
+    delay_s: float
+
+
+@dataclass
+class _EndpointState:
+    status: str = "idle"  # idle | inflight | valid | invalid | exhausted
+    attempts: int = 0
+    shares: list | None = None
+
+
+class SigningRound:
+    """Sans-I/O failover state machine for one batch of blinded messages."""
+
+    def __init__(
+        self,
+        group: PairingGroup,
+        endpoints: list[SEMEndpoint],
+        t: int,
+        blinded: list[GroupElement],
+        config: FailoverConfig | None = None,
+        rng=None,
+        batch_verify: bool = True,
+    ):
+        if not 1 <= t <= len(endpoints):
+            raise ValueError("need 1 <= t <= number of endpoints")
+        self.group = group
+        self.endpoints = endpoints
+        self.t = t
+        self.blinded = list(blinded)
+        self.config = config or FailoverConfig()
+        self._rng = rng
+        self.batch_verify = batch_verify
+        self._states = [_EndpointState() for _ in endpoints]
+        self._standby: list[int] = []
+        self.result: list[GroupElement] | None = None
+        self.failed_reason: str | None = None
+        self.retries = 0
+        self.timeouts = 0
+        self.invalid_endpoints = 0
+
+    # -- round status -------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.result is not None or self.failed_reason is not None
+
+    @property
+    def valid_count(self) -> int:
+        return sum(1 for s in self._states if s.status == "valid")
+
+    @property
+    def used_failover(self) -> bool:
+        """Whether the round survived at least one failed/slow/bad SEM."""
+        return (
+            self.retries > 0
+            or self.invalid_endpoints > 0
+            or any(s.status == "exhausted" for s in self._states)
+        )
+
+    # -- events -------------------------------------------------------------
+    def start(self) -> list:
+        """Initial actions: contact ``fanout`` SEMs, arm their timeouts."""
+        fanout = self.config.fanout or len(self.endpoints)
+        fanout = min(max(fanout, self.t), len(self.endpoints))
+        self._standby = list(range(fanout, len(self.endpoints)))
+        actions = []
+        for index in range(fanout):
+            actions.extend(self._send(index, delay_s=0.0))
+        return actions
+
+    def on_response(self, endpoint_index: int, shares: list[GroupElement]) -> list:
+        """A SEM answered with one signature share per blinded message."""
+        state = self._states[endpoint_index]
+        if self.done or state.status in ("valid", "invalid", "exhausted"):
+            return []  # duplicate or stale: idempotent
+        if len(shares) != len(self.blinded) or not self._shares_valid(
+            endpoint_index, shares
+        ):
+            state.status = "invalid"
+            self.invalid_endpoints += 1
+            return self._activate_standby()
+        state.status = "valid"
+        state.shares = list(shares)
+        if self.valid_count >= self.t:
+            self._complete()
+        else:
+            # This may have been the last unresolved endpoint.
+            self._check_for_failure()
+        return []
+
+    def on_timeout(self, endpoint_index: int) -> list:
+        """The in-flight attempt to one SEM passed its deadline."""
+        state = self._states[endpoint_index]
+        if self.done or state.status != "inflight":
+            return []  # answered in the meantime, or already resolved
+        self.timeouts += 1
+        if state.attempts >= self.config.max_attempts:
+            state.status = "exhausted"
+            return self._activate_standby()
+        self.retries += 1
+        return self._send(endpoint_index, delay_s=self.config.backoff_s(state.attempts))
+
+    # -- internals ----------------------------------------------------------
+    def _send(self, index: int, delay_s: float) -> list:
+        state = self._states[index]
+        state.status = "inflight"
+        state.attempts += 1
+        return [
+            SendRequest(endpoint_index=index, delay_s=delay_s),
+            ArmTimer(endpoint_index=index, delay_s=delay_s + self.config.timeout_s),
+        ]
+
+    def _activate_standby(self) -> list:
+        """A contacted SEM failed: bring in a never-contacted one, or fail."""
+        if self._standby and not self.done:
+            return self._send(self._standby.pop(0), delay_s=0.0)
+        self._check_for_failure()
+        return []
+
+    def _check_for_failure(self) -> None:
+        if self.done:
+            return
+        resolved = sum(
+            1 for s in self._states if s.status in ("valid", "invalid", "exhausted")
+        )
+        if resolved == len(self._states) and self.valid_count < self.t:
+            self.failed_reason = (
+                f"only {self.valid_count} of the required {self.t} SEMs "
+                f"returned valid share batches"
+            )
+
+    def _shares_valid(self, endpoint_index: int, shares: list[GroupElement]) -> bool:
+        pk = self.endpoints[endpoint_index].share_pk
+        if self.batch_verify:
+            return batch_verify_shares(
+                self.group,
+                self.blinded,
+                {endpoint_index: shares},
+                {endpoint_index: pk},
+                rng=self._rng,
+            )
+        return all(
+            verify_share(self.group, m, s, pk) for m, s in zip(self.blinded, shares)
+        )
+
+    def _complete(self) -> None:
+        chosen = [i for i, s in enumerate(self._states) if s.status == "valid"][: self.t]
+        xs = [self.endpoints[i].x for i in chosen]
+        basis = lagrange_basis_at_zero(xs, self.group.order)  # Eq. 11, once
+        combined = []
+        for item in range(len(self.blinded)):
+            pairs = [(xs[pos], self._states[i].shares[item]) for pos, i in enumerate(chosen)]
+            combined.append(combine_shares(self.group, pairs, basis=basis))  # Eq. 12
+        self.result = combined
+
+
+@dataclass
+class FailoverStats:
+    """Aggregated over a client's lifetime, for the service metrics."""
+
+    rounds: int = 0
+    rounds_with_failover: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    invalid_endpoints: int = 0
+
+
+class FailoverMultiSEMClient:
+    """Synchronous driver of :class:`SigningRound` over callable endpoints.
+
+    Drop-in for the ``sign_blinded_batch`` transport contract, so a
+    :class:`~repro.core.owner.DataOwner` or a
+    :class:`~repro.service.pipeline.SigningPipeline` can sit on top of a
+    fault-tolerant cluster unchanged.  Endpoint transports signal
+    unavailability by raising ``ConnectionError`` (crash) or
+    ``TimeoutError`` (deadline missed); both feed the state machine's
+    timeout path, triggering retry-with-backoff and standby activation.
+
+    Args:
+        group: the pairing group.
+        endpoints: the w mediators (with transports set).
+        t: reconstruction threshold.
+        config: timeout/retry policy.
+        sleep: called with the backoff delay before each retry; defaults
+            to no-op (virtual time; pass ``time.sleep`` for wall-clock).
+    """
+
+    def __init__(
+        self,
+        group: PairingGroup,
+        endpoints: list[SEMEndpoint],
+        t: int,
+        config: FailoverConfig | None = None,
+        rng=None,
+        batch_verify: bool = True,
+        sleep=None,
+    ):
+        if any(e.transport is None for e in endpoints):
+            raise ValueError("synchronous client needs a transport per endpoint")
+        self.group = group
+        self.endpoints = endpoints
+        self.t = t
+        self.config = config or FailoverConfig()
+        self._rng = rng
+        self.batch_verify = batch_verify
+        self._sleep = sleep or (lambda seconds: None)
+        self.stats = FailoverStats()
+
+    @classmethod
+    def from_cluster(cls, cluster, config: FailoverConfig | None = None, rng=None,
+                     batch_verify: bool = True, sleep=None) -> "FailoverMultiSEMClient":
+        """Build over an in-memory :class:`~repro.core.multi_sem.SEMCluster`."""
+        return cls(
+            cluster.group,
+            cluster.endpoints(),
+            cluster.t,
+            config=config,
+            rng=rng,
+            batch_verify=batch_verify,
+            sleep=sleep,
+        )
+
+    def sign_blinded_batch(
+        self, blinded_messages: list[GroupElement], credential=None
+    ) -> list[GroupElement]:
+        """Collect t valid share batches and combine them (Eq. 11–12).
+
+        Raises:
+            FailoverError: when more than t − 1 SEMs are unavailable.
+        """
+        round_ = SigningRound(
+            self.group,
+            self.endpoints,
+            self.t,
+            blinded_messages,
+            config=self.config,
+            rng=self._rng,
+            batch_verify=self.batch_verify,
+        )
+        pending = list(round_.start())
+        while pending and not round_.done:
+            action = pending.pop(0)
+            if not isinstance(action, SendRequest):
+                continue  # ArmTimer: sync mode detects timeouts via exceptions
+            if action.delay_s:
+                self._sleep(action.delay_s)
+            endpoint = self.endpoints[action.endpoint_index]
+            try:
+                shares = endpoint.transport(blinded_messages, credential)
+            except (ConnectionError, TimeoutError):
+                pending.extend(round_.on_timeout(action.endpoint_index))
+            else:
+                pending.extend(round_.on_response(action.endpoint_index, shares))
+        self.stats.rounds += 1
+        self.stats.retries += round_.retries
+        self.stats.timeouts += round_.timeouts
+        self.stats.invalid_endpoints += round_.invalid_endpoints
+        if round_.used_failover:
+            self.stats.rounds_with_failover += 1
+        if round_.result is None:
+            round_._check_for_failure()
+            raise FailoverError(round_.failed_reason or "signing round did not complete")
+        return round_.result

@@ -1,0 +1,103 @@
+"""Bounded admission queues with explicit backpressure.
+
+An unbounded queue in front of a signer means unbounded latency: under
+sustained overload every request eventually waits forever.  The service
+therefore admits requests through a :class:`BoundedQueue` with one of
+three policies:
+
+* ``"reject"`` (default) — raise :class:`QueueFullError`; the service maps
+  this to an ``OVERLOADED`` response so the client can back off.  This is
+  the honest policy for a signing service: the client holds the blinding
+  state and must know its request was not accepted.
+* ``"drop-oldest"`` — evict the oldest waiting entry to admit the new one
+  (the evicted entry is returned to the caller so it can be failed
+  explicitly, never silently lost).
+* ``"block"`` — wait until space frees up (thread mode only; meaningless
+  under the single-threaded simulator, where it degenerates to reject).
+
+The queue is deterministic and lock-guarded, so the same object works
+under the discrete-event simulator (single-threaded) and under a thread
+feeding a process worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class QueueFullError(Exception):
+    """The bounded queue refused an entry (backpressure)."""
+
+
+_POLICIES = ("reject", "drop-oldest", "block")
+
+
+class BoundedQueue:
+    """A FIFO with a hard capacity and a configurable full-queue policy."""
+
+    def __init__(self, capacity: int, policy: str = "reject"):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if policy not in _POLICIES:
+            raise ValueError(f"unknown policy {policy!r}; choose from {_POLICIES}")
+        self.capacity = capacity
+        self.policy = policy
+        self._entries: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self.evicted = 0
+        self.rejected = 0
+        self.high_watermark = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def depth(self) -> int:
+        return len(self._entries)
+
+    def put(self, entry, timeout_s: float | None = None):
+        """Admit ``entry``; returns an evicted entry under ``drop-oldest``.
+
+        Raises:
+            QueueFullError: under ``reject`` when full, or under ``block``
+                when the wait times out.
+        """
+        with self._not_full:
+            evicted = None
+            if len(self._entries) >= self.capacity:
+                if self.policy == "reject":
+                    self.rejected += 1
+                    raise QueueFullError(f"queue at capacity {self.capacity}")
+                if self.policy == "drop-oldest":
+                    evicted = self._entries.popleft()
+                    self.evicted += 1
+                else:  # block
+                    if not self._not_full.wait_for(
+                        lambda: len(self._entries) < self.capacity, timeout=timeout_s
+                    ):
+                        self.rejected += 1
+                        raise QueueFullError(
+                            f"queue stayed at capacity {self.capacity} for {timeout_s}s"
+                        )
+            self._entries.append(entry)
+            self.high_watermark = max(self.high_watermark, len(self._entries))
+            return evicted
+
+    def take(self, max_items: int) -> list:
+        """Remove and return up to ``max_items`` oldest entries."""
+        if max_items < 1:
+            raise ValueError("max_items must be positive")
+        with self._not_full:
+            batch = []
+            while self._entries and len(batch) < max_items:
+                batch.append(self._entries.popleft())
+            if batch:
+                self._not_full.notify_all()
+            return batch
+
+    def peek_oldest(self):
+        """The entry at the head, or None when empty (not removed)."""
+        with self._lock:
+            return self._entries[0] if self._entries else None

@@ -1,0 +1,164 @@
+"""Worker pools for the pipeline's heavy group exponentiations.
+
+Block aggregation — H(id_i)·∏ u_l^{m_{i,l}}, k exponentiations per block —
+dominates the owner-side signing pass.  It is embarrassingly parallel
+across blocks, so the pipeline delegates it to a :class:`WorkerPool`:
+
+* :class:`InlineWorkerPool` computes in-process (optionally through shared
+  fixed-base tables).  It is deterministic, has zero setup cost, and is
+  what the discrete-event simulator uses — virtual time must not depend on
+  host parallelism.
+* :class:`ProcessWorkerPool` fans blocks out to ``multiprocessing``
+  workers.  Group elements do not cross the process boundary: workers are
+  seeded with the picklable :class:`~repro.pairing.params.TypeAParams`
+  plus the public (k, seed) of :func:`~repro.core.params.setup`, rebuild
+  identical parameters locally, and return compressed G1 bytes which the
+  parent deserializes.  Anything that fails to start (restricted
+  environments, non-type-A backends) falls back to inline computation.
+
+:func:`make_worker_pool` picks the right implementation.
+"""
+
+from __future__ import annotations
+
+from repro.core.blocks import Block, aggregate_block
+from repro.core.params import SystemParams, setup
+from repro.pairing.interface import GroupElement
+
+
+class InlineWorkerPool:
+    """Compute aggregates in-process; the simulator-safe default.
+
+    Args:
+        params: system parameters.
+        tables: optional precomputed fixed-base tables for u_1..u_k (from
+            :func:`repro.ec.fixed_base.build_tables`); when given, each
+            aggregation costs table lookups and multiplications only.
+    """
+
+    parallel = False
+
+    def __init__(self, params: SystemParams, tables=None):
+        self.params = params
+        self.tables = tables
+
+    def aggregate_blocks(self, blocks: list[Block]) -> list[GroupElement]:
+        if self.tables is not None:
+            from repro.ec.fixed_base import aggregate_with_tables
+
+            return [aggregate_with_tables(self.params, b, self.tables) for b in blocks]
+        return [aggregate_block(self.params, b) for b in blocks]
+
+    def close(self) -> None:  # symmetry with ProcessWorkerPool
+        return None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+
+# -- process pool plumbing ---------------------------------------------------
+# Workers rebuild the (group, params) pair once per process from picklable
+# ingredients; _WORKER_STATE caches it for the life of the worker.
+
+_WORKER_STATE: dict = {}
+
+
+def _worker_init(type_a_params, k: int, seed: bytes, window: int | None) -> None:
+    from repro.pairing.type_a import TypeAPairingGroup
+
+    group = TypeAPairingGroup.from_params(type_a_params)
+    params = setup(group, k, seed=seed)
+    tables = None
+    if window is not None:
+        from repro.ec.fixed_base import build_tables
+
+        tables = build_tables(list(params.u), params.order.bit_length(), window=window)
+    _WORKER_STATE["params"] = params
+    _WORKER_STATE["tables"] = tables
+
+
+def _worker_aggregate(job: list[tuple[bytes, tuple[int, ...]]]) -> list[bytes]:
+    params = _WORKER_STATE["params"]
+    tables = _WORKER_STATE["tables"]
+    out = []
+    for block_id, elements in job:
+        block = Block(block_id=block_id, elements=elements)
+        if tables is not None:
+            from repro.ec.fixed_base import aggregate_with_tables
+
+            element = aggregate_with_tables(params, block, tables)
+        else:
+            element = aggregate_block(params, block)
+        out.append(element.to_bytes())
+    return out
+
+
+class ProcessWorkerPool:
+    """Aggregate blocks across ``n_workers`` OS processes.
+
+    Only type-A groups are supported (their parameters are picklable and
+    cheap to rebuild); construction raises ``TypeError`` otherwise so the
+    factory can fall back to inline workers.
+    """
+
+    parallel = True
+
+    def __init__(self, params: SystemParams, n_workers: int | None = None,
+                 window: int | None = 4, chunk_blocks: int = 16):
+        type_a = getattr(params.group, "params", None)
+        if type_a is None or not hasattr(params.group, "deserialize_g1"):
+            raise TypeError("process workers need a type-A group with serialization")
+        import multiprocessing
+
+        self.params = params
+        self.chunk_blocks = max(1, chunk_blocks)
+        ctx = multiprocessing.get_context("spawn")
+        self.n_workers = n_workers or max(1, (ctx.cpu_count() or 2) - 1)
+        self._pool = ctx.Pool(
+            processes=self.n_workers,
+            initializer=_worker_init,
+            initargs=(type_a, params.k, params.seed, window),
+        )
+
+    def aggregate_blocks(self, blocks: list[Block]) -> list[GroupElement]:
+        jobs = [
+            [(b.block_id, b.elements) for b in blocks[i : i + self.chunk_blocks]]
+            for i in range(0, len(blocks), self.chunk_blocks)
+        ]
+        results = self._pool.map(_worker_aggregate, jobs)
+        group = self.params.group
+        return [group.deserialize_g1(raw) for chunk in results for raw in chunk]
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+
+
+def make_worker_pool(
+    params: SystemParams,
+    prefer_processes: bool = False,
+    n_workers: int | None = None,
+    tables=None,
+):
+    """Build the best worker pool the environment supports.
+
+    ``prefer_processes=False`` (the default, and what the simulator uses)
+    always returns an :class:`InlineWorkerPool`.  With
+    ``prefer_processes=True`` a :class:`ProcessWorkerPool` is attempted
+    and any startup failure degrades gracefully to inline.
+    """
+    if prefer_processes:
+        try:
+            return ProcessWorkerPool(params, n_workers=n_workers)
+        except (TypeError, OSError, ImportError, ValueError):
+            pass
+    return InlineWorkerPool(params, tables=tables)

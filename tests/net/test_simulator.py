@@ -97,6 +97,47 @@ class TestSimulator:
         sim.run()
         assert sim.total_bytes() == 6  # default channel: ping + pong
 
+    def test_default_template_never_accumulates_bytes(self):
+        """Traffic lands on per-pair clones, never the clone template."""
+        sim = self._pair()
+        sim.send(Message(sender="a", recipient="b", msg_type="ping", payload=b"123"))
+        sim.run()
+        assert sim._default_channel.stats.bytes_total == 0
+        assert sim.total_bytes() == sum(
+            ch.stats.bytes_total for ch in sim._channels.values()
+        )
+
+    def test_derived_channels_have_independent_rngs(self):
+        """connect(bidirectional=True) must not share one RNG across links:
+        shared state correlates drop decisions on independent links."""
+        sim = self._pair()
+        forward = Channel(drop_rate=0.5, rng=random.Random(7))
+        sim.connect("a", "b", forward)
+        reverse = sim.channel("b", "a")
+        assert reverse.rng is not forward.rng
+        # Deterministic: reconnecting with the same seed derives the same RNG.
+        sim2 = self._pair()
+        sim2.connect("a", "b", Channel(drop_rate=0.5, rng=random.Random(7)))
+        seq = [sim.channel("b", "a").rng.random() for _ in range(8)]
+        seq2 = [sim2.channel("b", "a").rng.random() for _ in range(8)]
+        assert seq == seq2
+
+    def test_default_clones_have_independent_rngs(self):
+        """Each lazily-cloned per-pair channel derives its own RNG."""
+        template = Channel(drop_rate=0.5, rng=random.Random(3))
+        sim = Simulator(default_channel=template)
+        sim.add_node(Echo("a"))
+        sim.add_node(Echo("b"))
+        sim.add_node(Echo("c"))
+        ab = sim.channel("a", "b")
+        ac = sim.channel("a", "c")
+        assert ab.rng is not ac.rng
+        assert ab.rng is not template.rng
+        # Independent streams, not one shared sequence.
+        assert [ab.rng.random() for _ in range(4)] != [
+            ac.rng.random() for _ in range(4)
+        ]
+
     def test_run_until(self):
         sim = self._pair()
         sim.connect("a", "b", Channel(latency_s=10.0))

@@ -59,6 +59,43 @@ class TestTimers:
         with pytest.raises(ValueError):
             Simulator().schedule(-1.0, lambda: None)
 
+    def test_cancel_after_fire_does_not_leak(self):
+        """Cancelling an already-fired timer must be a no-op, not a leak."""
+        sim = Simulator()
+        fired = []
+        timer_id = sim.schedule(1.0, lambda: fired.append(1))
+        sim.run()
+        assert fired == [1]
+        sim.cancel_timer(timer_id)
+        assert sim._cancelled_timers == set()
+        assert sim._pending_timers == set()
+
+    def test_cancelled_timer_not_counted_as_fired(self):
+        sim = Simulator()
+        kept = sim.schedule(1.0, lambda: None)
+        cancelled = sim.schedule(2.0, lambda: None)
+        sim.cancel_timer(cancelled)
+        sim.run()
+        assert sim.timers_fired == 1
+        assert sim._cancelled_timers == set()
+        # Both ids are gone from the pending set once processed.
+        assert sim._pending_timers == set()
+        assert kept != cancelled
+
+    def test_double_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer_id = sim.schedule(1.0, lambda: None)
+        sim.cancel_timer(timer_id)
+        sim.cancel_timer(timer_id)
+        sim.run()
+        assert sim.timers_fired == 0
+        assert sim._cancelled_timers == set()
+
+    def test_cancel_unknown_timer_id_is_noop(self):
+        sim = Simulator()
+        sim.cancel_timer(12345)
+        assert sim._cancelled_timers == set()
+
     def test_nodes_get_sim_reference(self):
         sim = Simulator()
         node = sim.add_node(Node("n"))

@@ -1,0 +1,31 @@
+"""Service-layer fixtures: a permissive SEM and ready-made requests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.blocks import encode_data
+from repro.core.sem import SecurityMediator
+from repro.service.api import SignRequest, next_request_id
+
+
+@pytest.fixture()
+def sem(group, rng):
+    """A single SEM signing for anyone (membership enforced elsewhere)."""
+    return SecurityMediator(group, rng=rng, require_membership=False)
+
+
+@pytest.fixture()
+def make_request(params_k4):
+    """Factory for valid blocks-kind requests of ``n_blocks`` blocks."""
+
+    def _make(tag: bytes = b"x", n_blocks: int = 2, owner: str = "alice"):
+        data = bytes(n_blocks * params_k4.k * ((params_k4.order.bit_length() - 1) // 8))
+        data = bytes((i + tag[0]) % 251 for i in range(len(data)))
+        blocks = tuple(encode_data(data, params_k4, b"file-" + tag))
+        assert len(blocks) >= n_blocks
+        return SignRequest(
+            request_id=next_request_id(), owner=owner, blocks=blocks[:n_blocks]
+        )
+
+    return _make

@@ -1,0 +1,224 @@
+"""The failover state machine and its synchronous driver (Section V)."""
+
+import pytest
+
+from repro.core.blocks import aggregate_block
+from repro.core.multi_sem import SEMCluster
+from repro.crypto.blind_bls import blind
+from repro.service.failover import (
+    ArmTimer,
+    FailoverConfig,
+    FailoverError,
+    FailoverMultiSEMClient,
+    SendRequest,
+    SigningRound,
+)
+
+
+@pytest.fixture()
+def cluster(group, rng):
+    """w = 5 SEMs, threshold t = 3: tolerates 2 failures."""
+    return SEMCluster(group, t=3, rng=rng, require_membership=False)
+
+
+@pytest.fixture()
+def blinded(group, params_k4, make_request, rng):
+    request = make_request(b"f", n_blocks=3)
+    return [
+        blind(group, aggregate_block(params_k4, b), rng).blinded
+        for b in request.blocks
+    ]
+
+
+def make_round(cluster, blinded, rng, **config):
+    return SigningRound(
+        cluster.group,
+        cluster.endpoints(),
+        cluster.t,
+        blinded,
+        config=FailoverConfig(**config),
+        rng=rng,
+    )
+
+
+def shares_from(cluster, index, blinded):
+    return cluster.sems[index].sign_blinded_batch(blinded)
+
+
+class TestSigningRound:
+    def test_start_contacts_fanout_and_arms_timers(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng, fanout=3, timeout_s=0.5)
+        actions = round_.start()
+        sends = [a for a in actions if isinstance(a, SendRequest)]
+        timers = [a for a in actions if isinstance(a, ArmTimer)]
+        assert [s.endpoint_index for s in sends] == [0, 1, 2]
+        assert all(t.delay_s == 0.5 for t in timers)
+
+    def test_fanout_is_clamped_to_at_least_t(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng, fanout=1)
+        sends = [a for a in round_.start() if isinstance(a, SendRequest)]
+        assert len(sends) == cluster.t
+
+    def test_completes_at_exactly_t_valid_responses(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng)
+        round_.start()
+        for j in range(cluster.t):
+            round_.on_response(j, shares_from(cluster, j, blinded))
+        assert round_.done and round_.result is not None
+        # Combined result equals signing under the master key.
+        group = cluster.group
+        for m, sig in zip(blinded, round_.result):
+            assert group.pair(sig, group.g2()) == group.pair(m, cluster.master_pk)
+
+    def test_straggler_responses_are_ignored_after_completion(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng)
+        round_.start()
+        for j in range(cluster.t):
+            round_.on_response(j, shares_from(cluster, j, blinded))
+        result = list(round_.result)
+        assert round_.on_response(3, shares_from(cluster, 3, blinded)) == []
+        assert round_.result == result
+
+    def test_duplicate_response_is_idempotent(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng)
+        round_.start()
+        shares = shares_from(cluster, 0, blinded)
+        round_.on_response(0, shares)
+        assert round_.on_response(0, shares) == []
+        assert round_.valid_count == 1
+
+    def test_invalid_shares_mark_endpoint_and_activate_standby(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng, fanout=3)
+        round_.start()
+        wrong = shares_from(cluster, 1, blinded)  # wrong key share for SEM 0
+        actions = round_.on_response(0, wrong)
+        assert round_.invalid_endpoints == 1
+        assert [a.endpoint_index for a in actions if isinstance(a, SendRequest)] == [3]
+
+    def test_short_share_batch_is_invalid(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng)
+        round_.start()
+        round_.on_response(0, shares_from(cluster, 0, blinded)[:-1])
+        assert round_.invalid_endpoints == 1
+
+    def test_timeout_retries_with_backoff_then_exhausts(self, cluster, blinded, rng):
+        round_ = make_round(
+            cluster, blinded, rng,
+            fanout=3, max_attempts=2, backoff_base_s=0.25, backoff_factor=2.0,
+        )
+        round_.start()
+        first = round_.on_timeout(0)
+        sends = [a for a in first if isinstance(a, SendRequest)]
+        assert sends and sends[0].delay_s == pytest.approx(0.25)
+        assert round_.retries == 1
+        second = round_.on_timeout(0)  # attempts exhausted -> standby
+        assert [a.endpoint_index for a in second if isinstance(a, SendRequest)] == [3]
+
+    def test_timeout_after_response_is_a_noop(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng)
+        round_.start()
+        round_.on_response(0, shares_from(cluster, 0, blinded))
+        assert round_.on_timeout(0) == []
+        assert round_.timeouts == 0
+
+    def test_fails_when_more_than_t_minus_1_sems_are_dead(self, cluster, blinded, rng):
+        round_ = make_round(cluster, blinded, rng, max_attempts=1)
+        round_.start()
+        for j in range(3):  # 3 of 5 dead > t-1 = 2
+            round_.on_timeout(j)
+        round_.on_response(3, shares_from(cluster, 3, blinded))
+        round_.on_response(4, shares_from(cluster, 4, blinded))
+        assert round_.failed_reason is not None
+        assert "2 of the required 3" in round_.failed_reason
+
+    def test_used_failover_flag(self, cluster, blinded, rng):
+        smooth = make_round(cluster, blinded, rng)
+        smooth.start()
+        for j in range(cluster.t):
+            smooth.on_response(j, shares_from(cluster, j, blinded))
+        assert not smooth.used_failover
+
+    def test_threshold_bounds(self, cluster, blinded, rng):
+        with pytest.raises(ValueError):
+            SigningRound(cluster.group, cluster.endpoints(), 6, blinded)
+
+
+class TestSynchronousClient:
+    def test_signs_through_healthy_cluster(self, cluster, blinded, rng):
+        client = FailoverMultiSEMClient.from_cluster(cluster, rng=rng)
+        result = client.sign_blinded_batch(blinded)
+        group = cluster.group
+        for m, sig in zip(blinded, result):
+            assert group.pair(sig, group.g2()) == group.pair(m, cluster.master_pk)
+        assert client.stats.rounds == 1
+        assert client.stats.rounds_with_failover == 0
+
+    def test_tolerates_t_minus_1_crashed(self, cluster, blinded, rng):
+        cluster.crash(0)
+        cluster.crash(1)  # t-1 = 2 crashed of w = 5
+        client = FailoverMultiSEMClient.from_cluster(
+            cluster, config=FailoverConfig(max_attempts=1), rng=rng
+        )
+        result = client.sign_blinded_batch(blinded)
+        assert len(result) == len(blinded)
+        assert client.stats.rounds_with_failover == 1
+
+    def test_tolerates_byzantine_minority(self, cluster, blinded, rng):
+        cluster.corrupt(0)
+        cluster.crash(1)
+        client = FailoverMultiSEMClient.from_cluster(
+            cluster, config=FailoverConfig(max_attempts=1), rng=rng
+        )
+        result = client.sign_blinded_batch(blinded)
+        group = cluster.group
+        for m, sig in zip(blinded, result):
+            assert group.pair(sig, group.g2()) == group.pair(m, cluster.master_pk)
+        assert client.stats.invalid_endpoints == 1
+
+    def test_fails_beyond_tolerance(self, cluster, blinded, rng):
+        for j in range(3):  # one too many
+            cluster.crash(j)
+        client = FailoverMultiSEMClient.from_cluster(
+            cluster, config=FailoverConfig(max_attempts=1), rng=rng
+        )
+        with pytest.raises(FailoverError):
+            client.sign_blinded_batch(blinded)
+
+    def test_retry_recovers_a_flaky_sem_and_sleeps_backoff(self, cluster, blinded, rng):
+        # SEM 0 times out once then answers; SEMs 1-2 are dead.  The round
+        # needs the retried SEM 0 to reach t = 3 valid share batches.
+        cluster.crash(1)
+        cluster.crash(2)
+        endpoints = cluster.endpoints()
+        calls = {"n": 0}
+        real = endpoints[0].transport
+
+        def flaky(blinded_messages, credential=None):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise TimeoutError("first attempt lost")
+            return real(blinded_messages, credential)
+
+        endpoints[0] = type(endpoints[0])(
+            name=endpoints[0].name, x=endpoints[0].x,
+            share_pk=endpoints[0].share_pk, transport=flaky,
+        )
+        naps = []
+        client = FailoverMultiSEMClient(
+            cluster.group, endpoints, cluster.t,
+            config=FailoverConfig(max_attempts=2, backoff_base_s=0.125),
+            rng=rng, sleep=naps.append,
+        )
+        result = client.sign_blinded_batch(blinded)
+        assert len(result) == len(blinded)
+        assert pytest.approx(0.125) in naps
+        assert calls["n"] == 2
+        assert client.stats.retries >= 1
+
+    def test_requires_transports(self, cluster, blinded, rng):
+        endpoints = [
+            type(e)(name=e.name, x=e.x, share_pk=e.share_pk, transport=None)
+            for e in cluster.endpoints()
+        ]
+        with pytest.raises(ValueError, match="transport"):
+            FailoverMultiSEMClient(cluster.group, endpoints, cluster.t)

@@ -1,0 +1,77 @@
+"""Deterministic service metrics: reservoirs, histograms, label export."""
+
+import pytest
+
+from repro.pairing.interface import OperationCounter
+from repro.service.metrics import Histogram, LatencyReservoir, ServiceMetrics
+
+
+class TestLatencyReservoir:
+    def test_exact_percentiles_under_capacity(self):
+        r = LatencyReservoir(capacity=100)
+        for v in range(1, 11):
+            r.record(float(v))
+        assert r.percentile(0) == 1.0
+        assert r.percentile(100) == 10.0
+        assert r.percentile(50) == pytest.approx(5.5)
+        assert r.mean == pytest.approx(5.5)
+
+    def test_empty_reservoir(self):
+        r = LatencyReservoir()
+        assert r.percentile(99) == 0.0
+        assert r.mean == 0.0
+
+    def test_bounded_memory_over_capacity(self):
+        r = LatencyReservoir(capacity=16)
+        for v in range(1000):
+            r.record(float(v))
+        assert len(r._samples) <= 16
+        assert r.count == 1000
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir(0)
+
+
+class TestHistogram:
+    def test_power_of_two_buckets(self):
+        h = Histogram()
+        for v in (1, 2, 3, 64, 100):
+            h.record(v)
+        snap = h.snapshot()
+        assert snap["[1,1]"] == 1
+        assert snap["[2,3]"] == 2
+        assert snap["[64,127]"] == 2
+        assert h.mean == pytest.approx(34.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-1)
+
+
+class TestServiceMetrics:
+    def test_lifecycle_counters(self):
+        m = ServiceMetrics()
+        m.on_enqueue(1)
+        m.on_enqueue(2)
+        m.on_batch(2, 0)
+        m.on_complete(4, 0.01, 0.05)
+        m.on_complete(4, 0.02, 0.06)
+        s = m.summary()
+        assert s["submitted"] == 2
+        assert s["completed"] == 2
+        assert s["signatures_produced"] == 8
+        assert s["batches"] == 1
+        assert s["queue_high_watermark"] == 2
+        assert s["latency_p99_s"] > 0
+
+    def test_to_labels_flattens_scalars(self):
+        m = ServiceMetrics()
+        m.on_enqueue(1)
+        m.on_batch(1, 0)
+        m.on_complete(2, 0.5, 1.5)
+        counter = OperationCounter()
+        m.to_labels(counter)
+        assert counter.labels["service.submitted"] == 1
+        assert counter.labels["service.latency_p50_s"] == 1_500_000  # µs-scaled
+        assert "service.batch_size_hist" not in counter.labels

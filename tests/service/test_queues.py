@@ -1,0 +1,83 @@
+"""Bounded-queue backpressure policies."""
+
+import pytest
+
+from repro.service.queues import BoundedQueue, QueueFullError
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        q = BoundedQueue(4)
+        for i in range(3):
+            q.put(i)
+        assert q.take(10) == [0, 1, 2]
+        assert q.depth == 0
+
+    def test_take_respects_max_items(self):
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.put(i)
+        assert q.take(2) == [0, 1]
+        assert q.depth == 3
+
+    def test_peek_does_not_remove(self):
+        q = BoundedQueue(2)
+        q.put("a")
+        assert q.peek_oldest() == "a"
+        assert q.depth == 1
+        assert BoundedQueue(1).peek_oldest() is None
+
+    def test_high_watermark(self):
+        q = BoundedQueue(8)
+        for i in range(5):
+            q.put(i)
+        q.take(5)
+        q.put(9)
+        assert q.high_watermark == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BoundedQueue(0)
+        with pytest.raises(ValueError):
+            BoundedQueue(4, policy="banana")
+        with pytest.raises(ValueError):
+            BoundedQueue(4).take(0)
+
+
+class TestPolicies:
+    def test_reject_raises_when_full(self):
+        q = BoundedQueue(2, policy="reject")
+        q.put(1)
+        q.put(2)
+        with pytest.raises(QueueFullError):
+            q.put(3)
+        assert q.rejected == 1
+        assert q.take(10) == [1, 2]  # existing entries untouched
+
+    def test_drop_oldest_returns_evicted(self):
+        q = BoundedQueue(2, policy="drop-oldest")
+        q.put(1)
+        q.put(2)
+        evicted = q.put(3)
+        assert evicted == 1
+        assert q.evicted == 1
+        assert q.take(10) == [2, 3]
+
+    def test_put_returns_none_when_not_full(self):
+        q = BoundedQueue(2, policy="drop-oldest")
+        assert q.put(1) is None
+
+    def test_block_times_out_when_nothing_drains(self):
+        q = BoundedQueue(1, policy="block")
+        q.put(1)
+        with pytest.raises(QueueFullError):
+            q.put(2, timeout_s=0.01)
+
+    def test_block_admits_after_drain(self):
+        import threading
+
+        q = BoundedQueue(1, policy="block")
+        q.put(1)
+        threading.Timer(0.02, lambda: q.take(1)).start()
+        q.put(2, timeout_s=2.0)
+        assert q.take(1) == [2]

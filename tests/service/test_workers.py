@@ -1,0 +1,64 @@
+"""Worker pools must agree with the reference aggregation exactly."""
+
+import pytest
+
+from repro.core.blocks import aggregate_block
+from repro.ec.fixed_base import build_tables
+from repro.service.workers import (
+    InlineWorkerPool,
+    ProcessWorkerPool,
+    make_worker_pool,
+)
+
+
+@pytest.fixture()
+def blocks(make_request):
+    return list(make_request(b"w", n_blocks=4).blocks)
+
+
+class TestInline:
+    def test_matches_reference(self, params_k4, blocks):
+        pool = InlineWorkerPool(params_k4)
+        expected = [aggregate_block(params_k4, b) for b in blocks]
+        assert pool.aggregate_blocks(blocks) == expected
+
+    def test_with_tables_matches_reference(self, params_k4, blocks):
+        tables = build_tables(list(params_k4.u), params_k4.order.bit_length())
+        pool = InlineWorkerPool(params_k4, tables=tables)
+        expected = [aggregate_block(params_k4, b) for b in blocks]
+        assert pool.aggregate_blocks(blocks) == expected
+
+    def test_context_manager(self, params_k4):
+        with InlineWorkerPool(params_k4) as pool:
+            assert pool.aggregate_blocks([]) == []
+
+
+class TestFactory:
+    def test_default_is_inline(self, params_k4):
+        assert isinstance(make_worker_pool(params_k4), InlineWorkerPool)
+
+    def test_rejects_groups_without_serialization(self, params_k4):
+        class Opaque:
+            pass
+
+        fake = type(params_k4)(
+            group=Opaque(), k=params_k4.k, u=params_k4.u, seed=params_k4.seed
+        )
+        with pytest.raises(TypeError):
+            ProcessWorkerPool(fake)
+        # ... but the factory degrades gracefully.
+        assert isinstance(
+            make_worker_pool(fake, prefer_processes=True), InlineWorkerPool
+        )
+
+
+@pytest.mark.slow
+class TestProcessPool:
+    def test_matches_reference(self, params_k4, blocks):
+        try:
+            pool = ProcessWorkerPool(params_k4, n_workers=2, chunk_blocks=2)
+        except Exception as exc:  # restricted environments lack spawn
+            pytest.skip(f"cannot start process pool: {exc}")
+        with pool:
+            expected = [aggregate_block(params_k4, b) for b in blocks]
+            assert pool.aggregate_blocks(blocks) == expected

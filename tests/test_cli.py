@@ -65,6 +65,27 @@ class TestLifecycle:
         assert (state / "cloud" / "d__1.spdp").exists()
 
 
+class TestServeSim:
+    def test_single_sem(self, capsys):
+        assert main(["serve-sim", "--clients", "2", "--requests", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "completed 2, failed 0, lost 0" in out
+        assert "1 SEM(s) (t=1, 0 crashed)" in out
+
+    def test_threshold_with_crash(self, capsys):
+        assert main(["serve-sim", "--threshold", "2", "--crash", "1",
+                     "--clients", "2", "--requests", "1", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "3 SEM(s) (t=2, 1 crashed)" in out
+        assert "failed 0" in out
+
+    def test_crash_beyond_tolerance_refused(self):
+        assert main(["serve-sim", "--threshold", "2", "--crash", "2"]) == 2
+
+    def test_unknown_param_set(self):
+        assert main(["serve-sim", "--param-set", "bogus"]) == 2
+
+
 class TestErrors:
     def test_audit_before_init(self, tmp_path):
         assert main(["--state-dir", str(tmp_path / "nope"), "audit", "x"]) == 2
