@@ -8,6 +8,8 @@ paper's 2 GB workload where a direct run is infeasible in pure Python.
 
 from __future__ import annotations
 
+import json
+import os
 import random
 import time
 
@@ -16,6 +18,9 @@ from repro.baselines.sw08 import SW08Owner
 from repro.core.multi_sem import MultiSEMClient, SEMCluster
 from repro.core.owner import DataOwner
 from repro.core.sem import SecurityMediator
+from repro.pairing.interface import OperationCounter
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
 
 def dense_data(params, n_blocks: int) -> bytes:
@@ -73,6 +78,31 @@ def oruta_per_block_ms(params, d: int, n_blocks: int = 1, repeats: int = 1, seed
     data = dense_data(params, n_blocks)
     seconds = time_call(lambda: og.sign_and_store(data, b"f"), repeats)
     return seconds / n_blocks * 1000.0
+
+
+def count_ops(group, fn) -> dict[str, int]:
+    """Run ``fn()`` with a fresh operation counter attached to ``group``.
+
+    Returns the nonzero op tallies (``exp_g1``, ``pairings``, …), restoring
+    whatever counter was attached before, so timing measurements can be
+    annotated with the exact operation mix they exercised.
+    """
+    counter = OperationCounter()
+    previous = group.counter
+    group.attach_counter(counter)
+    try:
+        fn()
+    finally:
+        group.counter = previous
+    return {k: v for k, v in counter.snapshot().items() if v}
+
+
+def write_bench_json(name: str, payload: dict) -> None:
+    """Write one benchmark's machine-readable results next to its .txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def fmt_row(label: str, values: list[float], unit: str = "ms") -> str:

@@ -22,10 +22,11 @@ import random
 import pytest
 
 from benchmarks.conftest import record_report
-from benchmarks.helpers import dense_data, time_call
+from benchmarks.helpers import count_ops, dense_data, time_call, write_bench_json
 from repro.core.blocks import encode_data
 from repro.core.params import setup
 from repro.core.sem import SecurityMediator
+from repro.obs import Observability
 from repro.service.api import SignRequest, next_request_id
 from repro.service.pipeline import SigningPipeline
 
@@ -80,14 +81,63 @@ def test_service_batched_vs_sequential_throughput(benchmark, fast_group):
         lines.append(
             f"{n:>6}  {batched_rate:>14.1f}  {seq_rate:>17.1f}  {speedup:>7.2f}x"
         )
+    # Op-count annotation: the exact operation mix behind each timing.
+    ops_batched = count_ops(
+        fast_group, lambda: batched_pipeline.sign_batch(_requests(params, 8))
+    )
+    ops_sequential = count_ops(
+        fast_group,
+        lambda: [sequential_pipeline.sign_sequential(r) for r in _requests(params, 8)],
+    )
+    lines.append(
+        f"per 8-signature pass: batched {ops_batched.get('pairings', 0)} pairings, "
+        f"sequential {ops_sequential.get('pairings', 0)} pairings"
+    )
+
+    # Tracing overhead: the same batched pass with live spans + op counting.
+    obs = Observability.create()
+    traced_pipeline = SigningPipeline(
+        params, sem, sem.pk, org_pk_g1=sem.pk_g1, rng=random.Random(6), obs=obs
+    )
+    obs.observe_group(fast_group)
+    requests_64 = _requests(params, 64)
+    try:
+        t_plain = time_call(lambda: batched_pipeline.sign_batch(requests_64), repeats=5)
+        t_traced = time_call(lambda: traced_pipeline.sign_batch(requests_64), repeats=5)
+    finally:
+        fast_group.detach_counter()
+    overhead = t_traced / t_plain - 1.0
+    lines.append(f"tracing overhead on a 64-batch: {overhead * 100:+.1f}%")
     lines.append(
         "one transport round trip + 2 pairings per batch (Eq. 7) vs per-item"
     )
     lines.append("round trips + 2 pairings each (Eq. 4); fixed-base tables amortized")
     record_report("Service throughput: batched vs sequential signing", lines)
+    write_bench_json(
+        "service_throughput",
+        {
+            "k": K,
+            "batch_sizes": BATCH_SIZES,
+            "rows": {
+                str(n): {
+                    "batched_sig_per_s": batched_rate,
+                    "sequential_sig_per_s": seq_rate,
+                    "speedup": speedup,
+                }
+                for n, (batched_rate, seq_rate, speedup) in rows.items()
+            },
+            "ops_per_8_batched": ops_batched,
+            "ops_per_8_sequential": ops_sequential,
+            "tracing_overhead": overhead,
+        },
+    )
 
     # Acceptance: batching is >= 2x at batch size 64.
     assert rows[64][2] >= 2.0, f"batched speedup at 64 was only {rows[64][2]:.2f}x"
+    # Acceptance: live tracing costs <= 5% (plus 2 ms of timer slack).
+    assert t_traced <= t_plain * 1.05 + 0.002, (
+        f"tracing overhead {overhead * 100:.1f}% exceeds 5%"
+    )
     # Correctness of what we timed: both paths produce verifying signatures.
     check = _requests(params, 2)
     for result in batched_pipeline.sign_batch(check):

@@ -72,6 +72,12 @@ def verification_counts(c: int, k: int) -> SchemeCosts:
     return SchemeCosts(exp_g1=c + k, pair=2)
 
 
+def proof_generation_counts(c: int) -> SchemeCosts:
+    """Cloud Response: one |β|-bit exponentiation σ_i^{β_i} per challenged
+    block (the α_l are scalar sums — no group operations)."""
+    return SchemeCosts(exp_g1=c, pair=0)
+
+
 def oruta_verification_counts(c: int, k: int, d: int) -> SchemeCosts:
     """Oruta verification: (c + k + d) Exp + (d + 1) Pair."""
     return SchemeCosts(exp_g1=c + k + d, pair=d + 1)

@@ -36,6 +36,8 @@ from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
 
 STATE_FILE = "state.json"
 CLOUD_DIR = "cloud"
+OBS_DIR = "obs"
+LAST_RUN_FILE = "last_run.json"
 
 
 class CliError(Exception):
@@ -87,6 +89,52 @@ def _load_stored(root: Path, params, file_id: str):
     if not path.exists():
         raise CliError(f"no stored file {file_id!r}")
     return decode_signed_file(path.read_bytes(), params)
+
+
+# ---------------------------------------------------------------------------
+# Observability plumbing
+# ---------------------------------------------------------------------------
+
+def _add_obs_flags(p) -> None:
+    p.add_argument("--trace-out", default=None, metavar="PATH",
+                   help="append protocol-phase spans to PATH as JSON lines")
+    p.add_argument("--metrics-out", default=None, metavar="PATH",
+                   help="write a Prometheus text metrics dump to PATH")
+
+
+def _make_obs():
+    from repro.obs import Observability
+
+    return Observability.create()
+
+
+def _write_obs_outputs(args, obs) -> None:
+    from repro.obs import write_metrics_text, write_trace_jsonl
+
+    if getattr(args, "trace_out", None):
+        write_trace_jsonl(obs.tracer, args.trace_out)
+    if getattr(args, "metrics_out", None):
+        write_metrics_text(obs.registry, args.metrics_out)
+
+
+def _persist_last_run(root: Path, command: str, obs) -> None:
+    """Record this run's op counts and phase totals for ``repro-pdp info``."""
+    phases = {
+        name: {
+            "count": entry["count"],
+            "duration_s": entry["duration"],
+            "ops": entry["ops"],
+        }
+        for name, entry in sorted(obs.tracer.phase_totals().items())
+    }
+    payload = {
+        "command": command,
+        "ops": {k: v for k, v in obs.counter.snapshot().items() if v},
+        "phases": phases,
+    }
+    obs_dir = root / OBS_DIR
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    (obs_dir / LAST_RUN_FILE).write_text(json.dumps(payload, indent=2, sort_keys=True))
 
 
 # ---------------------------------------------------------------------------
@@ -151,7 +199,18 @@ def cmd_upload(args) -> int:
     credential = MemberCredential(token=bytes.fromhex(token))
     owner = DataOwner(params, sem.pk, credential=credential)
     data = Path(args.path).read_bytes()
-    signed = owner.sign_file(data, args.file_id.encode(), sem, batch=not args.no_batch)
+    obs = _make_obs()
+    obs.observe_group(params.group)
+    with obs.tracer.span("upload", bytes=len(data)):
+        with obs.tracer.span("sign", optimized=not args.no_batch) as span:
+            signed = owner.sign_file(
+                data, args.file_id.encode(), sem, batch=not args.no_batch
+            )
+            span.set(
+                n_blocks=len(signed.blocks),
+                bytes_to_sem=params.group.g1_element_bytes() * len(signed.blocks),
+                bytes_from_sem=params.group.g1_element_bytes() * len(signed.blocks),
+            )
     _blob_path(root, args.file_id).write_bytes(encode_signed_file(signed, params))
     state["files"][args.file_id] = {
         "blocks": len(signed.blocks),
@@ -159,6 +218,8 @@ def cmd_upload(args) -> int:
         "encrypted": signed.encrypted,
     }
     save_state(root, state)
+    _write_obs_outputs(args, obs)
+    _persist_last_run(root, "upload", obs)
     print(f"stored {args.file_id!r}: {len(data)} bytes as {len(signed.blocks)} blocks")
     return 0
 
@@ -169,13 +230,29 @@ def cmd_audit(args) -> int:
     params, _, cloud, verifier = build_runtime(state)
     signed = _load_stored(root, params, args.file_id)
     cloud.store(signed)
-    challenge = verifier.generate_challenge(
-        args.file_id.encode(), len(signed.blocks), sample_size=args.sample
-    )
-    proof = cloud.generate_proof(args.file_id.encode(), challenge)
-    ok = verifier.verify(challenge, proof)
+    obs = _make_obs()
+    obs.observe_group(params.group)
+    with obs.tracer.span("audit"):
+        with obs.tracer.span("challenge", n_blocks=len(signed.blocks)) as span:
+            challenge = verifier.generate_challenge(
+                args.file_id.encode(), len(signed.blocks), sample_size=args.sample
+            )
+            span.set(challenged=len(challenge))
+        with obs.tracer.span("proofgen", challenged=len(challenge)):
+            proof = cloud.generate_proof(args.file_id.encode(), challenge)
+        with obs.tracer.span(
+            "proofverify", challenged=len(challenge), k=params.k
+        ) as span:
+            ok = verifier.verify(challenge, proof)
+            span.set(ok=ok)
+    _write_obs_outputs(args, obs)
+    _persist_last_run(root, "audit", obs)
     scope = f"{len(challenge)} of {len(signed.blocks)} blocks"
     print(f"audit {args.file_id!r} ({scope}): {'PASS' if ok else 'FAIL'}")
+    if args.trace_out or args.metrics_out:
+        from repro.obs import cost_table
+
+        print(cost_table(obs.tracer, params.k))
     return 0 if ok else 1
 
 
@@ -216,6 +293,7 @@ def cmd_serve_sim(args) -> int:
                        f"{(threshold or 1) - 1} tolerance of a t={threshold or 1} deployment")
     channel = Channel(latency_s=args.latency, drop_rate=args.drop_rate,
                       rng=random.Random(rng.getrandbits(64)))
+    obs = _make_obs()
     sim, service, clients = build_service_network(
         params,
         threshold=threshold,
@@ -225,6 +303,7 @@ def cmd_serve_sim(args) -> int:
         failover_config=FailoverConfig(timeout_s=args.timeout),
         client_service_channel=channel,
         service_sem_channel=channel,
+        obs=obs,
     )
     for j in range(args.crash):
         sim.nodes[f"sem-{j}"].crash()
@@ -249,6 +328,7 @@ def cmd_serve_sim(args) -> int:
           f"retries: {summary['retries']}, failovers: {summary['failovers']}")
     print(f"  latency p50 {summary['latency_p50_s']:.3f}s, "
           f"p99 {summary['latency_p99_s']:.3f}s (virtual)")
+    _write_obs_outputs(args, obs)
     return 0 if completed == expected else 1
 
 
@@ -261,6 +341,17 @@ def cmd_info(args) -> int:
     print(f"stored files ({len(state['files'])}):")
     for file_id, meta in sorted(state["files"].items()):
         print(f"  {file_id}: {meta['bytes']} bytes, {meta['blocks']} blocks")
+    last_run_path = root / OBS_DIR / LAST_RUN_FILE
+    if last_run_path.exists():
+        last = json.loads(last_run_path.read_text())
+        ops = ", ".join(f"{k}={v}" for k, v in sorted(last.get("ops", {}).items()))
+        print(f"last run: {last.get('command', '?')} ({ops or 'no group operations'})")
+        for name, entry in last.get("phases", {}).items():
+            phase_ops = ", ".join(
+                f"{k}={v}" for k, v in sorted(entry.get("ops", {}).items())
+            )
+            print(f"  {name}: x{entry['count']}, {entry['duration_s']:.4f}s"
+                  + (f" ({phase_ops})" if phase_ops else ""))
     return 0
 
 
@@ -296,11 +387,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--file-id", required=True)
     p.add_argument("--no-batch", action="store_true", help="verify Eq. 4 per signature")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_upload)
 
     p = sub.add_parser("audit", help="run a public integrity audit")
     p.add_argument("file_id")
     p.add_argument("--sample", type=int, default=None, help="challenge only c blocks")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser("tamper", help="corrupt a stored block (demo)")
@@ -325,6 +418,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-rate", type=float, default=0.0)
     p.add_argument("--crash", type=int, default=0, help="crash the first N SEMs")
     p.add_argument("--seed", type=int, default=0)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("info", help="show deployment state")

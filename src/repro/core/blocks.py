@@ -82,8 +82,12 @@ def aggregate_block(params: SystemParams, block: Block) -> GroupElement:
     """
     if len(block.elements) != params.k:
         raise ValueError(f"block has {len(block.elements)} elements, expected k={params.k}")
-    acc = params.group.hash_to_g1(block.block_id)
+    group = params.group
+    acc = group.hash_to_g1(block.block_id)
     for u_l, m_l in zip(params.u, block.elements):
         if m_l:
             acc = acc * u_l**m_l
+        elif group.counter is not None:
+            # Table I counts this elided u^0 as one Exp; keep it reconcilable.
+            group.counter.exp_g1_skipped += 1
     return acc

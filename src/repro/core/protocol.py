@@ -26,6 +26,7 @@ from repro.core.owner import DataOwner, SignedFile
 from repro.core.params import SystemParams, setup
 from repro.core.sem import SecurityMediator
 from repro.core.verifier import PublicVerifier
+from repro.obs import NULL_OBS
 from repro.pairing.interface import PairingGroup
 
 
@@ -51,6 +52,7 @@ class SemPdpSystem:
         sem: SecurityMediator | None = None,
         cluster: SEMCluster | None = None,
         rng=None,
+        obs=None,
     ):
         if (sem is None) == (cluster is None):
             raise ValueError("provide exactly one of sem / cluster")
@@ -61,6 +63,8 @@ class SemPdpSystem:
         self.sem = sem
         self.cluster = cluster
         self._rng = rng
+        self.obs = obs if obs is not None else NULL_OBS
+        self.obs.observe_group(params.group)
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -71,6 +75,7 @@ class SemPdpSystem:
         threshold: int | None = None,
         verify_on_upload: bool = False,
         rng=None,
+        obs=None,
     ) -> "SemPdpSystem":
         """Stand up a full deployment.
 
@@ -82,22 +87,28 @@ class SemPdpSystem:
                 (and w = 2t − 1 SEMs); a single SEM otherwise.
             verify_on_upload: make the cloud check organization signatures
                 before accepting uploads.
+            obs: an :class:`~repro.obs.Observability` bundle; when given,
+                every protocol phase emits a traced span with its Exp/Pair
+                tallies and the system's group feeds the shared counter.
         """
-        params = setup(group, k)
-        manager = GroupManager(rng=rng)
-        if threshold is None:
-            sem = SecurityMediator(group, rng=rng)
-            cluster = None
-            org_pk = sem.pk
-            manager.register_sem(sem)
-        else:
-            cluster = SEMCluster(group, t=threshold, rng=rng)
-            sem = None
-            org_pk = cluster.master_pk
-            for share_sem in cluster.sems:
-                manager.register_sem(share_sem)
-        cloud = CloudServer(params, org_pk=org_pk, verify_on_upload=verify_on_upload, rng=rng)
-        verifier = PublicVerifier(params, org_pk, rng=rng)
+        obs = obs if obs is not None else NULL_OBS
+        obs.observe_group(group)
+        with obs.tracer.span("keygen", k=k, threshold=threshold or 0):
+            params = setup(group, k)
+            manager = GroupManager(rng=rng)
+            if threshold is None:
+                sem = SecurityMediator(group, rng=rng)
+                cluster = None
+                org_pk = sem.pk
+                manager.register_sem(sem)
+            else:
+                cluster = SEMCluster(group, t=threshold, rng=rng)
+                sem = None
+                org_pk = cluster.master_pk
+                for share_sem in cluster.sems:
+                    manager.register_sem(share_sem)
+            cloud = CloudServer(params, org_pk=org_pk, verify_on_upload=verify_on_upload, rng=rng)
+            verifier = PublicVerifier(params, org_pk, rng=rng)
         return cls(
             params=params,
             manager=manager,
@@ -106,6 +117,7 @@ class SemPdpSystem:
             sem=sem,
             cluster=cluster,
             rng=rng,
+            obs=obs,
         )
 
     @property
@@ -141,15 +153,24 @@ class SemPdpSystem:
         encrypt_key: bytes | None = None,
     ) -> UploadReceipt:
         """Sign ``data`` via the SEM(s) and store it in the cloud."""
-        signed: SignedFile = owner.sign_file(
-            data,
-            file_id,
-            self._signing_service(),
-            batch=batch,
-            encrypt_key=encrypt_key,
-            sem_pk_g1=self.org_pk_g1,
-        )
-        self.cloud.store(signed)
+        tracer = self.obs.tracer
+        with tracer.span("upload", bytes=len(data)):
+            with tracer.span("sign", optimized=batch) as span:
+                signed: SignedFile = owner.sign_file(
+                    data,
+                    file_id,
+                    self._signing_service(),
+                    batch=batch,
+                    encrypt_key=encrypt_key,
+                    sem_pk_g1=self.org_pk_g1,
+                )
+                span.set(
+                    n_blocks=len(signed.blocks),
+                    bytes_to_sem=self.params.group.g1_element_bytes() * len(signed.blocks),
+                    bytes_from_sem=self.params.group.g1_element_bytes() * len(signed.blocks),
+                )
+            with tracer.span("store", n_blocks=len(signed.blocks)):
+                self.cloud.store(signed)
         return UploadReceipt(
             file_id=file_id,
             n_blocks=len(signed.blocks),
@@ -161,9 +182,19 @@ class SemPdpSystem:
         self, file_id: bytes, sample_size: int | None = None, beta_bits: int | None = None
     ) -> bool:
         """Run one Challenge/Response/Verify round as a public verifier."""
-        stored = self.cloud.retrieve(file_id)
-        challenge = self.verifier.generate_challenge(
-            file_id, stored.n_blocks, sample_size=sample_size, beta_bits=beta_bits
-        )
-        response = self.cloud.generate_proof(file_id, challenge)
-        return self.verifier.verify(challenge, response)
+        tracer = self.obs.tracer
+        with tracer.span("audit"):
+            stored = self.cloud.retrieve(file_id)
+            with tracer.span("challenge", n_blocks=stored.n_blocks) as span:
+                challenge = self.verifier.generate_challenge(
+                    file_id, stored.n_blocks, sample_size=sample_size, beta_bits=beta_bits
+                )
+                span.set(challenged=len(challenge))
+            with tracer.span("proofgen", challenged=len(challenge)):
+                response = self.cloud.generate_proof(file_id, challenge)
+            with tracer.span(
+                "proofverify", challenged=len(challenge), k=self.params.k
+            ) as span:
+                ok = self.verifier.verify(challenge, response)
+                span.set(ok=ok)
+        return ok

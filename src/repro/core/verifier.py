@@ -150,6 +150,9 @@ class PublicVerifier:
             if alpha_l:
                 term = u_l**alpha_l
                 acc = term if acc is None else acc * term
+            elif self.group.counter is not None:
+                # Section VI-A2 counts (c + k) Exp unconditionally.
+                self.group.counter.exp_g1_skipped += 1
         if acc is None:
             raise ValueError("empty challenge")
         return acc

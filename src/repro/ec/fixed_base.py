@@ -52,6 +52,10 @@ class FixedBaseTable:
 
     def power(self, exponent: int) -> GroupElement:
         """base^exponent using only table lookups and multiplications."""
+        counter = self.base.group.counter
+        if counter is not None and self.base.which == "g1":
+            # One model-level Exp_G1 served from the table (Table I counts it).
+            counter.exp_g1_fixed_base += 1
         exponent %= self.base.group.order
         if exponent == 0:
             return self._identity
@@ -88,8 +92,11 @@ def aggregate_with_tables(params, block, tables: list[FixedBaseTable]):
     """
     if len(tables) != params.k:
         raise ValueError("need one table per u element")
-    acc = params.group.hash_to_g1(block.block_id)
+    group = params.group
+    acc = group.hash_to_g1(block.block_id)
     for table, m_l in zip(tables, block.elements):
         if m_l:
             acc = acc * table.power(m_l)
+        elif group.counter is not None:
+            group.counter.exp_g1_skipped += 1
     return acc

@@ -19,12 +19,18 @@ class ChannelStats:
 
     messages: int = 0
     bytes_total: int = 0
+    dropped: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
         self.messages += 1
         self.bytes_total += message.size_bytes
         self.by_type[message.msg_type] = self.by_type.get(message.msg_type, 0) + message.size_bytes
+
+    def record_drop(self) -> None:
+        """Count a message this channel silently lost (bytes were already
+        recorded by :meth:`record` — the sender still paid to transmit)."""
+        self.dropped += 1
 
 
 @dataclass
@@ -62,3 +68,6 @@ class Channel:
 
     def record(self, message: Message) -> None:
         self.stats.record(message)
+
+    def record_drop(self) -> None:
+        self.stats.record_drop()

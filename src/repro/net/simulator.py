@@ -128,6 +128,7 @@ class Simulator:
         channel.record(message)
         if channel.should_drop():
             self.dropped += 1
+            channel.record_drop()
             return
         when = (self.now if at is None else at) + channel.delay_for(message)
         heapq.heappush(self._queue, _Event(time=when, seq=next(self._seq), message=message))

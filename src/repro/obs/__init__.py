@@ -1,0 +1,130 @@
+"""Unified observability: metrics registry, protocol-phase tracer, exporters.
+
+The paper's whole evaluation is an accounting exercise — Exp/Pair counts
+(Table I), communication bytes (Figure 6), per-phase latency (Tables
+II–III) — so this package makes every run of the reproduction measurable
+in exactly those units:
+
+* :mod:`repro.obs.registry` — Counter/Gauge/Histogram families with labels
+  and pull-collectors; one registry snapshot captures a whole run;
+* :mod:`repro.obs.tracer` — nested protocol-phase spans on an injected
+  clock (virtual time in the simulator, monotonic otherwise) that record
+  the Exp/Pair operations performed while open;
+* :mod:`repro.obs.adapters` — absorb the pre-existing accumulators
+  (``OperationCounter``, ``ServiceMetrics``, simulator channel stats);
+* :mod:`repro.obs.exporters` — JSONL traces, Prometheus text exposition,
+  and the per-phase cost table checked against
+  :mod:`repro.analysis.cost_model`.
+
+:class:`Observability` bundles one registry + tracer + operation counter;
+instrumented constructors take ``obs=None`` and default to the shared
+:data:`NULL_OBS`, whose tracer is a no-op, so disabled instrumentation
+costs one attribute lookup per phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.adapters import (
+    bind_operation_counter,
+    bind_service_metrics,
+    bind_simulator,
+)
+from repro.obs.exporters import (
+    PHASE_PROOF_GEN,
+    PHASE_PROOF_VERIFY,
+    PHASE_SIGN,
+    cost_table,
+    model_equivalent_exp,
+    phase_cost_rows,
+    prometheus_text,
+    span_to_dict,
+    trace_to_jsonl,
+    write_metrics_text,
+    write_trace_jsonl,
+)
+from repro.obs.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Sample,
+)
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+from repro.pairing.interface import OperationCounter
+
+
+@dataclass
+class Observability:
+    """One run's registry + tracer + shared operation counter."""
+
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    counter: OperationCounter = field(default_factory=OperationCounter)
+
+    @classmethod
+    def create(cls, clock=None) -> "Observability":
+        """A wired bundle: tracer records op deltas, registry mirrors them."""
+        counter = OperationCounter()
+        obs = cls(
+            registry=MetricsRegistry(),
+            tracer=Tracer(clock=clock, counter=counter),
+            counter=counter,
+        )
+        bind_operation_counter(obs.registry, counter)
+        return obs
+
+    @property
+    def enabled(self) -> bool:
+        return True
+
+    def observe_group(self, group) -> None:
+        """Attach the shared counter to a pairing group's op tally hook."""
+        group.attach_counter(self.counter)
+
+
+class _NullObservability:
+    """The disabled bundle every instrumented constructor defaults to."""
+
+    enabled = False
+    registry = None
+    counter = None
+    tracer = NULL_TRACER
+
+    def observe_group(self, group) -> None:
+        pass
+
+
+NULL_OBS = _NullObservability()
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NULL_TRACER",
+    "NullTracer",
+    "Observability",
+    "OperationCounter",
+    "PHASE_PROOF_GEN",
+    "PHASE_PROOF_VERIFY",
+    "PHASE_SIGN",
+    "Sample",
+    "Span",
+    "Tracer",
+    "bind_operation_counter",
+    "bind_service_metrics",
+    "bind_simulator",
+    "cost_table",
+    "model_equivalent_exp",
+    "phase_cost_rows",
+    "prometheus_text",
+    "span_to_dict",
+    "trace_to_jsonl",
+    "write_metrics_text",
+    "write_trace_jsonl",
+]

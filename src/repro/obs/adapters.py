@@ -1,0 +1,94 @@
+"""Adapters: absorb the existing accumulators into one metrics registry.
+
+The repo grew three telemetry islands before this package existed —
+:class:`~repro.pairing.interface.OperationCounter` (crypto op tallies),
+:class:`~repro.service.metrics.ServiceMetrics` (queue/batch/latency), and
+the simulator's per-channel :class:`~repro.net.channel.ChannelStats`.
+Each ``bind_*`` function registers a *collector* that mirrors the live
+accumulator into registry gauges at collection time, so one
+``registry.collect()`` (or one Prometheus dump) captures a whole run
+without rewriting any of the accumulating code paths.
+"""
+
+from __future__ import annotations
+
+from repro.obs.registry import MetricsRegistry
+
+
+def bind_operation_counter(registry: MetricsRegistry, counter) -> None:
+    """Mirror an :class:`OperationCounter` as ``pdp_operations{op=...}``.
+
+    One gauge family, one label per operation kind — the same units the
+    paper's Table I is written in (``exp_g1``/``pairings`` first).
+    """
+    family = registry.gauge(
+        "pdp_operations",
+        help="Pairing-group operations performed (Table I units)",
+        labels=("op",),
+    )
+
+    def collect() -> None:
+        for op, value in counter.snapshot().items():
+            family.labels(op=op).set(value)
+
+    registry.register_collector(collect)
+
+
+def bind_service_metrics(registry: MetricsRegistry, metrics, prefix: str = "service") -> None:
+    """Mirror a :class:`ServiceMetrics` summary as ``<prefix>_<key>`` gauges.
+
+    Scalar summary keys only (the batch-size histogram dict stays with the
+    service's own human-readable summary), matching what
+    :meth:`ServiceMetrics.to_labels` exports into accounting labels.
+    """
+
+    def collect() -> None:
+        for key, value in metrics.summary().items():
+            if isinstance(value, dict):
+                continue
+            registry.gauge(
+                f"{prefix}_{key}", help=f"{prefix} {key.replace('_', ' ')}"
+            ).set(float(value))
+
+    registry.register_collector(collect)
+
+
+def bind_simulator(registry: MetricsRegistry, sim) -> None:
+    """Mirror a :class:`~repro.net.simulator.Simulator` and its channels.
+
+    Per-channel byte/message/drop counters get ``sender``/``recipient``
+    labels; the simulator totals and the virtual clock come along so a
+    registry snapshot fully describes the simulated run.
+    """
+    bytes_family = registry.gauge(
+        "sim_channel_bytes",
+        help="Bytes sent over one directed channel",
+        labels=("sender", "recipient"),
+    )
+    messages_family = registry.gauge(
+        "sim_channel_messages",
+        help="Messages sent over one directed channel",
+        labels=("sender", "recipient"),
+    )
+    drops_family = registry.gauge(
+        "sim_channel_dropped",
+        help="Messages dropped on one directed channel",
+        labels=("sender", "recipient"),
+    )
+    delivered = registry.gauge("sim_delivered", help="Messages delivered in total")
+    dropped = registry.gauge("sim_dropped", help="Messages dropped in total")
+    timers = registry.gauge("sim_timers_fired", help="Timer callbacks fired")
+    vtime = registry.gauge("sim_virtual_time_seconds", help="Final virtual clock")
+
+    def collect() -> None:
+        for (sender, recipient), channel in sim._channels.items():
+            labels = {"sender": sender, "recipient": recipient}
+            bytes_family.labels(**labels).set(channel.stats.bytes_total)
+            messages_family.labels(**labels).set(channel.stats.messages)
+            drops_family.labels(**labels).set(channel.stats.dropped)
+        delivered.set(sim.delivered)
+        dropped.set(sim.dropped)
+        timers.set(sim.timers_fired)
+        vtime.set(sim.now)
+
+    registry.register_collector(collect)

@@ -1,0 +1,281 @@
+"""The metrics registry: Counter / Gauge / Histogram families with labels.
+
+One :class:`MetricsRegistry` captures a whole run.  Existing accumulators
+(:class:`~repro.pairing.interface.OperationCounter`,
+:class:`~repro.service.metrics.ServiceMetrics`, the simulator's per-channel
+stats) are not rewritten to push into it; instead *collectors* registered
+via :meth:`MetricsRegistry.register_collector` pull their current values
+into the registry whenever it is collected — the adapters in
+:mod:`repro.obs.adapters` package that pattern.
+
+Everything is deterministic: no wall-clock, no RNG, and collection output
+is sorted by metric name and label values, so exported snapshots of seeded
+runs are byte-stable (the golden-file tests rely on this).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram bucket upper bounds (seconds-flavoured, Prometheus-like).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0
+)
+
+
+class MetricError(Exception):
+    """Invalid metric name, label set, or conflicting re-registration."""
+
+
+@dataclass(frozen=True)
+class Sample:
+    """One exposition line: ``name{labels} value``."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    value: float
+
+    def key(self) -> str:
+        if not self.labels:
+            return self.name
+        inner = ",".join(f'{k}="{v}"' for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+class _Metric:
+    """Base class of one metric family (a name plus its labelled children)."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", label_names: tuple[str, ...] = ()):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._children: dict[tuple[str, ...], object] = {}
+
+    def labels(self, **labels):
+        """The child metric for one combination of label values."""
+        if tuple(sorted(labels)) != tuple(sorted(self.label_names)):
+            raise MetricError(
+                f"{self.name} expects labels {self.label_names}, got {tuple(labels)}"
+            )
+        key = tuple(str(labels[name]) for name in self.label_names)
+        child = self._children.get(key)
+        if child is None:
+            child = self._make_child()
+            self._children[key] = child
+        return child
+
+    def _default_child(self):
+        """The label-less child (for metrics declared without labels)."""
+        if self.label_names:
+            raise MetricError(f"{self.name} requires labels {self.label_names}")
+        return self.labels()
+
+    def _make_child(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def samples(self) -> list[Sample]:
+        out: list[Sample] = []
+        for key in sorted(self._children):
+            labels = tuple(zip(self.label_names, key))
+            out.extend(self._child_samples(labels, self._children[key]))
+        return out
+
+    def _child_samples(self, labels, child) -> list[Sample]:  # pragma: no cover
+        raise NotImplementedError
+
+
+class _CounterChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters can only increase")
+        self.value += amount
+
+    def set(self, value: float) -> None:
+        """Absolute set — for collectors mirroring an external accumulator."""
+        if value < self.value:
+            raise MetricError("counters can only increase")
+        self.value = value
+
+
+class Counter(_Metric):
+    kind = "counter"
+
+    def _make_child(self) -> _CounterChild:
+        return _CounterChild()
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def _child_samples(self, labels, child) -> list[Sample]:
+        return [Sample(self.name, labels, child.value)]
+
+
+class _GaugeChild:
+    __slots__ = ("value",)
+
+    def __init__(self):
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Gauge(_Metric):
+    kind = "gauge"
+
+    def _make_child(self) -> _GaugeChild:
+        return _GaugeChild()
+
+    def set(self, value: float) -> None:
+        self._default_child().set(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._default_child().inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default_child().dec(amount)
+
+    def _child_samples(self, labels, child) -> list[Sample]:
+        return [Sample(self.name, labels, child.value)]
+
+
+class _HistogramChild:
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...]):
+        self.buckets = buckets
+        self.counts = [0] * len(buckets)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram (Prometheus exposition semantics)."""
+
+    kind = "histogram"
+
+    def __init__(self, name, help="", label_names=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, label_names)
+        self.buckets = tuple(sorted(buckets))
+        if not self.buckets:
+            raise MetricError("histogram needs at least one bucket")
+
+    def _make_child(self) -> _HistogramChild:
+        return _HistogramChild(self.buckets)
+
+    def observe(self, value: float) -> None:
+        self._default_child().observe(value)
+
+    def _child_samples(self, labels, child) -> list[Sample]:
+        # ``observe`` increments every bucket whose bound covers the value,
+        # so ``counts`` is already cumulative — no second accumulation here.
+        out = []
+        for bound, count in zip(child.buckets, child.counts):
+            out.append(
+                Sample(
+                    f"{self.name}_bucket",
+                    labels + (("le", _format_value(bound)),),
+                    count,
+                )
+            )
+        out.append(Sample(f"{self.name}_bucket", labels + (("le", "+Inf"),), child.count))
+        out.append(Sample(f"{self.name}_sum", labels, child.total))
+        out.append(Sample(f"{self.name}_count", labels, child.count))
+        return out
+
+
+class MetricsRegistry:
+    """Get-or-create metric families plus pull-style collectors."""
+
+    def __init__(self):
+        self._metrics: dict[str, _Metric] = {}
+        self._collectors: list = []
+
+    # -- declaration --------------------------------------------------------
+    def _get_or_create(self, cls, name, help, labels, **kwargs) -> _Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(labels):
+                raise MetricError(
+                    f"metric {name!r} already registered as {existing.kind} "
+                    f"with labels {existing.label_names}"
+                )
+            return existing
+        metric = cls(name, help=help, label_names=tuple(labels), **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: tuple[str, ...] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: tuple[str, ...] = (),
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    # -- collection ---------------------------------------------------------
+    def register_collector(self, collect) -> None:
+        """``collect()`` runs before every :meth:`collect` to refresh gauges."""
+        self._collectors.append(collect)
+
+    def collect(self) -> list[Sample]:
+        """All samples, collector-refreshed, deterministically ordered."""
+        for collector in self._collectors:
+            collector()
+        out: list[Sample] = []
+        for name in sorted(self._metrics):
+            out.extend(self._metrics[name].samples())
+        return out
+
+    def families(self) -> list[_Metric]:
+        """Metric families in name order (exposition headers need them)."""
+        return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def snapshot(self) -> dict[str, float]:
+        """``name{k="v"} -> value`` for every sample (tests and JSON dumps)."""
+        return {sample.key(): sample.value for sample in self.collect()}

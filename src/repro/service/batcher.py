@@ -61,6 +61,8 @@ class BatchingSEMService:
         clock: returns the current time — virtual under the simulator,
             ``time.monotonic``-like otherwise.  Queue-wait and latency
             metrics are measured with it.
+        obs: observability bundle; defaults to the pipeline's, so one
+            bundle wired at pipeline construction covers the whole service.
     """
 
     def __init__(
@@ -71,6 +73,7 @@ class BatchingSEMService:
         membership=None,
         clock=None,
         metrics: ServiceMetrics | None = None,
+        obs=None,
     ):
         self.params = params
         self.pipeline = pipeline
@@ -78,6 +81,7 @@ class BatchingSEMService:
         self.membership = membership
         self.clock = clock or (lambda: 0.0)
         self.metrics = metrics or ServiceMetrics()
+        self.obs = obs if obs is not None else pipeline.obs
         self.queue = BoundedQueue(
             self.config.queue_capacity, policy=self.config.queue_policy
         )
@@ -157,7 +161,10 @@ class BatchingSEMService:
         self.metrics.on_batch(len(envelopes), self.queue.depth)
         requests = [e.request for e in envelopes]
         try:
-            results = self.pipeline.sign_batch(requests)
+            with self.obs.tracer.span(
+                "batch.flush", batch_size=len(envelopes), queue_depth=self.queue.depth
+            ):
+                results = self.pipeline.sign_batch(requests)
         except (PipelineError, InsufficientSharesError, ConnectionError) as exc:
             self.metrics.failed += len(envelopes)
             responses = [

@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from repro.core.multi_sem import InsufficientSharesError
 from repro.crypto.threshold import batch_verify_shares, combine_shares, verify_share
 from repro.mathkit.poly import lagrange_basis_at_zero
+from repro.obs import NULL_OBS
 from repro.pairing.interface import GroupElement, PairingGroup
 
 
@@ -108,6 +109,7 @@ class SigningRound:
         config: FailoverConfig | None = None,
         rng=None,
         batch_verify: bool = True,
+        obs=None,
     ):
         if not 1 <= t <= len(endpoints):
             raise ValueError("need 1 <= t <= number of endpoints")
@@ -118,6 +120,7 @@ class SigningRound:
         self.config = config or FailoverConfig()
         self._rng = rng
         self.batch_verify = batch_verify
+        self.obs = obs if obs is not None else NULL_OBS
         self._states = [_EndpointState() for _ in endpoints]
         self._standby: list[int] = []
         self.result: list[GroupElement] | None = None
@@ -233,11 +236,14 @@ class SigningRound:
     def _complete(self) -> None:
         chosen = [i for i, s in enumerate(self._states) if s.status == "valid"][: self.t]
         xs = [self.endpoints[i].x for i in chosen]
-        basis = lagrange_basis_at_zero(xs, self.group.order)  # Eq. 11, once
-        combined = []
-        for item in range(len(self.blinded)):
-            pairs = [(xs[pos], self._states[i].shares[item]) for pos, i in enumerate(chosen)]
-            combined.append(combine_shares(self.group, pairs, basis=basis))  # Eq. 12
+        with self.obs.tracer.span(
+            "lagrange.combine", items=len(self.blinded), t=self.t
+        ):
+            basis = lagrange_basis_at_zero(xs, self.group.order)  # Eq. 11, once
+            combined = []
+            for item in range(len(self.blinded)):
+                pairs = [(xs[pos], self._states[i].shares[item]) for pos, i in enumerate(chosen)]
+                combined.append(combine_shares(self.group, pairs, basis=basis))  # Eq. 12
         self.result = combined
 
 
@@ -281,6 +287,7 @@ class FailoverMultiSEMClient:
         rng=None,
         batch_verify: bool = True,
         sleep=None,
+        obs=None,
     ):
         if any(e.transport is None for e in endpoints):
             raise ValueError("synchronous client needs a transport per endpoint")
@@ -292,10 +299,11 @@ class FailoverMultiSEMClient:
         self.batch_verify = batch_verify
         self._sleep = sleep or (lambda seconds: None)
         self.stats = FailoverStats()
+        self.obs = obs if obs is not None else NULL_OBS
 
     @classmethod
     def from_cluster(cls, cluster, config: FailoverConfig | None = None, rng=None,
-                     batch_verify: bool = True, sleep=None) -> "FailoverMultiSEMClient":
+                     batch_verify: bool = True, sleep=None, obs=None) -> "FailoverMultiSEMClient":
         """Build over an in-memory :class:`~repro.core.multi_sem.SEMCluster`."""
         return cls(
             cluster.group,
@@ -305,6 +313,7 @@ class FailoverMultiSEMClient:
             rng=rng,
             batch_verify=batch_verify,
             sleep=sleep,
+            obs=obs,
         )
 
     def sign_blinded_batch(
@@ -323,21 +332,32 @@ class FailoverMultiSEMClient:
             config=self.config,
             rng=self._rng,
             batch_verify=self.batch_verify,
+            obs=self.obs,
         )
-        pending = list(round_.start())
-        while pending and not round_.done:
-            action = pending.pop(0)
-            if not isinstance(action, SendRequest):
-                continue  # ArmTimer: sync mode detects timeouts via exceptions
-            if action.delay_s:
-                self._sleep(action.delay_s)
-            endpoint = self.endpoints[action.endpoint_index]
-            try:
-                shares = endpoint.transport(blinded_messages, credential)
-            except (ConnectionError, TimeoutError):
-                pending.extend(round_.on_timeout(action.endpoint_index))
-            else:
-                pending.extend(round_.on_response(action.endpoint_index, shares))
+        with self.obs.tracer.span(
+            "failover.round", n_items=len(blinded_messages), t=self.t,
+            n_endpoints=len(self.endpoints),
+        ) as span:
+            pending = list(round_.start())
+            while pending and not round_.done:
+                action = pending.pop(0)
+                if not isinstance(action, SendRequest):
+                    continue  # ArmTimer: sync mode detects timeouts via exceptions
+                if action.delay_s:
+                    self._sleep(action.delay_s)
+                endpoint = self.endpoints[action.endpoint_index]
+                try:
+                    shares = endpoint.transport(blinded_messages, credential)
+                except (ConnectionError, TimeoutError):
+                    pending.extend(round_.on_timeout(action.endpoint_index))
+                else:
+                    pending.extend(round_.on_response(action.endpoint_index, shares))
+            span.set(
+                retries=round_.retries,
+                timeouts=round_.timeouts,
+                invalid=round_.invalid_endpoints,
+                valid=round_.valid_count,
+            )
         self.stats.rounds += 1
         self.stats.retries += round_.retries
         self.stats.timeouts += round_.timeouts

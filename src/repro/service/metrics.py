@@ -19,8 +19,15 @@ from repro.pairing.interface import OperationCounter
 class LatencyReservoir:
     """Bounded sample store with exact percentiles over what it kept.
 
-    Keeps the first ``capacity`` samples plus a deterministic 1-in-k tail
-    thinning once full — no RNG, so simulator runs stay reproducible.
+    Systematic (stride-based) sampling: every ``stride``-th sample is
+    kept, and when the store fills it is compacted to every other kept
+    sample while the stride doubles.  The retained set is therefore always
+    an evenly spaced subsample of the whole stream — no RNG (simulator
+    runs stay reproducible) and no overwrite clustering: the previous
+    ``count % capacity`` replacement index revisited a narrow band of
+    slots, so late samples displaced a biased subset and percentiles
+    drifted on trending streams.  The mean is exact regardless (tracked as
+    a running total over *all* samples).
     """
 
     def __init__(self, capacity: int = 4096):
@@ -29,15 +36,18 @@ class LatencyReservoir:
         self.capacity = capacity
         self.count = 0
         self.total = 0.0
+        self._stride = 1
         self._samples: list[float] = []
 
     def record(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if len(self._samples) < self.capacity:
-            self._samples.append(value)
-        elif self.count % max(2, self.count // self.capacity) == 0:
-            self._samples[self.count % self.capacity] = value
+        if (self.count - 1) % self._stride:
+            return
+        self._samples.append(value)
+        if len(self._samples) >= self.capacity:
+            self._samples = self._samples[::2]
+            self._stride *= 2
 
     def percentile(self, q: float) -> float:
         """The q-th percentile (0 <= q <= 100) of retained samples."""

@@ -32,6 +32,7 @@ from repro.crypto.blind_bls import (
     verify_blinded,
 )
 from repro.ec.fixed_base import FixedBaseTable, build_tables
+from repro.obs import NULL_OBS
 from repro.pairing.interface import GroupElement
 from repro.service.api import SignRequest
 from repro.service.workers import InlineWorkerPool
@@ -95,7 +96,9 @@ class SigningPipeline:
         window: int = 4,
         rng=None,
         workers=None,
+        obs=None,
     ):
+        self.obs = obs if obs is not None else NULL_OBS
         self.params = params
         self.group = params.group
         self.sem = sem
@@ -123,19 +126,22 @@ class SigningPipeline:
     def prepare_batch(self, requests: list[SignRequest]) -> PreparedBatch:
         """Stages 1–2: aggregate (worker pool, u-tables) and blind (g1 table)."""
         all_blocks = [b for r in requests for b in r.blocks]
-        aggregates = iter(self.workers.aggregate_blocks(all_blocks))
-        blinded: list[GroupElement] = []
-        states: list[BlindingState | None] = []  # None = already blinded
-        for request in requests:
-            if request.kind == "blocks":
-                for _ in request.blocks:
-                    state = self._blind(next(aggregates))
-                    states.append(state)
-                    blinded.append(state.blinded)
-            else:
-                for element in request.blinded:
-                    states.append(None)
-                    blinded.append(element)
+        with self.obs.tracer.span(
+            "batch.prepare", n_requests=len(requests), n_blocks=len(all_blocks)
+        ):
+            aggregates = iter(self.workers.aggregate_blocks(all_blocks))
+            blinded: list[GroupElement] = []
+            states: list[BlindingState | None] = []  # None = already blinded
+            for request in requests:
+                if request.kind == "blocks":
+                    for _ in request.blocks:
+                        state = self._blind(next(aggregates))
+                        states.append(state)
+                        blinded.append(state.blinded)
+                else:
+                    for element in request.blinded:
+                        states.append(None)
+                        blinded.append(element)
         return PreparedBatch(requests=list(requests), blinded=blinded, states=states)
 
     def finish_batch(
@@ -147,7 +153,12 @@ class SigningPipeline:
                 f"transport returned {len(blind_signatures)} signatures "
                 f"for {len(prepared.blinded)} messages"
             )
-        item_ok = self._verify_or_isolate(prepared.blinded, blind_signatures)
+        with self.obs.tracer.span("batch.finish", n_items=len(prepared.blinded)) as span:
+            item_ok = self._verify_or_isolate(prepared.blinded, blind_signatures)
+            span.set(n_invalid=item_ok.count(False))
+            return self._regroup(prepared, blind_signatures, item_ok)
+
+    def _regroup(self, prepared, blind_signatures, item_ok) -> list[PipelineResult]:
         results: list[PipelineResult] = []
         cursor = 0
         for request in prepared.requests:
@@ -187,7 +198,8 @@ class SigningPipeline:
         if not requests:
             return []
         prepared = self.prepare_batch(requests)
-        blind_signatures = self.sem.sign_blinded_batch(prepared.blinded, self.credential)
+        with self.obs.tracer.span("blindsign.roundtrip", n_items=len(prepared.blinded)):
+            blind_signatures = self.sem.sign_blinded_batch(prepared.blinded, self.credential)
         return self.finish_batch(prepared, blind_signatures)
 
     # -- the per-request baseline ------------------------------------------

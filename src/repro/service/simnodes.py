@@ -76,6 +76,7 @@ class SEMServiceNode(Node):
         membership=None,
         rng=None,
         use_fixed_base: bool = True,
+        obs=None,
     ):
         super().__init__(name)
         self.params = params
@@ -94,7 +95,9 @@ class SEMServiceNode(Node):
             org_pk_g1=org_pk_g1,
             use_fixed_base=use_fixed_base,
             rng=rng,
+            obs=obs,
         )
+        self.obs = self._pipeline.obs
         self.service = BatchingSEMService(
             params,
             self._pipeline,
@@ -155,6 +158,7 @@ class SEMServiceNode(Node):
             prepared.blinded,
             config=self.failover_config,
             rng=self._rng,
+            obs=self.obs,
         )
         round_ = _Round(
             round_id=next(self._round_ids),
@@ -331,6 +335,7 @@ def build_service_network(
     failover_config: FailoverConfig | None = None,
     client_service_channel: Channel | None = None,
     service_sem_channel: Channel | None = None,
+    obs=None,
 ) -> tuple[Simulator, SEMServiceNode, list[ServiceClientNode]]:
     """Wire clients → service → SEM(s) into a fresh simulator.
 
@@ -338,12 +343,22 @@ def build_service_network(
     paper's w = 2t − 1 mediators holding Shamir shares.  Returns
     ``(simulator, service_node, client_nodes)``; SEM nodes are reachable
     as ``sim.nodes["sem-j"]`` for fault injection.
+
+    When ``obs`` is given, its tracer is re-clocked to *virtual* time
+    (``sim.now``) and its registry mirrors the simulator's per-channel
+    traffic and the service's metrics at every scrape.
     """
     from repro.net.actors import SEMNode
 
     group = params.group
     rng = rng or random.Random(0)
     sim = Simulator()
+    if obs is not None and obs.enabled:
+        from repro.obs import bind_service_metrics, bind_simulator
+
+        obs.observe_group(group)
+        obs.tracer.clock = lambda: sim.now
+        bind_simulator(obs.registry, sim)
     if threshold is None:
         sk = group.random_nonzero_scalar(rng)
         sem_node = SEMNode("sem-0", group, sk)
@@ -374,8 +389,11 @@ def build_service_network(
         batch_config=batch_config,
         failover_config=failover_config,
         rng=rng,
+        obs=obs,
     )
     sim.add_node(service)
+    if obs is not None and obs.enabled:
+        bind_service_metrics(obs.registry, service.metrics)
     clients = []
     for i in range(n_clients):
         client = ServiceClientNode(f"client-{i}", params, "service")

@@ -1,0 +1,75 @@
+"""Adapters: the pre-existing accumulators mirrored into one registry."""
+
+import random
+
+from repro.net.channel import Channel
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.obs import (
+    MetricsRegistry,
+    bind_operation_counter,
+    bind_service_metrics,
+    bind_simulator,
+)
+from repro.pairing.interface import OperationCounter
+from repro.service.metrics import ServiceMetrics
+
+
+class _Sink(Node):
+    pass
+
+
+class TestOperationCounterAdapter:
+    def test_mirrors_live_counter(self):
+        reg, counter = MetricsRegistry(), OperationCounter()
+        bind_operation_counter(reg, counter)
+        counter.exp_g1 += 5
+        counter.pairings += 2
+        snap = reg.snapshot()
+        assert snap['pdp_operations{op="exp_g1"}'] == 5
+        assert snap['pdp_operations{op="pairings"}'] == 2
+        counter.exp_g1 += 1
+        assert reg.snapshot()['pdp_operations{op="exp_g1"}'] == 6
+
+    def test_includes_model_reconciliation_ops(self):
+        reg, counter = MetricsRegistry(), OperationCounter()
+        bind_operation_counter(reg, counter)
+        counter.exp_g1_fixed_base += 3
+        counter.exp_g1_skipped += 1
+        snap = reg.snapshot()
+        assert snap['pdp_operations{op="exp_g1_fixed_base"}'] == 3
+        assert snap['pdp_operations{op="exp_g1_skipped"}'] == 1
+
+
+class TestServiceMetricsAdapter:
+    def test_mirrors_summary_scalars(self):
+        reg, metrics = MetricsRegistry(), ServiceMetrics()
+        bind_service_metrics(reg, metrics)
+        metrics.on_enqueue(3)
+        metrics.on_batch(3, 0)
+        metrics.on_complete(6, 0.01, 0.02)
+        snap = reg.snapshot()
+        assert snap["service_submitted"] == 1
+        assert snap["service_batches"] == 1
+        assert snap["service_signatures_produced"] == 6
+        assert "service_batch_size_hist" not in snap  # dicts stay out
+
+
+class TestSimulatorAdapter:
+    def test_mirrors_channels_and_totals(self):
+        sim = Simulator()
+        sim.add_node(_Sink("a"))
+        sim.add_node(_Sink("b"))
+        bad = Channel(drop_rate=1.0, rng=random.Random(7))
+        sim.connect("a", "b", bad, bidirectional=False)
+        reg = MetricsRegistry()
+        bind_simulator(reg, sim)
+        sim.send(Message(sender="a", recipient="b", msg_type="x", size_bytes=100))
+        sim.run()
+        snap = reg.snapshot()
+        assert snap['sim_channel_bytes{sender="a",recipient="b"}'] == 100
+        assert snap['sim_channel_messages{sender="a",recipient="b"}'] == 1
+        assert snap['sim_channel_dropped{sender="a",recipient="b"}'] == 1
+        assert snap["sim_dropped"] == 1
+        assert snap["sim_delivered"] == 0

@@ -1,0 +1,115 @@
+"""End to end: a traced upload + audit whose costs match the model exactly."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import SemPdpSystem
+from repro.obs import Observability, cost_table, phase_cost_rows, trace_to_jsonl
+from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+
+@pytest.fixture()
+def fresh_group():
+    """A private group instance so the attached counter cannot leak into
+    the session-scoped ``group`` fixture other tests share."""
+    return TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS["toy-64"])
+
+
+def run_traced_system(group, k=4, threshold=None, data=b"x" * 300):
+    obs = Observability.create()
+    system = SemPdpSystem.create(group, k=k, threshold=threshold,
+                                 rng=random.Random(11), obs=obs)
+    owner = system.enroll("alice")
+    receipt = system.upload(owner, data, b"file-1")
+    assert system.audit(b"file-1")
+    group.detach_counter()
+    return obs, receipt
+
+
+class TestTracedEndToEnd:
+    def test_trace_covers_the_modeled_phases(self, fresh_group):
+        obs, _ = run_traced_system(fresh_group)
+        names = {span.name for span in obs.tracer.spans}
+        assert {"keygen", "upload", "sign", "store", "audit",
+                "challenge", "proofgen", "proofverify"} <= names
+
+    def test_phase_spans_carry_op_counts(self, fresh_group):
+        obs, receipt = run_traced_system(fresh_group)
+        (sign,) = obs.tracer.find("sign")
+        assert sign.attributes["n_blocks"] == receipt.n_blocks
+        assert sign.op_counts().get("pairings") == 2
+        (verify,) = obs.tracer.find("proofverify")
+        assert verify.attributes["ok"] is True
+        assert verify.op_counts().get("pairings") == 2
+
+    def test_cost_table_matches_the_model_exactly(self, fresh_group):
+        """The acceptance bar: measured Exp/Pair == Table I predictions."""
+        obs, _ = run_traced_system(fresh_group)
+        rows = phase_cost_rows(obs.tracer, k=4)
+        modeled = [r for r in rows if r["predicted_exp"] is not None]
+        assert {r["phase"] for r in modeled} == {"sign", "proofgen", "proofverify"}
+        for row in modeled:
+            assert row["exp"] == row["predicted_exp"], row
+            assert row["pair"] == row["predicted_pair"], row
+        assert "DEVIATES" not in cost_table(obs.tracer, k=4)
+
+    def test_multi_sem_cost_table_matches(self, fresh_group):
+        obs, _ = run_traced_system(fresh_group, threshold=2)
+        rows = {r["phase"]: r for r in phase_cost_rows(obs.tracer, k=4, t=2)}
+        for name in ("proofgen", "proofverify"):
+            assert rows[name]["exp"] == rows[name]["predicted_exp"]
+            assert rows[name]["pair"] == rows[name]["predicted_pair"]
+
+    def test_jsonl_trace_has_op_annotated_phases(self, fresh_group):
+        obs, _ = run_traced_system(fresh_group)
+        records = [json.loads(line) for line in trace_to_jsonl(obs.tracer).splitlines()]
+        by_name = {r["name"]: r for r in records}
+        for phase in ("sign", "proofgen", "proofverify"):
+            attrs = by_name[phase]["attrs"]
+            assert any(key in attrs for key in ("exp_g1", "exp_g1_fixed_base"))
+
+    def test_registry_mirrors_the_run(self, fresh_group):
+        obs, _ = run_traced_system(fresh_group)
+        snap = obs.registry.snapshot()
+        assert snap['pdp_operations{op="pairings"}'] >= 4  # sign + verify
+        assert snap['pdp_operations{op="exp_g1"}'] > 0
+
+    def test_null_obs_default_changes_nothing(self, fresh_group):
+        system = SemPdpSystem.create(fresh_group, k=4, rng=random.Random(11))
+        owner = system.enroll("alice")
+        system.upload(owner, b"y" * 200, b"file-2")
+        assert system.audit(b"file-2")
+        assert fresh_group.counter is None
+
+
+class TestSimulatedServiceTracing:
+    def test_virtual_clock_spans_and_sim_metrics(self, fresh_group):
+        from repro.core.params import setup
+        from repro.service import BatchConfig, build_service_network
+
+        obs = Observability.create()
+        params = setup(fresh_group, 4)
+        sim, service, clients = build_service_network(
+            params,
+            threshold=2,
+            n_clients=2,
+            rng=random.Random(3),
+            batch_config=BatchConfig(max_batch=4, max_wait_s=0.01),
+            obs=obs,
+        )
+        rng = random.Random(5)
+        for i, client in enumerate(clients):
+            sim.send(client.request_for_data(rng.randbytes(64), f"f-{i}".encode()))
+        sim.run()
+        fresh_group.detach_counter()
+        assert all(len(c.failed) == 0 for c in clients)
+        names = {span.name for span in obs.tracer.spans}
+        assert {"batch.prepare", "batch.finish", "lagrange.combine"} <= names
+        # Spans are stamped in virtual time: within the simulated horizon.
+        assert all(0.0 <= s.start <= sim.now for s in obs.tracer.spans)
+        snap = obs.registry.snapshot()
+        assert snap["sim_delivered"] > 0
+        assert snap["sim_virtual_time_seconds"] == pytest.approx(sim.now)
+        assert snap["service_completed"] == 2

@@ -1,0 +1,112 @@
+"""Metric families: label children, monotonicity, cumulative buckets."""
+
+import pytest
+
+from repro.obs import MetricError, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_absolute_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests_total", "requests seen")
+        c.inc()
+        c.inc(4)
+        assert reg.snapshot()["requests_total"] == 5
+        c._default_child().set(9)
+        assert reg.snapshot()["requests_total"] == 9
+
+    def test_counters_never_decrease(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.inc(3)
+        with pytest.raises(MetricError):
+            c.inc(-1)
+        with pytest.raises(MetricError):
+            c._default_child().set(2)
+
+    def test_labelled_children_are_independent(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        c.labels(op="exp").inc(7)
+        c.labels(op="pair").inc(2)
+        snap = reg.snapshot()
+        assert snap['ops_total{op="exp"}'] == 7
+        assert snap['ops_total{op="pair"}'] == 2
+
+    def test_wrong_label_names_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        with pytest.raises(MetricError):
+            c.labels(kind="exp")
+        with pytest.raises(MetricError):
+            c.inc()  # label-less use of a labelled family
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("queue_depth")
+        g.set(10)
+        g.inc(5)
+        g.dec(3)
+        assert reg.snapshot()["queue_depth"] == 12
+
+
+class TestHistogram:
+    def test_cumulative_buckets_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency_seconds", buckets=(0.01, 0.1, 1.0))
+        for v in (0.005, 0.05, 0.05, 0.5, 5.0):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap['latency_seconds_bucket{le="0.01"}'] == 1
+        assert snap['latency_seconds_bucket{le="0.1"}'] == 3
+        assert snap['latency_seconds_bucket{le="1"}'] == 4
+        assert snap['latency_seconds_bucket{le="+Inf"}'] == 5
+        assert snap["latency_seconds_sum"] == pytest.approx(5.605)
+        assert snap["latency_seconds_count"] == 5
+
+    def test_needs_buckets(self):
+        with pytest.raises(MetricError):
+            MetricsRegistry().histogram("empty", buckets=())
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_family(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a_total") is reg.counter("a_total")
+
+    def test_type_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing")
+        with pytest.raises(MetricError):
+            reg.gauge("thing")
+
+    def test_label_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("thing", labels=("a",))
+        with pytest.raises(MetricError):
+            reg.counter("thing", labels=("b",))
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(MetricError):
+            reg.counter("9bad")
+        with pytest.raises(MetricError):
+            reg.counter("ok", labels=("bad-label",))
+
+    def test_collectors_refresh_on_collect(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("mirrored")
+        source = {"value": 1}
+        reg.register_collector(lambda: g.set(source["value"]))
+        assert reg.snapshot()["mirrored"] == 1
+        source["value"] = 42
+        assert reg.snapshot()["mirrored"] == 42
+
+    def test_collect_output_is_sorted(self):
+        reg = MetricsRegistry()
+        reg.gauge("zeta").set(1)
+        reg.gauge("alpha").set(2)
+        names = [s.name for s in reg.collect()]
+        assert names == sorted(names)

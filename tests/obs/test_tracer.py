@@ -1,0 +1,85 @@
+"""Protocol-phase spans: nesting, injected clocks, inclusive op deltas."""
+
+from repro.obs import NULL_TRACER, Tracer
+from repro.pairing.interface import OperationCounter
+
+
+class FakeClock:
+    """Advances by one second per call — deterministic span timings."""
+
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        self.t += 1.0
+        return self.t
+
+
+class TestTracer:
+    def test_span_timing_uses_injected_clock(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.spans
+        assert (span.start, span.end, span.duration) == (1.0, 2.0, 1.0)
+
+    def test_nesting_records_parent_ids(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.spans  # finish order: children first
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_attributes_and_set(self):
+        tracer = Tracer(clock=FakeClock())
+        with tracer.span("sign", n_blocks=4) as span:
+            span.set(ok=True)
+        assert tracer.spans[0].attributes == {"n_blocks": 4, "ok": True}
+
+    def test_op_deltas_are_inclusive_of_children(self):
+        counter = OperationCounter()
+        tracer = Tracer(clock=FakeClock(), counter=counter)
+        with tracer.span("outer"):
+            counter.exp_g1 += 3
+            with tracer.span("inner"):
+                counter.exp_g1 += 2
+                counter.pairings += 1
+        inner, outer = tracer.spans
+        assert inner.op_counts() == {"exp_g1": 2, "pairings": 1}
+        assert outer.op_counts() == {"exp_g1": 5, "pairings": 1}
+
+    def test_find_and_phase_totals(self):
+        counter = OperationCounter()
+        tracer = Tracer(clock=FakeClock(), counter=counter)
+        for _ in range(3):
+            with tracer.span("sign", n_blocks=2):
+                counter.exp_g1 += 10
+        assert len(tracer.find("sign")) == 3
+        totals = tracer.phase_totals()["sign"]
+        assert totals["count"] == 3
+        assert totals["ops"]["exp_g1"] == 30
+        assert totals["attrs"]["n_blocks"] == 6
+
+    def test_span_survives_exceptions(self):
+        tracer = Tracer(clock=FakeClock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.spans[0].end is not None
+
+
+class TestNullTracer:
+    def test_null_tracer_is_inert(self):
+        with NULL_TRACER.span("anything", n=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.phase_totals() == {}
+        assert NULL_TRACER.enabled is False
+
+    def test_null_span_context_is_shared(self):
+        # The hot-path guarantee: entering a span allocates nothing.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

@@ -32,6 +32,43 @@ class TestLatencyReservoir:
         with pytest.raises(ValueError):
             LatencyReservoir(0)
 
+    def test_retained_set_is_evenly_spaced(self):
+        # Systematic sampling keeps stream indices 0, s, 2s, ... — never a
+        # clustered band of replacement slots.
+        r = LatencyReservoir(capacity=8)
+        for v in range(100):
+            r.record(float(v))
+        gaps = {b - a for a, b in zip(r._samples, r._samples[1:])}
+        assert len(gaps) == 1  # uniform spacing
+
+    def test_percentiles_unbiased_on_trending_100k_stream(self):
+        # The old count%capacity overwrite clustered replacements into a
+        # narrow index band, skewing percentiles on monotone streams.  On
+        # 0..99999 every percentile of an evenly spaced subsample must sit
+        # within one stride of the true value.
+        n = 100_000
+        r = LatencyReservoir(capacity=4096)
+        for v in range(n):
+            r.record(float(v))
+        tolerance = r._stride + 1
+        for q in (1, 10, 25, 50, 75, 90, 99):
+            true = (q / 100.0) * (n - 1)
+            assert r.percentile(q) == pytest.approx(true, abs=tolerance)
+        assert r.mean == pytest.approx((n - 1) / 2.0)
+
+    def test_percentiles_on_shifted_distribution_tail(self):
+        # A latency regression halfway through the stream must show up in
+        # p99 — the retained subsample covers early and late halves alike.
+        r = LatencyReservoir(capacity=1024)
+        for _ in range(50_000):
+            r.record(0.010)
+        for _ in range(50_000):
+            r.record(0.100)
+        assert r.percentile(50) == pytest.approx(0.010, abs=0.091)
+        assert r.percentile(99) == pytest.approx(0.100)
+        assert r.percentile(25) == pytest.approx(0.010)
+        assert r.percentile(75) == pytest.approx(0.100)
+
 
 class TestHistogram:
     def test_power_of_two_buckets(self):
@@ -75,3 +112,25 @@ class TestServiceMetrics:
         assert counter.labels["service.submitted"] == 1
         assert counter.labels["service.latency_p50_s"] == 1_500_000  # µs-scaled
         assert "service.batch_size_hist" not in counter.labels
+
+    def test_to_labels_round_trips_every_scalar(self):
+        # Every scalar in summary() must be recoverable from the exported
+        # labels: ints verbatim, floats µs-scaled (so undo the scaling).
+        m = ServiceMetrics()
+        for depth in range(1, 6):
+            m.on_enqueue(depth)
+        m.on_batch(5, 0)
+        m.on_complete(10, 0.25, 0.125)
+        m.retries = 3
+        m.failovers = 1
+        counter = OperationCounter()
+        m.to_labels(counter)
+        for key, value in m.summary().items():
+            if isinstance(value, dict):
+                assert f"service.{key}" not in counter.labels
+                continue
+            exported = counter.labels[f"service.{key}"]
+            if isinstance(value, float):
+                assert exported / 1_000_000 == pytest.approx(value, abs=1e-6)
+            else:
+                assert exported == value

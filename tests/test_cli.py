@@ -65,6 +65,58 @@ class TestLifecycle:
         assert (state / "cloud" / "d__1.spdp").exists()
 
 
+class TestObservabilityFlags:
+    def test_trace_accumulates_across_upload_and_audit(self, deployment, tmp_path):
+        state, doc = deployment
+        trace = tmp_path / "trace.jsonl"
+        assert _run(state, "upload", "alice", str(doc), "--file-id", "d/1",
+                    "--trace-out", str(trace)) == 0
+        assert _run(state, "audit", "d/1", "--trace-out", str(trace)) == 0
+        records = [json.loads(line) for line in trace.read_text().splitlines()]
+        names = {r["name"] for r in records}
+        assert {"upload", "sign", "audit", "proofgen", "proofverify"} <= names
+        sign = next(r for r in records if r["name"] == "sign")
+        assert sign["attrs"].get("exp_g1", 0) > 0
+        assert sign["attrs"]["pairings"] == 2
+
+    def test_metrics_out_writes_prometheus_text(self, deployment, tmp_path):
+        state, doc = deployment
+        metrics = tmp_path / "metrics.txt"
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "audit", "d/1", "--metrics-out", str(metrics)) == 0
+        text = metrics.read_text()
+        assert "# TYPE pdp_operations gauge" in text
+        assert 'pdp_operations{op="pairings"} 2' in text
+
+    def test_audit_prints_exact_cost_table(self, deployment, tmp_path, capsys):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "audit", "d/1",
+                    "--metrics-out", str(tmp_path / "m.txt")) == 0
+        out = capsys.readouterr().out
+        assert "proofgen" in out and "proofverify" in out
+        assert "DEVIATES" not in out
+
+    def test_info_reports_last_run(self, deployment, capsys):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        _run(state, "audit", "d/1")
+        capsys.readouterr()
+        assert _run(state, "info") == 0
+        out = capsys.readouterr().out
+        assert "last run: audit" in out
+        assert "proofverify" in out and "pairings=2" in out
+
+    def test_serve_sim_obs_outputs(self, tmp_path):
+        trace = tmp_path / "sim.jsonl"
+        metrics = tmp_path / "sim.txt"
+        assert main(["serve-sim", "--clients", "1", "--requests", "1",
+                     "--trace-out", str(trace), "--metrics-out", str(metrics)]) == 0
+        names = {json.loads(l)["name"] for l in trace.read_text().splitlines()}
+        assert "batch.prepare" in names and "batch.finish" in names
+        assert "sim_delivered" in metrics.read_text()
+
+
 class TestServeSim:
     def test_single_sem(self, capsys):
         assert main(["serve-sim", "--clients", "2", "--requests", "1"]) == 0
