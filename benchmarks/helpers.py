@@ -18,6 +18,15 @@ from repro.baselines.sw08 import SW08Owner
 from repro.core.multi_sem import MultiSEMClient, SEMCluster
 from repro.core.owner import DataOwner
 from repro.core.sem import SecurityMediator
+from repro.obs.bench import (
+    append_run,
+    make_phase,
+    make_run,
+    measure_ops_and_wall,
+    trajectory_path,
+    validate_run,
+    write_run_file,
+)
 from repro.pairing.interface import OperationCounter
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -103,6 +112,29 @@ def write_bench_json(name: str, payload: dict) -> None:
     with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
+
+
+def measure_phase(group, name: str, fn, repeats: int = 1, scalars: dict | None = None) -> dict:
+    """Measure ``fn`` into one schema-valid phase entry (wall + exact ops)."""
+    wall, ops = measure_ops_and_wall(group, fn, repeats)
+    return make_phase(name, wall, ops, repeats=repeats, scalars=scalars)
+
+
+def record_suite_run(suite: str, phases: list[dict], config: dict | None = None) -> dict:
+    """Persist one benchmark's results in the versioned run schema.
+
+    Always writes the per-run JSON under ``benchmarks/results/``.  When
+    ``REPRO_BENCH_TRAJECTORY_DIR`` is set (as the CI bench-smoke job and
+    baseline refreshes do), the run is additionally appended to the
+    committed ``BENCH_<suite>.json`` trajectory in that directory, so
+    ordinary pytest invocations never dirty the checked-in perf history.
+    """
+    run = validate_run(make_run(suite, phases, config=config))
+    write_run_file(run, RESULTS_DIR)
+    trajectory_dir = os.environ.get("REPRO_BENCH_TRAJECTORY_DIR")
+    if trajectory_dir:
+        append_run(trajectory_path(suite, trajectory_dir), run)
+    return run
 
 
 def fmt_row(label: str, values: list[float], unit: str = "ms") -> str:

@@ -22,7 +22,14 @@ import random
 import pytest
 
 from benchmarks.conftest import record_report
-from benchmarks.helpers import count_ops, dense_data, time_call, write_bench_json
+from benchmarks.helpers import (
+    count_ops,
+    dense_data,
+    record_suite_run,
+    time_call,
+    write_bench_json,
+)
+from repro.obs.bench import make_phase
 from repro.core.blocks import encode_data
 from repro.core.params import setup
 from repro.core.sem import SecurityMediator
@@ -130,6 +137,31 @@ def test_service_batched_vs_sequential_throughput(benchmark, fast_group):
             "ops_per_8_sequential": ops_sequential,
             "tracing_overhead": overhead,
         },
+    )
+
+    # Standardized run document, phase names matching the CLI `service`
+    # suite so the committed BENCH_service.json trajectory stays comparable.
+    t_batch64, batched_rate64 = 64 / rows[64][0], rows[64][0]
+    t_seq64, seq_rate64 = 64 / rows[64][1], rows[64][1]
+    requests_again = _requests(params, 64)
+    record_suite_run(
+        "service",
+        [
+            make_phase(
+                "batched.64", t_batch64,
+                count_ops(fast_group, lambda: batched_pipeline.sign_batch(requests_again)),
+                scalars={"sig_per_s": batched_rate64},
+            ),
+            make_phase(
+                "sequential.64", t_seq64,
+                count_ops(
+                    fast_group,
+                    lambda: [sequential_pipeline.sign_sequential(r) for r in requests_again],
+                ),
+                scalars={"sig_per_s": seq_rate64},
+            ),
+        ],
+        config={"param_set": "toy-64", "k": K, "batch": 64},
     )
 
     # Acceptance: batching is >= 2x at batch size 64.

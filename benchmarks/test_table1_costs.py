@@ -16,7 +16,9 @@ import random
 import pytest
 
 from benchmarks.conftest import record_report
+from benchmarks.helpers import record_suite_run
 from repro.analysis.cost_model import table1_exp_pair_counts
+from repro.obs.bench import make_phase
 from repro.core.accounting import CostTracker
 from repro.core.multi_sem import MultiSEMClient, SEMCluster
 from repro.core.owner import DataOwner
@@ -37,10 +39,12 @@ class TestOperationCounts:
         params = setup(fast_group, k=6)
         data = _dense_data(params, 8)
         results = []
+        phases = []
         cells = [(None, False), (None, True), (2, False), (2, True)]
 
         def run_cells():
             results.clear()
+            phases.clear()
             for t, optimized in cells:
                 _run_one(t, optimized)
 
@@ -58,6 +62,15 @@ class TestOperationCounts:
             n = len(signed.blocks)
             formula = table1_exp_pair_counts(n, params.k, t=t, optimized=optimized)
             label = f"{'multi t=2' if t else 'single'} {'opt' if optimized else 'basic'}"
+            phase = f"sign.{'multi2' if t else 'single'}.{'opt' if optimized else 'basic'}"
+            phases.append(
+                make_phase(
+                    phase,
+                    tracker.elapsed_seconds,
+                    tracker.counter.snapshot(),
+                    scalars={"n_blocks": n},
+                )
+            )
             results.append(
                 f"{label:>18}: measured {tracker.exp_g1:>4} Exp {tracker.pairings:>3} Pair"
                 f" | Table I {formula.exp_g1:>4} Exp {formula.pair:>3} Pair"
@@ -74,6 +87,9 @@ class TestOperationCounts:
 
         benchmark.pedantic(run_cells, rounds=1, iterations=1)
         record_report("Table I: operation counts (n=8 blocks, k=6)", results)
+        record_suite_run(
+            "table1", phases, config={"param_set": "toy-64", "k": 6, "n_blocks": 8}
+        )
 
 
 @pytest.mark.benchmark(group="table1")

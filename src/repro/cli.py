@@ -117,6 +117,16 @@ def _write_obs_outputs(args, obs) -> None:
         write_metrics_text(obs.registry, args.metrics_out)
 
 
+def _maybe_profile(args, obs, group) -> None:
+    """Print the calibrated hot-path profile of this run's spans."""
+    if not getattr(args, "profile", False):
+        return
+    from repro.obs import calibrate_primitive_costs, render_profile
+
+    costs = calibrate_primitive_costs(group)
+    print(render_profile(obs.tracer, costs))
+
+
 def _persist_last_run(root: Path, command: str, obs) -> None:
     """Record this run's op counts and phase totals for ``repro-pdp info``."""
     phases = {
@@ -221,6 +231,7 @@ def cmd_upload(args) -> int:
     _write_obs_outputs(args, obs)
     _persist_last_run(root, "upload", obs)
     print(f"stored {args.file_id!r}: {len(data)} bytes as {len(signed.blocks)} blocks")
+    _maybe_profile(args, obs, params.group)
     return 0
 
 
@@ -253,6 +264,7 @@ def cmd_audit(args) -> int:
         from repro.obs import cost_table
 
         print(cost_table(obs.tracer, params.k))
+    _maybe_profile(args, obs, params.group)
     return 0 if ok else 1
 
 
@@ -305,6 +317,14 @@ def cmd_serve_sim(args) -> int:
         service_sem_channel=channel,
         obs=obs,
     )
+    dashboard = None
+    if args.watch:
+        from repro.obs import Dashboard
+
+        dashboard = Dashboard(
+            obs.registry, clock=lambda: sim.now, interval_s=args.watch_interval
+        )
+        dashboard.attach(sim)
     for j in range(args.crash):
         sim.nodes[f"sem-{j}"].crash()
     for i, client in enumerate(clients):
@@ -312,6 +332,8 @@ def cmd_serve_sim(args) -> int:
             data = rng.randbytes(args.file_bytes)
             sim.send(client.request_for_data(data, f"file-{i}-{n}".encode()))
     sim.run()
+    if dashboard is not None:
+        dashboard.tick()  # final frame: the run's end state
     summary = service.metrics.summary()
     expected = args.clients * args.requests
     completed = sum(len(c.completed) for c in clients)
@@ -330,6 +352,108 @@ def cmd_serve_sim(args) -> int:
           f"p99 {summary['latency_p99_s']:.3f}s (virtual)")
     _write_obs_outputs(args, obs)
     return 0 if completed == expected else 1
+
+
+def _bench_suites(args) -> list[str]:
+    from repro.obs.bench import SUITES
+
+    if args.suite == "all":
+        return sorted(SUITES)
+    if args.suite not in SUITES:
+        raise CliError(f"unknown suite {args.suite!r}; choose from {sorted(SUITES)}")
+    return [args.suite]
+
+
+def _print_run_summary(run: dict) -> None:
+    for phase in run["phases"]:
+        print(
+            f"  {phase['name']:<22} Exp {phase['exp']:>6}  Pair {phase['pair']:>4}"
+            f"  {phase['wall_s'] * 1000:>9.2f} ms"
+        )
+
+
+def cmd_bench_run(args) -> int:
+    """Measure suite(s); append to the trajectory and write per-run JSON."""
+    from repro.obs.bench import append_run, run_suite, trajectory_path, write_run_file
+
+    set_baseline = getattr(args, "set_baseline", False)
+    for suite in _bench_suites(args):
+        run = run_suite(suite, repeats=args.repeats)
+        path = trajectory_path(suite, args.trajectory_dir)
+        append_run(path, run, set_baseline=set_baseline)
+        run_file = write_run_file(run, args.results_dir)
+        verb = "baseline" if set_baseline else "run"
+        print(f"bench {verb} {suite}: {len(run['phases'])} phase(s) -> {path}")
+        print(f"  per-run copy: {run_file}")
+        _print_run_summary(run)
+    return 0
+
+
+def cmd_bench_baseline(args) -> int:
+    """Like ``bench run`` but pins the fresh run as the committed baseline."""
+    args.set_baseline = True
+    return cmd_bench_run(args)
+
+
+def cmd_bench_compare(args) -> int:
+    """Run suite(s) fresh and diff against the committed baselines.
+
+    Exit codes: 0 clean (or ``--report-only``), 1 regression,
+    2 missing/invalid baseline.  Only deterministic op-count regressions
+    fail by default; wall-time drift is reported as a warning unless
+    ``--fail-on-wall`` (see DESIGN.md §6.2 for why).
+    """
+    from repro.obs.bench import (
+        baseline_of,
+        load_trajectory,
+        run_suite,
+        trajectory_path,
+    )
+    from repro.obs.regress import (
+        VERDICT_NO_BASELINE,
+        VERDICT_OK,
+        RegressionConfig,
+        compare_runs,
+    )
+
+    suites = _bench_suites(args)
+    if args.baseline and len(suites) != 1:
+        raise CliError("--baseline PATH only applies to a single --suite")
+    config = RegressionConfig(
+        wall_tolerance=args.wall_tolerance, fail_on_wall=args.fail_on_wall
+    )
+    reports = {}
+    worst = 0
+    for suite in suites:
+        baseline_path = args.baseline or trajectory_path(suite, args.trajectory_dir)
+        baseline = baseline_of(load_trajectory(baseline_path))
+        current = run_suite(suite, repeats=args.repeats)
+        report = compare_runs(baseline, current, config)
+        reports[suite] = report
+        print(report.table())
+        print()
+        if report.verdict == VERDICT_OK:
+            code = 0
+        elif report.verdict == VERDICT_NO_BASELINE:
+            code = 2
+        else:
+            code = 1 if report.verdict == "regression" else 2
+        worst = max(worst, code)
+    if args.json_out:
+        payload = {suite: report.to_dict() for suite, report in reports.items()}
+        Path(args.json_out).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+    return 0 if args.report_only else worst
+
+
+def cmd_bench(args) -> int:
+    from repro.obs.bench import BenchSchemaError
+
+    try:
+        return args.bench_fn(args)
+    except BenchSchemaError as exc:
+        raise CliError(str(exc)) from None
 
 
 def cmd_info(args) -> int:
@@ -388,12 +512,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--file-id", required=True)
     p.add_argument("--no-batch", action="store_true", help="verify Eq. 4 per signature")
     _add_obs_flags(p)
+    p.add_argument("--profile", action="store_true",
+                   help="print a calibrated hot-path profile of this run")
     p.set_defaults(fn=cmd_upload)
 
     p = sub.add_parser("audit", help="run a public integrity audit")
     p.add_argument("file_id")
     p.add_argument("--sample", type=int, default=None, help="challenge only c blocks")
     _add_obs_flags(p)
+    p.add_argument("--profile", action="store_true",
+                   help="print a calibrated hot-path profile of this run")
     p.set_defaults(fn=cmd_audit)
 
     p = sub.add_parser("tamper", help="corrupt a stored block (demo)")
@@ -418,11 +546,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-rate", type=float, default=0.0)
     p.add_argument("--crash", type=int, default=0, help="crash the first N SEMs")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--watch", action="store_true",
+                   help="render a live dashboard frame on an interval of virtual time")
+    p.add_argument("--watch-interval", type=float, default=0.05, metavar="S",
+                   help="virtual seconds between dashboard frames")
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve_sim)
 
     p = sub.add_parser("info", help="show deployment state")
     p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser(
+        "bench", help="continuous performance tracking (run / compare / baseline)"
+    )
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    def _add_bench_common(bp) -> None:
+        bp.add_argument("--suite", default="all",
+                        help="suite name or 'all' (table1, audit, service)")
+        bp.add_argument("--repeats", type=int, default=3,
+                        help="wall time is best-of-N per phase")
+        bp.add_argument("--trajectory-dir", default=".", metavar="DIR",
+                        help="where BENCH_<suite>.json trajectory files live")
+        bp.add_argument("--results-dir", default="benchmarks/results", metavar="DIR",
+                        help="where per-run JSON documents are written")
+
+    bp = bench_sub.add_parser("run", help="measure and append to the trajectory")
+    _add_bench_common(bp)
+    bp.set_defaults(fn=cmd_bench, bench_fn=cmd_bench_run, set_baseline=False)
+
+    bp = bench_sub.add_parser(
+        "baseline", help="measure and pin the run as the committed baseline"
+    )
+    _add_bench_common(bp)
+    bp.set_defaults(fn=cmd_bench, bench_fn=cmd_bench_baseline)
+
+    bp = bench_sub.add_parser(
+        "compare", help="measure and diff against the committed baseline"
+    )
+    _add_bench_common(bp)
+    bp.add_argument("--baseline", default=None, metavar="PATH",
+                    help="explicit baseline file (single --suite only)")
+    bp.add_argument("--wall-tolerance", type=float, default=0.25,
+                    help="wall-time ratio band before warning (default 25%%)")
+    bp.add_argument("--fail-on-wall", action="store_true",
+                    help="treat wall-time regressions as failures too")
+    bp.add_argument("--report-only", action="store_true",
+                    help="always exit 0; print the diff table only")
+    bp.add_argument("--json-out", default=None, metavar="PATH",
+                    help="write the machine-readable verdict(s) to PATH")
+    bp.set_defaults(fn=cmd_bench, bench_fn=cmd_bench_compare)
     return parser
 
 

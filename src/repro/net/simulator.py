@@ -78,6 +78,15 @@ class Simulator:
         if timer_id in self._pending_timers:
             self._cancelled_timers.add(timer_id)
 
+    def pending_events(self) -> int:
+        """Events still queued (messages + timers).
+
+        Periodic observers (the serve-sim dashboard) use this to stop
+        rescheduling themselves once they are the only event source left —
+        otherwise :meth:`run` would never drain the queue.
+        """
+        return len(self._queue)
+
     @staticmethod
     def _clone_channel(template: Channel) -> Channel:
         """An independent channel with the template's parameters.

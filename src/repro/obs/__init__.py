@@ -31,6 +31,22 @@ from repro.obs.adapters import (
     bind_service_metrics,
     bind_simulator,
 )
+from repro.obs.bench import (
+    BenchSchemaError,
+    SCHEMA_VERSION,
+    append_run,
+    baseline_of,
+    environment_fingerprint,
+    load_trajectory,
+    make_phase,
+    make_run,
+    measure_ops_and_wall,
+    run_suite,
+    trajectory_path,
+    validate_run,
+    write_run_file,
+)
+from repro.obs.dashboard import Dashboard
 from repro.obs.exporters import (
     PHASE_PROOF_GEN,
     PHASE_PROOF_VERIFY,
@@ -44,6 +60,12 @@ from repro.obs.exporters import (
     write_metrics_text,
     write_trace_jsonl,
 )
+from repro.obs.profiler import (
+    PrimitiveCosts,
+    build_profile,
+    calibrate_primitive_costs,
+    render_profile,
+)
 from repro.obs.registry import (
     Counter,
     Gauge,
@@ -51,6 +73,11 @@ from repro.obs.registry import (
     MetricError,
     MetricsRegistry,
     Sample,
+)
+from repro.obs.regress import (
+    RegressionConfig,
+    RegressionReport,
+    compare_runs,
 )
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 from repro.pairing.interface import OperationCounter
@@ -100,7 +127,9 @@ class _NullObservability:
 NULL_OBS = _NullObservability()
 
 __all__ = [
+    "BenchSchemaError",
     "Counter",
+    "Dashboard",
     "Gauge",
     "Histogram",
     "MetricError",
@@ -113,18 +142,36 @@ __all__ = [
     "PHASE_PROOF_GEN",
     "PHASE_PROOF_VERIFY",
     "PHASE_SIGN",
+    "PrimitiveCosts",
+    "RegressionConfig",
+    "RegressionReport",
+    "SCHEMA_VERSION",
     "Sample",
     "Span",
     "Tracer",
+    "append_run",
+    "baseline_of",
     "bind_operation_counter",
     "bind_service_metrics",
     "bind_simulator",
+    "build_profile",
+    "calibrate_primitive_costs",
+    "compare_runs",
     "cost_table",
+    "environment_fingerprint",
+    "load_trajectory",
+    "make_phase",
+    "make_run",
+    "measure_ops_and_wall",
     "model_equivalent_exp",
     "phase_cost_rows",
     "prometheus_text",
+    "render_profile",
+    "run_suite",
     "span_to_dict",
     "trace_to_jsonl",
+    "trajectory_path",
+    "validate_run",
     "write_metrics_text",
-    "write_trace_jsonl",
+    "write_run_file",
 ]

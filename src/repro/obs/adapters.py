@@ -34,13 +34,24 @@ def bind_operation_counter(registry: MetricsRegistry, counter) -> None:
     registry.register_collector(collect)
 
 
-def bind_service_metrics(registry: MetricsRegistry, metrics, prefix: str = "service") -> None:
+def bind_service_metrics(registry: MetricsRegistry, metrics, prefix: str = "service"):
     """Mirror a :class:`ServiceMetrics` summary as ``<prefix>_<key>`` gauges.
 
     Scalar summary keys only (the batch-size histogram dict stays with the
     service's own human-readable summary), matching what
     :meth:`ServiceMetrics.to_labels` exports into accounting labels.
+
+    Additionally taps the per-completion latency stream into a registry
+    histogram ``<prefix>_latency_seconds`` so bucket-based quantiles
+    (p50/p95/p99 on the serve-sim dashboard and the exposition summary
+    line) see every observation.  Returns that histogram.
     """
+    latency = registry.histogram(
+        f"{prefix}_latency_seconds",
+        help=f"{prefix} per-request service latency",
+    )
+    if hasattr(metrics, "latency_observers"):
+        metrics.latency_observers.append(latency.observe)
 
     def collect() -> None:
         for key, value in metrics.summary().items():
@@ -51,6 +62,7 @@ def bind_service_metrics(registry: MetricsRegistry, metrics, prefix: str = "serv
             ).set(float(value))
 
     registry.register_collector(collect)
+    return latency
 
 
 def bind_simulator(registry: MetricsRegistry, sim) -> None:

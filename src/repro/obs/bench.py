@@ -1,0 +1,409 @@
+"""Benchmark harness: versioned result schema and trajectory files.
+
+The paper's evaluation is a set of cost curves (Table I, Figs. 4–6); this
+module makes our own curves durable.  Every benchmark run — whether driven
+by ``repro-pdp bench run`` or by the pytest suites under ``benchmarks/`` —
+is serialized into one *run document*:
+
+* run metadata (suite name, schema version, creation time, config),
+* an environment fingerprint (interpreter, platform, CPU count) so runs
+  from different machines are never compared as if they were comparable,
+* one entry per *phase* carrying best-of-``repeats`` wall seconds **and**
+  the exact operation tallies (``exp_g1``, ``pairings``, …) plus their
+  model-equivalent ``Exp``/``Pair`` totals in the paper's Table I units.
+
+Run documents accumulate in ``BENCH_<suite>.json`` *trajectory* files at
+the repository root (committed, so the perf history travels with the
+code) and are written individually under ``benchmarks/results/``.  The
+regression detector in :mod:`repro.obs.regress` compares a fresh run
+against a trajectory's baseline: op counts are deterministic, so any
+drift there is a real change in the protocol's cost, not noise.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.obs.exporters import model_equivalent_exp
+from repro.pairing.interface import OperationCounter
+
+#: Bump on any backwards-incompatible change to the run document layout.
+SCHEMA_VERSION = 1
+
+#: How many runs one trajectory file retains (oldest dropped first).
+MAX_TRAJECTORY_RUNS = 50
+
+
+class BenchSchemaError(Exception):
+    """A run document does not conform to the versioned schema."""
+
+
+# ---------------------------------------------------------------------------
+# Run documents
+# ---------------------------------------------------------------------------
+
+def environment_fingerprint() -> dict:
+    """Identify the machine/interpreter a run was measured on.
+
+    Wall-time comparisons across different fingerprints are meaningless
+    (the regression detector downgrades them to op-count-only).
+    """
+    return {
+        "python": platform.python_version(),
+        "implementation": sys.implementation.name,
+        "platform": platform.system().lower(),
+        "machine": platform.machine(),
+        "cpus": os.cpu_count() or 1,
+    }
+
+
+def make_phase(
+    name: str,
+    wall_s: float,
+    ops: dict | None = None,
+    repeats: int = 1,
+    scalars: dict | None = None,
+) -> dict:
+    """One phase entry: wall time plus exact op tallies in Table I units."""
+    ops = {k: int(v) for k, v in (ops or {}).items() if v}
+    return {
+        "name": name,
+        "wall_s": float(wall_s),
+        "repeats": int(repeats),
+        "ops": ops,
+        "exp": model_equivalent_exp(ops),
+        "pair": ops.get("pairings", 0),
+        "scalars": {k: float(v) for k, v in (scalars or {}).items()},
+    }
+
+
+def make_run(
+    suite: str,
+    phases: list[dict],
+    config: dict | None = None,
+    created_unix: float | None = None,
+) -> dict:
+    """Assemble one schema-versioned run document."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": suite,
+        "created_unix": time.time() if created_unix is None else float(created_unix),
+        "environment": environment_fingerprint(),
+        "config": dict(config or {}),
+        "phases": list(phases),
+    }
+
+
+def validate_run(run: dict) -> dict:
+    """Check ``run`` against the schema; returns it or raises.
+
+    Raises :class:`BenchSchemaError` naming every violation, so a corrupt
+    trajectory file fails loudly instead of producing nonsense deltas.
+    """
+    problems: list[str] = []
+    if not isinstance(run, dict):
+        raise BenchSchemaError("run document must be a JSON object")
+    version = run.get("schema_version")
+    if version != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} is not the supported {SCHEMA_VERSION}"
+        )
+    if not isinstance(run.get("suite"), str) or not run.get("suite"):
+        problems.append("missing suite name")
+    if not isinstance(run.get("environment"), dict):
+        problems.append("missing environment fingerprint")
+    phases = run.get("phases")
+    if not isinstance(phases, list) or not phases:
+        problems.append("phases must be a non-empty list")
+        phases = []
+    seen: set[str] = set()
+    for i, phase in enumerate(phases):
+        where = f"phases[{i}]"
+        if not isinstance(phase, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        name = phase.get("name")
+        if not isinstance(name, str) or not name:
+            problems.append(f"{where} has no name")
+        elif name in seen:
+            problems.append(f"duplicate phase name {name!r}")
+        else:
+            seen.add(name)
+        if not isinstance(phase.get("wall_s"), (int, float)) or phase.get("wall_s", -1) < 0:
+            problems.append(f"{where} wall_s must be a non-negative number")
+        ops = phase.get("ops")
+        if not isinstance(ops, dict) or any(
+            not isinstance(v, int) or v < 0 for v in ops.values()
+        ):
+            problems.append(f"{where} ops must map names to non-negative ints")
+    if problems:
+        raise BenchSchemaError("; ".join(problems))
+    return run
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+def measure_ops_and_wall(group, fn, repeats: int = 1) -> tuple[float, dict]:
+    """Best-of-``repeats`` wall seconds plus the exact op mix of one call.
+
+    Ops are taken from the first call (the protocol's operation counts are
+    deterministic for fixed inputs); timing keeps the counter attached so
+    the measured path is the instrumented one users actually run.  The
+    previously attached counter, if any, is restored afterwards.
+    """
+    counter = OperationCounter()
+    previous = group.counter
+    group.attach_counter(counter)
+    try:
+        before = counter.snapshot()
+        start = time.perf_counter()
+        fn()
+        wall = time.perf_counter() - start
+        ops = counter.diff(before)
+        for _ in range(repeats - 1):
+            start = time.perf_counter()
+            fn()
+            wall = min(wall, time.perf_counter() - start)
+    finally:
+        group.counter = previous
+    return wall, ops
+
+
+# ---------------------------------------------------------------------------
+# Suites (small-n: fast enough for CI smoke, exact in op counts)
+# ---------------------------------------------------------------------------
+
+def _toy_group():
+    from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+    return TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS["toy-64"])
+
+
+def _dense(params, n_blocks: int) -> bytes:
+    return bytes((i % 255) + 1 for i in range(params.block_bytes() * n_blocks - 8))
+
+
+def _suite_table1(repeats: int) -> tuple[list[dict], dict]:
+    """The four Table I cells at toy scale (k=6, n=8 dense blocks)."""
+    import random
+
+    from repro.core.multi_sem import MultiSEMClient, SEMCluster
+    from repro.core.owner import DataOwner
+    from repro.core.params import setup
+    from repro.core.sem import SecurityMediator
+
+    group = _toy_group()
+    params = setup(group, k=6)
+    data = _dense(params, 8)
+    cells = [
+        ("single.basic", None, False),
+        ("single.opt", None, True),
+        ("multi2.basic", 2, False),
+        ("multi2.opt", 2, True),
+    ]
+    phases = []
+    for label, t, optimized in cells:
+        rng = random.Random(11)
+        if t is None:
+            sem = SecurityMediator(group, rng=rng, require_membership=False)
+            service, pk, pk1 = sem, sem.pk, sem.pk_g1
+        else:
+            cluster = SEMCluster(group, t=t, rng=rng, require_membership=False)
+            service = MultiSEMClient(cluster, batch=optimized, rng=rng)
+            pk, pk1 = cluster.master_pk, cluster.master_pk_g1
+        owner = DataOwner(params, pk, rng=rng)
+        wall, ops = measure_ops_and_wall(
+            group,
+            lambda: owner.sign_file(data, b"bench", service, batch=optimized, sem_pk_g1=pk1),
+            repeats,
+        )
+        phases.append(
+            make_phase(f"sign.{label}", wall, ops, repeats=repeats, scalars={"n_blocks": 8})
+        )
+    return phases, {"param_set": "toy-64", "k": 6, "n_blocks": 8}
+
+
+def _suite_audit(repeats: int) -> tuple[list[dict], dict]:
+    """ProofGen + ProofVerify over a c=4 challenge (k=4, n=8 blocks)."""
+    import random
+
+    from repro.core.cloud import CloudServer
+    from repro.core.owner import DataOwner
+    from repro.core.params import setup
+    from repro.core.sem import SecurityMediator
+    from repro.core.verifier import PublicVerifier
+
+    group = _toy_group()
+    params = setup(group, k=4)
+    rng = random.Random(23)
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+    owner = DataOwner(params, sem.pk, rng=rng)
+    signed = owner.sign_file(_dense(params, 8), b"bench", sem, batch=True)
+    cloud = CloudServer(params, org_pk=sem.pk)
+    cloud.store(signed)
+    verifier = PublicVerifier(params, sem.pk)
+    challenge = verifier.generate_challenge(b"bench", len(signed.blocks), sample_size=4)
+    wall_gen, ops_gen = measure_ops_and_wall(
+        group, lambda: cloud.generate_proof(b"bench", challenge), repeats
+    )
+    proof = cloud.generate_proof(b"bench", challenge)
+    assert verifier.verify(challenge, proof), "audit suite produced a failing proof"
+    wall_ver, ops_ver = measure_ops_and_wall(
+        group, lambda: verifier.verify(challenge, proof), repeats
+    )
+    phases = [
+        make_phase("proofgen", wall_gen, ops_gen, repeats=repeats,
+                   scalars={"challenged": len(challenge)}),
+        make_phase("proofverify", wall_ver, ops_ver, repeats=repeats,
+                   scalars={"challenged": len(challenge)}),
+    ]
+    return phases, {"param_set": "toy-64", "k": 4, "n_blocks": 8, "challenged": 4}
+
+
+def _suite_service(repeats: int) -> tuple[list[dict], dict]:
+    """Batched vs sequential signing pipeline at batch size 64 (k=4)."""
+    import random
+
+    from repro.core.blocks import encode_data
+    from repro.core.params import setup
+    from repro.core.sem import SecurityMediator
+    from repro.service.api import SignRequest, next_request_id
+    from repro.service.pipeline import SigningPipeline
+
+    group = _toy_group()
+    params = setup(group, k=4)
+    sem = SecurityMediator(group, rng=random.Random(5), require_membership=False)
+    batched = SigningPipeline(
+        params, sem, sem.pk, org_pk_g1=sem.pk_g1, rng=random.Random(6)
+    )
+    sequential = SigningPipeline(
+        params, sem, sem.pk, org_pk_g1=sem.pk_g1, use_fixed_base=False,
+        rng=random.Random(7),
+    )
+    blocks = encode_data(_dense(params, 64), params, b"bench")
+    requests = [
+        SignRequest(request_id=next_request_id(), owner="bench", blocks=(block,))
+        for block in blocks[:64]
+    ]
+    wall_b, ops_b = measure_ops_and_wall(
+        group, lambda: batched.sign_batch(requests), repeats
+    )
+    wall_s, ops_s = measure_ops_and_wall(
+        group, lambda: [sequential.sign_sequential(r) for r in requests], repeats
+    )
+    phases = [
+        make_phase("batched.64", wall_b, ops_b, repeats=repeats,
+                   scalars={"sig_per_s": 64 / wall_b}),
+        make_phase("sequential.64", wall_s, ops_s, repeats=repeats,
+                   scalars={"sig_per_s": 64 / wall_s}),
+    ]
+    return phases, {"param_set": "toy-64", "k": 4, "batch": 64}
+
+
+#: suite name -> builder(repeats) -> (phases, config)
+SUITES = {
+    "table1": _suite_table1,
+    "audit": _suite_audit,
+    "service": _suite_service,
+}
+
+
+def run_suite(suite: str, repeats: int = 3) -> dict:
+    """Run one registered suite and return its validated run document."""
+    try:
+        builder = SUITES[suite]
+    except KeyError:
+        raise BenchSchemaError(
+            f"unknown suite {suite!r}; choose from {sorted(SUITES)}"
+        ) from None
+    phases, config = builder(repeats)
+    config["repeats"] = repeats
+    return validate_run(make_run(suite, phases, config=config))
+
+
+# ---------------------------------------------------------------------------
+# Trajectory files (BENCH_<suite>.json at the repository root)
+# ---------------------------------------------------------------------------
+
+def trajectory_path(suite: str, root=".") -> Path:
+    return Path(root) / f"BENCH_{suite}.json"
+
+
+def load_trajectory(path) -> dict | None:
+    """Read a trajectory document, validating every run it holds."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    try:
+        doc = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise BenchSchemaError(f"{path} is not valid JSON: {exc}") from None
+    if not isinstance(doc, dict) or "runs" not in doc:
+        # A bare run document is accepted as a single-run trajectory.
+        validate_run(doc)
+        return {"schema_version": SCHEMA_VERSION, "suite": doc["suite"],
+                "baseline": doc, "runs": [doc]}
+    for run in doc.get("runs", []):
+        validate_run(run)
+    if doc.get("baseline") is not None:
+        validate_run(doc["baseline"])
+    return doc
+
+
+def _write_trajectory(path, doc: dict) -> None:
+    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def append_run(path, run: dict, set_baseline: bool = False) -> dict:
+    """Append ``run`` to the trajectory at ``path`` (created if missing).
+
+    ``set_baseline=True`` additionally pins this run as the committed
+    baseline future ``bench compare`` invocations diff against.
+    """
+    validate_run(run)
+    doc = load_trajectory(path)
+    if doc is None:
+        doc = {
+            "schema_version": SCHEMA_VERSION,
+            "suite": run["suite"],
+            "baseline": None,
+            "runs": [],
+        }
+    if doc.get("suite") != run["suite"]:
+        raise BenchSchemaError(
+            f"trajectory {path} holds suite {doc.get('suite')!r}, not {run['suite']!r}"
+        )
+    doc["runs"].append(run)
+    doc["runs"] = doc["runs"][-MAX_TRAJECTORY_RUNS:]
+    if set_baseline or doc.get("baseline") is None:
+        doc["baseline"] = run
+    _write_trajectory(path, doc)
+    return doc
+
+
+def baseline_of(doc: dict | None) -> dict | None:
+    """The run a comparison should diff against: pinned baseline, else the
+    most recent trajectory entry."""
+    if doc is None:
+        return None
+    if doc.get("baseline") is not None:
+        return doc["baseline"]
+    runs = doc.get("runs") or []
+    return runs[-1] if runs else None
+
+
+def write_run_file(run: dict, results_dir) -> Path:
+    """Persist one run document under ``results_dir`` (per-run JSON)."""
+    results = Path(results_dir)
+    results.mkdir(parents=True, exist_ok=True)
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(run["created_unix"]))
+    path = results / f"bench_{run['suite']}_{stamp}.json"
+    path.write_text(json.dumps(run, indent=2, sort_keys=True) + "\n")
+    return path

@@ -105,20 +105,34 @@ class _Metric:
 
 
 class _CounterChild:
-    __slots__ = ("value",)
+    __slots__ = ("value", "resets")
 
     def __init__(self):
         self.value = 0.0
+        self.resets = 0
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise MetricError("counters can only increase")
         self.value += amount
 
-    def set(self, value: float) -> None:
-        """Absolute set — for collectors mirroring an external accumulator."""
+    def set(self, value: float, reset: bool = False) -> None:
+        """Absolute set — for collectors mirroring an external accumulator.
+
+        Counters are monotone: a decreasing ``set`` raises unless the caller
+        explicitly marks it as a ``reset`` (the mirrored accumulator was
+        legitimately zeroed, e.g. ``OperationCounter.reset``).  Resets are
+        tallied in ``resets`` so delta-based consumers (the regression
+        detector, rate math) can detect the discontinuity instead of
+        silently computing a negative delta.
+        """
         if value < self.value:
-            raise MetricError("counters can only increase")
+            if not reset:
+                raise MetricError(
+                    f"counter decreased from {self.value} to {value}; "
+                    "counters only increase (pass reset=True for a deliberate reset)"
+                )
+            self.resets += 1
         self.value = value
 
 
@@ -130,6 +144,9 @@ class Counter(_Metric):
 
     def inc(self, amount: float = 1.0) -> None:
         self._default_child().inc(amount)
+
+    def set(self, value: float, reset: bool = False) -> None:
+        self._default_child().set(value, reset=reset)
 
     def _child_samples(self, labels, child) -> list[Sample]:
         return [Sample(self.name, labels, child.value)]
@@ -170,6 +187,10 @@ class Gauge(_Metric):
         return [Sample(self.name, labels, child.value)]
 
 
+#: Quantiles rendered on the exposition summary line and the dashboard.
+SUMMARY_QUANTILES = (0.5, 0.95, 0.99)
+
+
 class _HistogramChild:
     __slots__ = ("buckets", "counts", "total", "count")
 
@@ -185,6 +206,37 @@ class _HistogramChild:
         for i, bound in enumerate(self.buckets):
             if value <= bound:
                 self.counts[i] += 1
+
+    def quantile(self, q: float) -> float:
+        """Estimate the q-th quantile (0 <= q <= 1) from the buckets.
+
+        Linear interpolation within the covering bucket, Prometheus
+        ``histogram_quantile`` style: observed values are assumed
+        non-negative and uniformly spread inside each bucket, so the
+        estimate for a rank landing in bucket (lo, hi] is
+        ``lo + (hi - lo) * (rank - below) / in_bucket``.  Ranks beyond the
+        last finite bound clamp to that bound (the +Inf bucket has no
+        width to interpolate over).  Empty histograms return NaN.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return math.nan
+        rank = q * self.count
+        below = 0
+        lower = 0.0
+        for bound, cumulative in zip(self.buckets, self.counts):
+            if cumulative >= rank:
+                in_bucket = cumulative - below
+                if bound == math.inf or in_bucket == 0:
+                    # +Inf has no width; an empty bucket only covers q = 0.
+                    return lower
+                frac = (rank - below) / in_bucket
+                return lower + (bound - lower) * frac
+            below = cumulative
+            lower = bound
+        # Rank falls in the implicit +Inf bucket: clamp to the last bound.
+        return self.buckets[-1]
 
 
 class Histogram(_Metric):
@@ -204,6 +256,11 @@ class Histogram(_Metric):
     def observe(self, value: float) -> None:
         self._default_child().observe(value)
 
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile of the label-less child (see
+        :meth:`_HistogramChild.quantile`)."""
+        return self._default_child().quantile(q)
+
     def _child_samples(self, labels, child) -> list[Sample]:
         # ``observe`` increments every bucket whose bound covers the value,
         # so ``counts`` is already cumulative — no second accumulation here.
@@ -219,6 +276,14 @@ class Histogram(_Metric):
         out.append(Sample(f"{self.name}_bucket", labels + (("le", "+Inf"),), child.count))
         out.append(Sample(f"{self.name}_sum", labels, child.total))
         out.append(Sample(f"{self.name}_count", labels, child.count))
+        # Summary line: bucket-interpolated quantiles (shared with the
+        # serve-sim dashboard).  Omitted while empty — NaN has no place in
+        # the exposition.
+        if child.count:
+            for q in SUMMARY_QUANTILES:
+                out.append(
+                    Sample(self.name, labels + (("quantile", str(q)),), child.quantile(q))
+                )
         return out
 
 

@@ -113,6 +113,10 @@ class ServiceMetrics:
     batch_sizes: Histogram = field(default_factory=Histogram)
     queue_wait: LatencyReservoir = field(default_factory=LatencyReservoir)
     service_latency: LatencyReservoir = field(default_factory=LatencyReservoir)
+    # Push-style taps: called with each service latency as it completes, so
+    # bucketed consumers (the obs registry histogram behind the serve-sim
+    # dashboard) see every observation, not a mirrored summary.
+    latency_observers: list = field(default_factory=list)
 
     def on_enqueue(self, depth: int) -> None:
         self.submitted += 1
@@ -129,6 +133,8 @@ class ServiceMetrics:
         self.signatures_produced += n_signatures
         self.queue_wait.record(queue_wait_s)
         self.service_latency.record(service_time_s)
+        for observe in self.latency_observers:
+            observe(service_time_s)
 
     def summary(self) -> dict:
         """A flat, printable view of the service's health."""

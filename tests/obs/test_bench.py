@@ -1,0 +1,161 @@
+"""Bench harness: run schema, trajectory files, deterministic suites."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import (
+    MAX_TRAJECTORY_RUNS,
+    SCHEMA_VERSION,
+    BenchSchemaError,
+    append_run,
+    baseline_of,
+    environment_fingerprint,
+    load_trajectory,
+    make_phase,
+    make_run,
+    measure_ops_and_wall,
+    run_suite,
+    trajectory_path,
+    validate_run,
+    write_run_file,
+)
+
+
+def _run(suite="audit", phases=None, **overrides):
+    run = make_run(
+        suite,
+        phases or [make_phase("proofgen", 0.01, {"exp_g1": 4})],
+        config={"k": 4},
+        created_unix=1_700_000_000.0,
+    )
+    run.update(overrides)
+    return run
+
+
+class TestSchema:
+    def test_make_phase_computes_table1_units(self):
+        phase = make_phase(
+            "sign", 0.5,
+            {"exp_g1": 3, "exp_g1_fixed_base": 5, "exp_g1_skipped": 2,
+             "pairings": 7, "mul_g1": 0},
+            repeats=2, scalars={"n_blocks": 8},
+        )
+        assert phase["exp"] == 10  # plain + fixed-base + skipped
+        assert phase["pair"] == 7
+        assert "mul_g1" not in phase["ops"]  # zero tallies dropped
+        assert phase["scalars"] == {"n_blocks": 8.0}
+
+    def test_valid_run_passes(self):
+        assert validate_run(_run())["schema_version"] == SCHEMA_VERSION
+
+    def test_environment_fingerprint_fields(self):
+        env = environment_fingerprint()
+        assert set(env) == {"python", "implementation", "platform", "machine", "cpus"}
+
+    @pytest.mark.parametrize(
+        "mutate, message",
+        [
+            (lambda r: r.update(schema_version=99), "schema_version"),
+            (lambda r: r.update(suite=""), "suite"),
+            (lambda r: r.pop("environment"), "environment"),
+            (lambda r: r.update(phases=[]), "non-empty"),
+            (lambda r: r["phases"][0].update(wall_s=-1), "wall_s"),
+            (lambda r: r["phases"][0]["ops"].update(exp_g1=1.5), "ops"),
+            (lambda r: r["phases"].append(dict(r["phases"][0])), "duplicate"),
+        ],
+    )
+    def test_violations_named(self, mutate, message):
+        run = _run()
+        mutate(run)
+        with pytest.raises(BenchSchemaError, match=message):
+            validate_run(run)
+
+    def test_all_problems_reported_at_once(self):
+        run = _run(schema_version=99, suite="")
+        with pytest.raises(BenchSchemaError) as err:
+            validate_run(run)
+        assert "schema_version" in str(err.value) and "suite" in str(err.value)
+
+
+class TestTrajectory:
+    def test_append_creates_and_pins_first_baseline(self, tmp_path):
+        path = trajectory_path("audit", tmp_path)
+        assert load_trajectory(path) is None
+        doc = append_run(path, _run())
+        assert doc["baseline"] == doc["runs"][0]
+        assert path.name == "BENCH_audit.json"
+
+    def test_baseline_stays_pinned_until_reset(self, tmp_path):
+        path = trajectory_path("audit", tmp_path)
+        first = _run()
+        second = _run(created_unix=1_700_000_001.0)
+        append_run(path, first)
+        doc = append_run(path, second)
+        assert doc["baseline"] == first
+        doc = append_run(path, second, set_baseline=True)
+        assert doc["baseline"] == second
+
+    def test_suite_mismatch_rejected(self, tmp_path):
+        path = trajectory_path("audit", tmp_path)
+        append_run(path, _run())
+        with pytest.raises(BenchSchemaError, match="suite"):
+            append_run(path, _run(suite="table1"))
+
+    def test_runs_capped(self, tmp_path):
+        path = trajectory_path("audit", tmp_path)
+        for i in range(MAX_TRAJECTORY_RUNS + 5):
+            append_run(path, _run(created_unix=float(i)))
+        doc = load_trajectory(path)
+        assert len(doc["runs"]) == MAX_TRAJECTORY_RUNS
+        assert doc["runs"][-1]["created_unix"] == MAX_TRAJECTORY_RUNS + 4
+
+    def test_bare_run_file_reads_as_single_run_trajectory(self, tmp_path):
+        run = _run()
+        path = tmp_path / "bare.json"
+        path.write_text(json.dumps(run))
+        doc = load_trajectory(path)
+        assert doc["runs"] == [run]
+        assert baseline_of(doc) == run
+
+    def test_corrupt_json_fails_loudly(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(BenchSchemaError, match="JSON"):
+            load_trajectory(path)
+
+    def test_baseline_of_fallbacks(self):
+        assert baseline_of(None) is None
+        run = _run()
+        assert baseline_of({"runs": [run], "baseline": None}) == run
+        assert baseline_of({"runs": [], "baseline": None}) is None
+
+    def test_write_run_file_stamps_name(self, tmp_path):
+        path = write_run_file(_run(), tmp_path)
+        assert path.name.startswith("bench_audit_2023")
+        validate_run(json.loads(path.read_text()))
+
+
+class TestMeasurement:
+    def test_ops_restored_and_counted(self, group):
+        previous = group.counter
+        wall, ops = measure_ops_and_wall(group, lambda: group.g1() ** 3, repeats=2)
+        assert wall >= 0
+        assert ops.get("exp_g1") == 1
+        assert group.counter is previous  # whatever was attached survives
+
+    def test_audit_suite_op_counts_are_deterministic(self):
+        first = run_suite("audit", repeats=1)
+        second = run_suite("audit", repeats=1)
+        assert [p["ops"] for p in first["phases"]] == [
+            p["ops"] for p in second["phases"]
+        ]
+        # ProofGen = c Exp; ProofVerify = (c+k) Exp + 2 Pair (c=4, k=4).
+        by_name = {p["name"]: p for p in first["phases"]}
+        assert by_name["proofgen"]["exp"] == 4
+        assert by_name["proofverify"]["exp"] == 8
+        assert by_name["proofverify"]["pair"] == 2
+
+    def test_unknown_suite_rejected(self):
+        with pytest.raises(BenchSchemaError, match="unknown suite"):
+            run_suite("nope")

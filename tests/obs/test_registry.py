@@ -110,3 +110,113 @@ class TestRegistry:
         reg.gauge("alpha").set(2)
         names = [s.name for s in reg.collect()]
         assert names == sorted(names)
+
+
+class TestCounterReset:
+    """The monotonicity escape hatch for mirrored external accumulators."""
+
+    def test_explicit_reset_is_allowed_and_tallied(self):
+        reg = MetricsRegistry()
+        c = reg.counter("mirrored_total")
+        c.set(10)
+        c.set(0, reset=True)
+        child = c._default_child()
+        assert child.value == 0
+        assert child.resets == 1
+        c.set(4)  # climbing again after the reset is ordinary
+        assert reg.snapshot()["mirrored_total"] == 4
+
+    def test_equal_set_is_not_a_reset(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.set(5)
+        c.set(5)
+        assert c._default_child().resets == 0
+
+    def test_decrease_error_names_both_values(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total")
+        c.set(9)
+        with pytest.raises(MetricError, match="9.* to 2"):
+            c.set(2)
+
+    def test_labelled_children_reset_independently(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops_total", labels=("op",))
+        c.labels(op="exp").set(7)
+        c.labels(op="pair").set(3)
+        c.labels(op="exp").set(0, reset=True)
+        assert c.labels(op="exp").resets == 1
+        assert c.labels(op="pair").resets == 0
+
+
+class TestHistogramQuantiles:
+    """Bucket-interpolated p50/p95/p99 shared by dashboard and exposition."""
+
+    def _loaded(self, values, buckets):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=buckets)
+        for v in values:
+            h.observe(v)
+        return h
+
+    def test_empty_histogram_is_nan(self):
+        import math
+
+        h = self._loaded([], (1.0, 2.0))
+        assert math.isnan(h.quantile(0.5))
+
+    def test_invalid_q_rejected(self):
+        h = self._loaded([1.0], (1.0, 2.0))
+        with pytest.raises(MetricError):
+            h.quantile(-0.1)
+        with pytest.raises(MetricError):
+            h.quantile(1.1)
+
+    def test_linear_interpolation_within_bucket(self):
+        # 4 observations all inside (0.5, 1.0]; rank q*4 interpolates the
+        # bucket linearly from its lower bound.
+        h = self._loaded([0.9] * 4, (0.5, 1.0, 2.0))
+        assert h.quantile(0.5) == pytest.approx(0.75)
+        assert h.quantile(0.95) == pytest.approx(0.975)
+        assert h.quantile(1.0) == pytest.approx(1.0)
+
+    def test_overflow_bucket_clamps_to_last_finite_bound(self):
+        h = self._loaded([5.0, 6.0, 7.0], (1.0, 2.0))
+        assert h.quantile(0.99) == pytest.approx(2.0)
+
+    def test_property_uniform_stream_within_one_bucket_width(self):
+        # Property: against a known uniform distribution the bucket
+        # estimator is never off by more than one bucket width.
+        buckets = tuple(float(b) for b in range(10, 101, 10))
+        values = [float(v) for v in range(1, 101)]  # uniform 1..100
+        h = self._loaded(values, buckets)
+        width = 10.0
+        for q in (0.05, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99):
+            exact = sorted(values)[max(int(q * len(values)) - 1, 0)]
+            assert abs(h.quantile(q) - exact) <= width, q
+
+    def test_property_quantiles_are_monotone_in_q(self):
+        import random
+
+        rng = random.Random(7)
+        values = [rng.uniform(0.0, 3.0) for _ in range(257)]
+        h = self._loaded(values, (0.25, 0.5, 1.0, 2.0, 4.0))
+        qs = [i / 20 for i in range(21)]
+        estimates = [h.quantile(q) for q in qs]
+        assert estimates == sorted(estimates)
+
+    def test_summary_samples_in_collect_output(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_seconds", buckets=(0.5, 1.0))
+        h.observe(0.7)
+        names = {
+            (s.name, dict(s.labels).get("quantile"))
+            for s in reg.collect()
+            if dict(s.labels).get("quantile")
+        }
+        assert names == {
+            ("lat_seconds", "0.5"),
+            ("lat_seconds", "0.95"),
+            ("lat_seconds", "0.99"),
+        }

@@ -171,3 +171,96 @@ class TestErrors:
     def test_revoke_unknown(self, deployment):
         state, _ = deployment
         assert _run(state, "revoke", "nobody") == 2
+
+
+class TestWatchAndProfile:
+    def test_serve_sim_watch_renders_frames(self, capsys):
+        assert main(["serve-sim", "--clients", "2", "--requests", "2",
+                     "--watch", "--watch-interval", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "-- serve-sim t=" in out
+        assert "queue depth" in out and "failover" in out
+        assert "p95" in out  # bucket quantiles from real completions
+        assert "completed 4, failed 0" in out  # final summary still prints
+
+    def test_upload_profile_prints_attribution_tree(self, deployment, capsys):
+        state, doc = deployment
+        assert _run(state, "upload", "alice", str(doc), "--file-id", "d/1",
+                    "--profile") == 0
+        out = capsys.readouterr().out
+        assert "self-time attribution" in out
+        assert "sign" in out and "exp_g1" in out
+
+    def test_audit_profile_covers_proof_phases(self, deployment, capsys):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        assert _run(state, "audit", "d/1", "--profile") == 0
+        out = capsys.readouterr().out
+        assert "proofgen" in out and "proofverify" in out
+        assert "'other'" in out
+
+
+class TestBench:
+    """The continuous-performance commands over the fast audit suite."""
+
+    def _bench(self, tmp_path, *argv):
+        return main(["bench", *argv, "--suite", "audit", "--repeats", "1",
+                     "--trajectory-dir", str(tmp_path),
+                     "--results-dir", str(tmp_path / "results")])
+
+    def test_run_writes_trajectory_and_per_run_copy(self, tmp_path, capsys):
+        assert self._bench(tmp_path, "run") == 0
+        doc = json.loads((tmp_path / "BENCH_audit.json").read_text())
+        assert doc["suite"] == "audit"
+        assert len(doc["runs"]) == 1
+        assert doc["baseline"] is not None  # first run pins itself
+        assert list((tmp_path / "results").glob("bench_audit_*.json"))
+        out = capsys.readouterr().out
+        assert "proofgen" in out and "proofverify" in out
+
+    def test_compare_without_baseline_exits_2(self, tmp_path):
+        assert self._bench(tmp_path, "compare") == 2
+
+    def test_compare_report_only_never_fails(self, tmp_path):
+        assert self._bench(tmp_path, "compare", "--report-only") == 0
+
+    def test_baseline_then_compare_is_clean(self, tmp_path, capsys):
+        assert self._bench(tmp_path, "baseline") == 0
+        assert self._bench(tmp_path, "compare") == 0
+        assert "verdict ok" in capsys.readouterr().out
+
+    def test_injected_exp_regression_exits_1_naming_phase(self, tmp_path, capsys):
+        """Acceptance: +1 Exp in ProofGen vs baseline fails the gate."""
+        assert self._bench(tmp_path, "baseline") == 0
+        path = tmp_path / "BENCH_audit.json"
+        doc = json.loads(path.read_text())
+        for run in [doc["baseline"], *doc["runs"]]:
+            phase = next(p for p in run["phases"] if p["name"] == "proofgen")
+            phase["exp"] -= 1
+            phase["ops"]["exp_g1"] -= 1
+        path.write_text(json.dumps(doc))
+        assert self._bench(tmp_path, "compare") == 1
+        out = capsys.readouterr().out
+        assert "verdict regression" in out
+        assert "FAIL: proofgen: op-count regression (ΔExp=+1" in out
+
+    def test_compare_json_out(self, tmp_path):
+        assert self._bench(tmp_path, "baseline") == 0
+        report_path = tmp_path / "report.json"
+        assert self._bench(tmp_path, "compare", "--json-out",
+                           str(report_path)) == 0
+        payload = json.loads(report_path.read_text())
+        assert payload["audit"]["verdict"] == "ok"
+
+    def test_explicit_baseline_file(self, tmp_path):
+        assert self._bench(tmp_path, "run") == 0
+        run_file = next((tmp_path / "results").glob("bench_audit_*.json"))
+        assert main(["bench", "compare", "--suite", "audit", "--repeats", "1",
+                     "--trajectory-dir", str(tmp_path / "elsewhere"),
+                     "--results-dir", str(tmp_path / "results"),
+                     "--baseline", str(run_file)]) == 0
+
+    def test_unknown_suite_is_a_usage_error(self, tmp_path):
+        assert main(["bench", "run", "--suite", "bogus",
+                     "--trajectory-dir", str(tmp_path),
+                     "--results-dir", str(tmp_path / "results")]) == 2
