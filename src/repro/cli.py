@@ -306,17 +306,36 @@ def cmd_serve_sim(args) -> int:
     channel = Channel(latency_s=args.latency, drop_rate=args.drop_rate,
                       rng=random.Random(rng.getrandbits(64)))
     obs = _make_obs()
+    journal = None
+    if args.journal:
+        from repro.service import SigningJournal
+
+        journal = SigningJournal(args.journal, group=group)
     sim, service, clients = build_service_network(
         params,
         threshold=threshold,
         n_clients=args.clients,
         rng=rng,
         batch_config=BatchConfig(max_batch=args.max_batch, max_wait_s=args.max_wait),
-        failover_config=FailoverConfig(timeout_s=args.timeout),
+        failover_config=FailoverConfig(
+            timeout_s=args.timeout, round_deadline_s=args.round_deadline
+        ),
         client_service_channel=channel,
         service_sem_channel=channel,
+        journal=journal,
         obs=obs,
     )
+    injector = None
+    if args.chaos:
+        from repro.net.faults import FaultPlan
+
+        plan = FaultPlan.from_file(args.chaos, seed=args.chaos_seed)
+        injector = plan.install(sim)
+        if obs.enabled:
+            from repro.obs import bind_fault_injector
+
+            bind_fault_injector(obs.registry, injector)
+    replayed = service.recover() if journal is not None else 0
     dashboard = None
     if args.watch:
         from repro.obs import Dashboard
@@ -350,6 +369,21 @@ def cmd_serve_sim(args) -> int:
           f"retries: {summary['retries']}, failovers: {summary['failovers']}")
     print(f"  latency p50 {summary['latency_p50_s']:.3f}s, "
           f"p99 {summary['latency_p99_s']:.3f}s (virtual)")
+    if injector is not None:
+        injected = ", ".join(
+            f"{kind} {count}" for kind, count in sorted(injector.counts.items())
+        ) or "none fired"
+        health = service.health.summary()
+        print(f"  chaos plan {injector.plan.name or args.chaos!r} "
+              f"(seed {injector.plan.seed}): {injected}")
+        print(f"  health: {health['trips']} quarantine trip(s), "
+              f"{health['probes']} probe(s), "
+              f"{health['invalid_total']} invalid share batch(es)")
+    if journal is not None:
+        jsummary = journal.summary()
+        print(f"  journal: {jsummary['accepted']} accepted, "
+              f"{jsummary['completed']} completed, "
+              f"{jsummary['pending']} pending, {replayed} replayed")
     _write_obs_outputs(args, obs)
     return 0 if completed == expected else 1
 
@@ -546,6 +580,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--drop-rate", type=float, default=0.0)
     p.add_argument("--crash", type=int, default=0, help="crash the first N SEMs")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--chaos", metavar="PLAN.json", default=None,
+                   help="install a seeded fault plan (repro.net.faults)")
+    p.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                   help="override the plan's own seed for this run")
+    p.add_argument("--round-deadline", type=float, default=None, metavar="S",
+                   help="whole-round failover budget (fail closed past it)")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="append-only signing journal; pending requests in an "
+                        "existing journal are replayed on startup")
     p.add_argument("--watch", action="store_true",
                    help="render a live dashboard frame on an interval of virtual time")
     p.add_argument("--watch-interval", type=float, default=0.05, metavar="S",
@@ -563,7 +606,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
-                        help="suite name or 'all' (table1, audit, service)")
+                        help="suite name or 'all' (table1, audit, service, chaos)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

@@ -10,13 +10,24 @@ discrete-event network simulation with:
 * point-to-point :class:`~repro.net.channel.Channel` objects with a
   latency/bandwidth model and per-channel byte accounting,
 * an event-driven :class:`~repro.net.simulator.Simulator` with a virtual
-  clock and failure injection (message drop, node crash), and
+  clock and failure injection (message drop, node crash),
+* :mod:`repro.net.faults` — a seeded chaos harness: JSON-replayable
+  :class:`~repro.net.faults.FaultPlan` schedules of message corruption,
+  duplication, reordering, partitions, SEM crash/restart, and byzantine
+  windows, injected through the simulator's send path, and
 * :mod:`repro.net.actors` — the four paper entities (owner, SEM, cloud,
   verifier) as message-driven nodes running the full protocol end to end.
 """
 
 from repro.net.message import Message, payload_size
 from repro.net.channel import Channel, ChannelStats
+from repro.net.faults import (
+    Fault,
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    corrupt_payload,
+)
 from repro.net.node import Node
 from repro.net.simulator import Simulator
 from repro.net.actors import (
@@ -33,6 +44,11 @@ __all__ = [
     "payload_size",
     "Channel",
     "ChannelStats",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "corrupt_payload",
     "Node",
     "Simulator",
     "OwnerNode",

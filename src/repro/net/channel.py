@@ -15,11 +15,21 @@ from repro.net.message import Message
 
 @dataclass
 class ChannelStats:
-    """Accumulated traffic over one directed channel."""
+    """Accumulated traffic over one directed channel.
+
+    Beyond byte accounting, the channel records what the network *did* to
+    its traffic: drops (lossy links or partitions), duplications,
+    reorderings, and in-transit corruptions injected by the chaos harness
+    (:mod:`repro.net.faults`).  Bytes are counted once per send — the
+    sender pays to transmit regardless of the message's fate.
+    """
 
     messages: int = 0
     bytes_total: int = 0
     dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
     by_type: dict[str, int] = field(default_factory=dict)
 
     def record(self, message: Message) -> None:
@@ -31,6 +41,18 @@ class ChannelStats:
         """Count a message this channel silently lost (bytes were already
         recorded by :meth:`record` — the sender still paid to transmit)."""
         self.dropped += 1
+
+    def record_duplicated(self) -> None:
+        """Count a message the network delivered more than once."""
+        self.duplicated += 1
+
+    def record_reordered(self) -> None:
+        """Count a message held back so later traffic could overtake it."""
+        self.reordered += 1
+
+    def record_corrupted(self) -> None:
+        """Count a payload perturbed in transit (unauthenticated links)."""
+        self.corrupted += 1
 
 
 @dataclass

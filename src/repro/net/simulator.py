@@ -42,6 +42,9 @@ class Simulator:
         self.delivered = 0
         self.dropped = 0
         self.timers_fired = 0
+        # Chaos hook: a FaultInjector (repro.net.faults) consulted on every
+        # send; None means no fault injection (the common, fast path).
+        self.faults = None
 
     # -- topology -----------------------------------------------------------
     def add_node(self, node: Node) -> Node:
@@ -79,13 +82,15 @@ class Simulator:
             self._cancelled_timers.add(timer_id)
 
     def pending_events(self) -> int:
-        """Events still queued (messages + timers).
+        """Events still queued (messages + timers), cancelled timers excluded.
 
         Periodic observers (the serve-sim dashboard) use this to stop
         rescheduling themselves once they are the only event source left —
-        otherwise :meth:`run` would never drain the queue.
+        otherwise :meth:`run` would never drain the queue.  Cancelled
+        timers still sit in the heap until popped, but they will neither
+        fire nor advance the clock, so they do not count as pending.
         """
-        return len(self._queue)
+        return len(self._queue) - len(self._cancelled_timers)
 
     @staticmethod
     def _clone_channel(template: Channel) -> Channel:
@@ -130,7 +135,13 @@ class Simulator:
 
     # -- traffic ---------------------------------------------------------------
     def send(self, message: Message, at: float | None = None) -> None:
-        """Enqueue a message for delivery after its channel delay."""
+        """Enqueue a message for delivery after its channel delay.
+
+        When a fault injector is armed (``self.faults``), it may drop the
+        message (partition), corrupt its payload, duplicate it, or delay
+        it (reordering / slow links); each extra delivery is enqueued with
+        its own extra delay on top of the channel's latency model.
+        """
         if message.recipient not in self.nodes:
             raise KeyError(f"unknown recipient {message.recipient!r}")
         channel = self.channel(message.sender, message.recipient)
@@ -139,8 +150,19 @@ class Simulator:
             self.dropped += 1
             channel.record_drop()
             return
-        when = (self.now if at is None else at) + channel.delay_for(message)
-        heapq.heappush(self._queue, _Event(time=when, seq=next(self._seq), message=message))
+        base = self.now if at is None else at
+        deliveries = [(0.0, message)]
+        if self.faults is not None:
+            deliveries = self.faults.apply(message, channel, self.now)
+            if not deliveries:
+                self.dropped += 1
+                channel.record_drop()
+                return
+        for extra_delay, delivered in deliveries:
+            when = base + channel.delay_for(delivered) + extra_delay
+            heapq.heappush(
+                self._queue, _Event(time=when, seq=next(self._seq), message=delivered)
+            )
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order; returns the final virtual time."""
@@ -151,13 +173,16 @@ class Simulator:
             if until is not None and self._queue[0].time > until:
                 break
             event = heapq.heappop(self._queue)
+            if event.callback is not None and event.timer_id in self._cancelled_timers:
+                # Cancelled timers neither fire nor advance the clock — a
+                # run's final virtual time reflects only events that happened.
+                self._cancelled_timers.discard(event.timer_id)
+                self._pending_timers.discard(event.timer_id)
+                continue
             self.now = max(self.now, event.time)
             processed += 1
             if event.callback is not None:
                 self._pending_timers.discard(event.timer_id)
-                if event.timer_id in self._cancelled_timers:
-                    self._cancelled_timers.discard(event.timer_id)
-                    continue
                 self.timers_fired += 1
                 replies = event.callback()
             else:

@@ -27,6 +27,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.obs.adapters import (
+    bind_failover_health,
+    bind_fault_injector,
     bind_operation_counter,
     bind_service_metrics,
     bind_simulator,
@@ -151,6 +153,8 @@ __all__ = [
     "Tracer",
     "append_run",
     "baseline_of",
+    "bind_failover_health",
+    "bind_fault_injector",
     "bind_operation_counter",
     "bind_service_metrics",
     "bind_simulator",

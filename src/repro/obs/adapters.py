@@ -87,6 +87,21 @@ def bind_simulator(registry: MetricsRegistry, sim) -> None:
         help="Messages dropped on one directed channel",
         labels=("sender", "recipient"),
     )
+    duplicated_family = registry.gauge(
+        "sim_channel_duplicated",
+        help="Messages delivered more than once on one directed channel",
+        labels=("sender", "recipient"),
+    )
+    reordered_family = registry.gauge(
+        "sim_channel_reordered",
+        help="Messages held back for reordering on one directed channel",
+        labels=("sender", "recipient"),
+    )
+    corrupted_family = registry.gauge(
+        "sim_channel_corrupted",
+        help="Payloads corrupted in transit on one directed channel",
+        labels=("sender", "recipient"),
+    )
     delivered = registry.gauge("sim_delivered", help="Messages delivered in total")
     dropped = registry.gauge("sim_dropped", help="Messages dropped in total")
     timers = registry.gauge("sim_timers_fired", help="Timer callbacks fired")
@@ -98,9 +113,46 @@ def bind_simulator(registry: MetricsRegistry, sim) -> None:
             bytes_family.labels(**labels).set(channel.stats.bytes_total)
             messages_family.labels(**labels).set(channel.stats.messages)
             drops_family.labels(**labels).set(channel.stats.dropped)
+            duplicated_family.labels(**labels).set(channel.stats.duplicated)
+            reordered_family.labels(**labels).set(channel.stats.reordered)
+            corrupted_family.labels(**labels).set(channel.stats.corrupted)
         delivered.set(sim.delivered)
         dropped.set(sim.dropped)
         timers.set(sim.timers_fired)
         vtime.set(sim.now)
+
+    registry.register_collector(collect)
+
+
+def bind_fault_injector(registry: MetricsRegistry, injector) -> None:
+    """Mirror a :class:`~repro.net.faults.FaultInjector` as
+    ``chaos_injected{kind=...}`` — one gauge per fault kind actually fired
+    (partition, corrupt, duplicate, reorder, slow), so a chaos run's
+    metrics artifact records what the plan really did, not just what it
+    scheduled."""
+    family = registry.gauge(
+        "chaos_injected",
+        help="Fault actions injected into the send path, by kind",
+        labels=("kind",),
+    )
+
+    def collect() -> None:
+        for kind, value in injector.counts.items():
+            family.labels(kind=kind).set(value)
+
+    registry.register_collector(collect)
+
+
+def bind_failover_health(registry: MetricsRegistry, health) -> None:
+    """Mirror a :class:`~repro.service.failover.HealthScoreboard` as
+    ``failover_health_<key>`` gauges (rounds, quarantined, trips, probes,
+    invalid_total, timeouts) — the circuit-breaker view of the cluster."""
+
+    def collect() -> None:
+        for key, value in health.summary().items():
+            registry.gauge(
+                f"failover_health_{key}",
+                help=f"Endpoint health scoreboard: {key.replace('_', ' ')}",
+            ).set(float(value))
 
     registry.register_collector(collect)

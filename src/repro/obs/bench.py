@@ -307,11 +307,65 @@ def _suite_service(repeats: int) -> tuple[list[dict], dict]:
     return phases, {"param_set": "toy-64", "k": 4, "batch": 64}
 
 
+def _suite_chaos(repeats: int) -> tuple[list[dict], dict]:
+    """Failover round over a clean (w=3, t=2) cluster vs one byzantine SEM.
+
+    The byzantine phase pays the full detection-and-recovery path: the bad
+    mediator's share batch fails Eq. 14 verification, the scoreboard trips
+    its circuit breaker, and the round completes on the healthy majority.
+    A fresh client per call keeps scoreboard state — and hence op counts —
+    identical across repeats, so the clean/byzantine delta in the
+    trajectory is exactly the failover overhead.
+    """
+    import random
+
+    from repro.core.blocks import aggregate_block, encode_data
+    from repro.core.multi_sem import SEMCluster
+    from repro.core.params import setup
+    from repro.crypto.blind_bls import blind
+    from repro.service.failover import FailoverConfig, FailoverMultiSEMClient
+
+    group = _toy_group()
+    params = setup(group, k=4)
+    rng = random.Random(31)
+    blocks = encode_data(_dense(params, 8), params, b"bench")
+    blinded = [blind(group, aggregate_block(params, b), rng).blinded for b in blocks]
+    clean = SEMCluster(group, t=2, rng=random.Random(37), require_membership=False)
+    faulty = SEMCluster(group, t=2, rng=random.Random(37), require_membership=False)
+    faulty.corrupt(0)
+    config = FailoverConfig(max_attempts=1, quarantine_rounds=4)
+
+    def round_over(cluster):
+        client = FailoverMultiSEMClient.from_cluster(
+            cluster, config=config, rng=random.Random(41)
+        )
+        signatures = client.sign_blinded_batch(blinded)
+        assert len(signatures) == len(blinded)
+
+    wall_clean, ops_clean = measure_ops_and_wall(
+        group, lambda: round_over(clean), repeats
+    )
+    wall_byz, ops_byz = measure_ops_and_wall(
+        group, lambda: round_over(faulty), repeats
+    )
+    n = len(blinded)
+    phases = [
+        make_phase("round.clean", wall_clean, ops_clean, repeats=repeats,
+                   scalars={"sig_per_s": n / wall_clean}),
+        make_phase("round.byzantine", wall_byz, ops_byz, repeats=repeats,
+                   scalars={"sig_per_s": n / wall_byz,
+                            "overhead_x": wall_byz / wall_clean}),
+    ]
+    return phases, {"param_set": "toy-64", "k": 4, "t": 2,
+                    "n_blinded": n, "byzantine": 1}
+
+
 #: suite name -> builder(repeats) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
     "audit": _suite_audit,
     "service": _suite_service,
+    "chaos": _suite_chaos,
 }
 
 

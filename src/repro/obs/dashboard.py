@@ -78,10 +78,20 @@ class Dashboard:
             value = val(key)
             return str(int(value)) if float(value).is_integer() else f"{value:.2f}"
 
-        drops = sum(
+        def wire_total(family: str) -> int:
+            return int(sum(
+                value for key, value in snap.items()
+                if key.startswith(f"sim_channel_{family}{{")
+            ))
+
+        drops = wire_total("dropped")
+        duplicated = wire_total("duplicated")
+        reordered = wire_total("reordered")
+        corrupted = wire_total("corrupted")
+        chaos = int(sum(
             value for key, value in snap.items()
-            if key.startswith("sim_channel_dropped{")
-        )
+            if key.startswith("chaos_injected{")
+        ))
         title = f" serve-sim t={self.clock():.3f}s "
         lines = [f"--{title}{'-' * max(46 - len(title), 0)}"]
         lines.append(
@@ -103,10 +113,16 @@ class Dashboard:
             f"  rejected {num('service_rejected')}"
         )
         lines.append(
-            f"  wire drops  {int(drops):>6}   "
+            f"  wire drops  {drops:>6}   "
             f"delivered  {num('sim_delivered')}"
             f"  dropped {num('sim_dropped')}"
         )
+        if chaos or duplicated or reordered or corrupted:
+            lines.append(
+                f"  wire chaos  {chaos:>6}   "
+                f"dup {duplicated}  reord {reordered}  corrupt {corrupted}"
+                f"  quarantined {num('failover_health_quarantined')}"
+            )
         quantiles = self._latency_quantiles()
         if quantiles:
             rendered = "  ".join(

@@ -19,8 +19,11 @@ and :mod:`~repro.crypto.blind_bls` primitives in a service:
 * :mod:`repro.service.batcher` — the batch aggregator that coalesces
   pending requests into signing passes;
 * :mod:`repro.service.failover` — multi-SEM client with per-SEM timeouts,
-  retry-with-backoff, and Lagrange reconstruction as soon as t shares
-  arrive (Section V's t−1 fault tolerance);
+  jittered retry-with-backoff, a whole-round deadline budget, cross-round
+  byzantine-endpoint quarantine, and Lagrange reconstruction as soon as t
+  shares arrive (Section V's t−1 fault tolerance);
+* :mod:`repro.service.journal` — append-only signing journal: a crashed
+  service instance replays its in-flight requests idempotently on restart;
 * :mod:`repro.service.simnodes` — the service as discrete-event simulator
   nodes, so seeded experiments can inject latency, drops, and SEM crashes;
 * :mod:`repro.service.metrics` — queue depth, batch-size histogram, and
@@ -38,9 +41,11 @@ from repro.service.failover import (
     FailoverConfig,
     FailoverError,
     FailoverMultiSEMClient,
+    HealthScoreboard,
     SEMEndpoint,
     SigningRound,
 )
+from repro.service.journal import JournalError, SigningJournal
 from repro.service.metrics import ServiceMetrics
 from repro.service.pipeline import SigningPipeline
 from repro.service.queues import BoundedQueue, QueueFullError
@@ -58,7 +63,9 @@ __all__ = [
     "FailoverConfig",
     "FailoverError",
     "FailoverMultiSEMClient",
+    "HealthScoreboard",
     "InlineWorkerPool",
+    "JournalError",
     "ProcessWorkerPool",
     "QueueFullError",
     "RequestValidationError",
@@ -67,6 +74,7 @@ __all__ = [
     "SEMServiceNode",
     "ServiceClientNode",
     "ServiceMetrics",
+    "SigningJournal",
     "SigningPipeline",
     "SigningRound",
     "SignRequest",

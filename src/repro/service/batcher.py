@@ -61,6 +61,12 @@ class BatchingSEMService:
         clock: returns the current time — virtual under the simulator,
             ``time.monotonic``-like otherwise.  Queue-wait and latency
             metrics are measured with it.
+        journal: optional :class:`~repro.service.journal.SigningJournal`.
+            When set, admitted requests are journaled before queueing and
+            terminal responses afterwards, so a crashed service instance
+            can :meth:`recover` its in-flight requests; re-submitting an
+            already-completed request id returns the journaled response
+            without re-signing (exactly-once per id).
         obs: observability bundle; defaults to the pipeline's, so one
             bundle wired at pipeline construction covers the whole service.
     """
@@ -73,6 +79,7 @@ class BatchingSEMService:
         membership=None,
         clock=None,
         metrics: ServiceMetrics | None = None,
+        journal=None,
         obs=None,
     ):
         self.params = params
@@ -81,6 +88,8 @@ class BatchingSEMService:
         self.membership = membership
         self.clock = clock or (lambda: 0.0)
         self.metrics = metrics or ServiceMetrics()
+        self.journal = journal
+        self._inflight_ids: set[int] = set()  # queued/signing in THIS process
         self.obs = obs if obs is not None else pipeline.obs
         self.queue = BoundedQueue(
             self.config.queue_capacity, policy=self.config.queue_policy
@@ -97,6 +106,12 @@ class BatchingSEMService:
         ``on_complete`` (when given) as well as returned from that flush.
         """
         now = self.clock()
+        if self.journal is not None:
+            cached = self.journal.completed_response(request.request_id)
+            if cached is not None:
+                return cached  # exactly-once: already signed, replay the reply
+            if request.request_id in self._inflight_ids:
+                return None  # duplicate of a request already queued/signing
         try:
             request.validate(self.params)
         except RequestValidationError as exc:
@@ -124,6 +139,9 @@ class BatchingSEMService:
                 error=str(exc),
             )
         self.metrics.on_enqueue(self.queue.depth)
+        if self.journal is not None:
+            self.journal.record_accepted(request)
+            self._inflight_ids.add(request.request_id)
         if evicted is not None:
             # drop-oldest policy: the displaced request fails loudly.
             self._finish(
@@ -218,10 +236,37 @@ class BatchingSEMService:
             responses.extend(self.flush())
         return responses
 
+    # -- recovery -----------------------------------------------------------
+    def recover(self) -> int:
+        """Re-queue the journal's in-flight requests after a restart.
+
+        Requests are enqueued directly — admission (validation and
+        membership) already passed before their ``accepted`` record was
+        written, and re-running the membership check would require the
+        original credential, which the journal deliberately does not
+        persist.  Returns the number of requests replayed.  Idempotent:
+        ids already in flight in this process are skipped.
+        """
+        if self.journal is None:
+            return 0
+        replayed = 0
+        now = self.clock()
+        for request in self.journal.pending():
+            if request.request_id in self._inflight_ids:
+                continue
+            self.queue.put(RequestEnvelope(request=request, enqueued_at=now))
+            self._inflight_ids.add(request.request_id)
+            self.metrics.on_enqueue(self.queue.depth)
+            replayed += 1
+        self.journal.replayed += replayed
+        return replayed
+
     # -- internals ----------------------------------------------------------
-    @staticmethod
-    def _finish(envelope: RequestEnvelope, response: SignResponse) -> None:
+    def _finish(self, envelope: RequestEnvelope, response: SignResponse) -> None:
         envelope.response = response
+        if self.journal is not None:
+            self.journal.record_terminal(response)
+            self._inflight_ids.discard(response.request_id)
         if envelope.on_complete is not None:
             envelope.on_complete(response)
 

@@ -31,6 +31,7 @@ unavailable, matching the paper's bound.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.core.multi_sem import InsufficientSharesError
@@ -61,17 +62,38 @@ class SEMEndpoint:
 
 @dataclass(frozen=True)
 class FailoverConfig:
-    """Timeout/retry policy for one signing round."""
+    """Timeout/retry policy for one signing round.
+
+    ``timeout_s`` bounds one *attempt*; ``round_deadline_s`` bounds the
+    whole round — retries, backoffs, and standby activations included — so
+    a client facing ≥ t faulty SEMs fails closed within a budget instead
+    of grinding through every retry ladder.
+
+    Backoff is decorrelated-jittered by default: each retry sleeps a
+    seeded-random duration in ``[backoff_base_s, 3 × previous]`` (capped
+    at ``backoff_cap_s``), which desynchronizes the retry bursts that
+    identical ``base × factor^(attempt−1)`` ladders produce when several
+    endpoints arm at once.  ``backoff_jitter=False`` restores the exact
+    exponential ladder (tests assert precise delays through it).
+    """
 
     timeout_s: float = 1.0  # per-attempt response deadline
     max_attempts: int = 3  # total tries per SEM (1 = no retry)
     backoff_base_s: float = 0.25  # delay before the first retry
     backoff_factor: float = 2.0  # multiplier per further retry
+    backoff_jitter: bool = True  # decorrelated jitter (opt-out)
+    backoff_cap_s: float = 10.0  # upper bound on any one backoff delay
     fanout: int | None = None  # SEMs contacted up front (None = all)
+    round_deadline_s: float | None = None  # whole-round budget (None = unbounded)
+    quarantine_threshold: int = 1  # invalid batches before the breaker trips
+    quarantine_rounds: int = 4  # rounds an endpoint sits out once tripped
 
     def backoff_s(self, attempt: int) -> float:
-        """Delay before attempt number ``attempt`` (attempt 1 = first retry)."""
-        return self.backoff_base_s * (self.backoff_factor ** (attempt - 1))
+        """Jitter-free delay before attempt ``attempt`` (1 = first retry)."""
+        return min(
+            self.backoff_base_s * (self.backoff_factor ** (attempt - 1)),
+            self.backoff_cap_s,
+        )
 
 
 @dataclass(frozen=True)
@@ -90,11 +112,123 @@ class ArmTimer:
     delay_s: float
 
 
+@dataclass(frozen=True)
+class ArmRoundDeadline:
+    """Action: declare the whole round failed after ``delay_s`` (the budget)."""
+
+    delay_s: float
+
+
 @dataclass
 class _EndpointState:
     status: str = "idle"  # idle | inflight | valid | invalid | exhausted
     attempts: int = 0
     shares: list | None = None
+    backoff_s: float = 0.0  # last jittered backoff (decorrelated state)
+
+
+@dataclass
+class _HealthRecord:
+    """Cross-round history of one endpoint, as the scoreboard sees it."""
+
+    invalid_streak: int = 0  # consecutive invalid share batches
+    invalid_total: int = 0
+    timeouts: int = 0
+    successes: int = 0
+    quarantined_until: int = 0  # round number; 0 = not quarantined
+
+
+class HealthScoreboard:
+    """Cross-round endpoint health with circuit-breaker quarantine.
+
+    A :class:`SigningRound` forgets everything at round end — an endpoint
+    that served byzantine shares (failed Eq. 14) would be re-contacted,
+    re-paid-for, and re-rejected every single round.  The scoreboard is the
+    round-spanning memory: endpoints whose invalid streak reaches
+    ``threshold`` are quarantined for ``quarantine_rounds`` rounds, during
+    which new rounds contact them only as a last resort (when fewer than t
+    healthy endpoints remain).  When the window lapses the next contact is
+    a half-open *probe*: one valid batch clears the record, another invalid
+    one re-trips the breaker.
+    """
+
+    def __init__(self, n_endpoints: int, threshold: int = 1, quarantine_rounds: int = 4):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if quarantine_rounds < 1:
+            raise ValueError("quarantine_rounds must be at least 1")
+        self.threshold = threshold
+        self.quarantine_rounds = quarantine_rounds
+        self.round = 0
+        self.records = [_HealthRecord() for _ in range(n_endpoints)]
+        self.trips = 0  # breaker activations (quarantine entries)
+        self.probes = 0  # half-open re-admissions after a lapsed window
+
+    @classmethod
+    def from_config(cls, n_endpoints: int, config: FailoverConfig) -> "HealthScoreboard":
+        return cls(
+            n_endpoints,
+            threshold=config.quarantine_threshold,
+            quarantine_rounds=config.quarantine_rounds,
+        )
+
+    # -- round lifecycle -----------------------------------------------------
+    def begin_round(self) -> None:
+        self.round += 1
+
+    def is_quarantined(self, index: int) -> bool:
+        return self.records[index].quarantined_until >= self.round
+
+    @property
+    def quarantined_count(self) -> int:
+        return sum(1 for i in range(len(self.records)) if self.is_quarantined(i))
+
+    def contact_order(self) -> tuple[list[int], list[int]]:
+        """(healthy, quarantined) index lists, original order preserved.
+
+        Endpoints whose quarantine window lapsed are re-admitted as
+        half-open probes (counted), so a recovered SEM rejoins the pool.
+        """
+        healthy: list[int] = []
+        quarantined: list[int] = []
+        for index, record in enumerate(self.records):
+            if record.quarantined_until >= self.round:
+                quarantined.append(index)
+            else:
+                if record.quarantined_until:  # lapsed window: this is a probe
+                    record.quarantined_until = 0
+                    self.probes += 1
+                healthy.append(index)
+        return healthy, quarantined
+
+    # -- outcomes ------------------------------------------------------------
+    def record_success(self, index: int) -> None:
+        record = self.records[index]
+        record.successes += 1
+        record.invalid_streak = 0
+        record.quarantined_until = 0  # a valid batch clears any probe state
+
+    def record_invalid(self, index: int) -> None:
+        record = self.records[index]
+        record.invalid_streak += 1
+        record.invalid_total += 1
+        if record.invalid_streak >= self.threshold and not self.is_quarantined(index):
+            record.quarantined_until = self.round + self.quarantine_rounds
+            self.trips += 1
+
+    def record_timeout(self, index: int) -> None:
+        self.records[index].timeouts += 1
+
+    def summary(self) -> dict:
+        """Flat counters for the obs registry and operator dashboards."""
+        return {
+            "rounds": self.round,
+            "quarantined": self.quarantined_count,
+            "trips": self.trips,
+            "probes": self.probes,
+            "invalid_total": sum(r.invalid_total for r in self.records),
+            "timeouts": sum(r.timeouts for r in self.records),
+        }
 
 
 class SigningRound:
@@ -110,6 +244,7 @@ class SigningRound:
         rng=None,
         batch_verify: bool = True,
         obs=None,
+        health: HealthScoreboard | None = None,
     ):
         if not 1 <= t <= len(endpoints):
             raise ValueError("need 1 <= t <= number of endpoints")
@@ -119,8 +254,14 @@ class SigningRound:
         self.blinded = list(blinded)
         self.config = config or FailoverConfig()
         self._rng = rng
+        # Jitter draws come from a derived stream so backoff randomness and
+        # Eq. 7/14 verification coefficients never perturb each other.
+        self._jitter_rng = random.Random(
+            rng.getrandbits(64) if rng is not None else 0x6A177E12
+        )
         self.batch_verify = batch_verify
         self.obs = obs if obs is not None else NULL_OBS
+        self.health = health
         self._states = [_EndpointState() for _ in endpoints]
         self._standby: list[int] = []
         self.result: list[GroupElement] | None = None
@@ -128,6 +269,7 @@ class SigningRound:
         self.retries = 0
         self.timeouts = 0
         self.invalid_endpoints = 0
+        self.deadline_exceeded = False
 
     # -- round status -------------------------------------------------------
     @property
@@ -149,12 +291,27 @@ class SigningRound:
 
     # -- events -------------------------------------------------------------
     def start(self) -> list:
-        """Initial actions: contact ``fanout`` SEMs, arm their timeouts."""
-        fanout = self.config.fanout or len(self.endpoints)
-        fanout = min(max(fanout, self.t), len(self.endpoints))
-        self._standby = list(range(fanout, len(self.endpoints)))
-        actions = []
-        for index in range(fanout):
+        """Initial actions: contact ``fanout`` SEMs, arm their timeouts.
+
+        With a :class:`HealthScoreboard` attached, quarantined endpoints
+        are pushed to the back of the standby list: they are contacted
+        only when the healthy pool cannot reach t valid batches.  With a
+        ``round_deadline_s`` configured, the first action arms the
+        whole-round budget timer.
+        """
+        if self.health is not None:
+            self.health.begin_round()
+            healthy, quarantined = self.health.contact_order()
+        else:
+            healthy, quarantined = list(range(len(self.endpoints))), []
+        ordered = healthy + quarantined
+        fanout = self.config.fanout or max(len(healthy), self.t)
+        fanout = min(max(fanout, self.t), len(ordered))
+        self._standby = ordered[fanout:]
+        actions: list = []
+        if self.config.round_deadline_s is not None:
+            actions.append(ArmRoundDeadline(delay_s=self.config.round_deadline_s))
+        for index in ordered[:fanout]:
             actions.extend(self._send(index, delay_s=0.0))
         return actions
 
@@ -168,9 +325,13 @@ class SigningRound:
         ):
             state.status = "invalid"
             self.invalid_endpoints += 1
+            if self.health is not None:
+                self.health.record_invalid(endpoint_index)
             return self._activate_standby()
         state.status = "valid"
         state.shares = list(shares)
+        if self.health is not None:
+            self.health.record_success(endpoint_index)
         if self.valid_count >= self.t:
             self._complete()
         else:
@@ -179,18 +340,60 @@ class SigningRound:
         return []
 
     def on_timeout(self, endpoint_index: int) -> list:
-        """The in-flight attempt to one SEM passed its deadline."""
+        """The in-flight attempt to one SEM passed its deadline.
+
+        A stale timer — one that fires after the round completed, or after
+        its endpoint already resolved — is ignored entirely: no retry, no
+        counter increment, no resurrection of a finished round.
+        """
         state = self._states[endpoint_index]
         if self.done or state.status != "inflight":
             return []  # answered in the meantime, or already resolved
         self.timeouts += 1
+        if self.health is not None:
+            self.health.record_timeout(endpoint_index)
         if state.attempts >= self.config.max_attempts:
             state.status = "exhausted"
             return self._activate_standby()
         self.retries += 1
-        return self._send(endpoint_index, delay_s=self.config.backoff_s(state.attempts))
+        return self._send(endpoint_index, delay_s=self._backoff(state))
+
+    def on_deadline(self) -> list:
+        """The whole-round budget expired: fail closed, now.
+
+        Outstanding retries and unanswered endpoints are abandoned — Eq. 11
+        reconstruction needed t valid batches within the budget and did not
+        get them, so the round reports failure instead of hanging on the
+        tail of its slowest retry ladder.
+        """
+        if self.done:
+            return []
+        self.deadline_exceeded = True
+        self.failed_reason = (
+            f"round deadline of {self.config.round_deadline_s}s exceeded with "
+            f"{self.valid_count} of the required {self.t} valid share batches"
+        )
+        return []
 
     # -- internals ----------------------------------------------------------
+    def _backoff(self, state: _EndpointState) -> float:
+        """Delay before this endpoint's next retry.
+
+        Decorrelated jitter (default): a seeded-uniform draw from
+        ``[base, 3 × previous]`` capped at ``backoff_cap_s``, so endpoints
+        that timed out together do not retry in lockstep.  With jitter
+        disabled, the exact ``base × factor^(attempt−1)`` ladder.
+        """
+        if not self.config.backoff_jitter:
+            return self.config.backoff_s(state.attempts)
+        previous = state.backoff_s or self.config.backoff_base_s
+        delay = min(
+            self.config.backoff_cap_s,
+            self._jitter_rng.uniform(self.config.backoff_base_s, previous * 3.0),
+        )
+        state.backoff_s = delay
+        return delay
+
     def _send(self, index: int, delay_s: float) -> list:
         state = self._states[index]
         state.status = "inflight"
@@ -256,6 +459,7 @@ class FailoverStats:
     retries: int = 0
     timeouts: int = 0
     invalid_endpoints: int = 0
+    deadlines_exceeded: int = 0
 
 
 class FailoverMultiSEMClient:
@@ -300,6 +504,9 @@ class FailoverMultiSEMClient:
         self._sleep = sleep or (lambda seconds: None)
         self.stats = FailoverStats()
         self.obs = obs if obs is not None else NULL_OBS
+        # Cross-round circuit breaker: endpoints serving invalid shares are
+        # quarantined so later rounds stop contacting them up front.
+        self.health = HealthScoreboard.from_config(len(endpoints), self.config)
 
     @classmethod
     def from_cluster(cls, cluster, config: FailoverConfig | None = None, rng=None,
@@ -333,7 +540,15 @@ class FailoverMultiSEMClient:
             rng=self._rng,
             batch_verify=self.batch_verify,
             obs=self.obs,
+            health=self.health,
         )
+        # The synchronous driver has no timer wheel; the round deadline is
+        # enforced against a deterministic elapsed-time model — each backoff
+        # sleep costs its delay, each failed attempt costs timeout_s — so a
+        # cluster beyond tolerance fails closed within the budget instead of
+        # walking every endpoint's full retry ladder.
+        deadline = self.config.round_deadline_s
+        elapsed = 0.0
         with self.obs.tracer.span(
             "failover.round", n_items=len(blinded_messages), t=self.t,
             n_endpoints=len(self.endpoints),
@@ -342,13 +557,18 @@ class FailoverMultiSEMClient:
             while pending and not round_.done:
                 action = pending.pop(0)
                 if not isinstance(action, SendRequest):
-                    continue  # ArmTimer: sync mode detects timeouts via exceptions
+                    continue  # ArmTimer/ArmRoundDeadline: enforced inline below
+                if deadline is not None and elapsed >= deadline:
+                    round_.on_deadline()
+                    break
                 if action.delay_s:
                     self._sleep(action.delay_s)
+                    elapsed += action.delay_s
                 endpoint = self.endpoints[action.endpoint_index]
                 try:
                     shares = endpoint.transport(blinded_messages, credential)
                 except (ConnectionError, TimeoutError):
+                    elapsed += self.config.timeout_s
                     pending.extend(round_.on_timeout(action.endpoint_index))
                 else:
                     pending.extend(round_.on_response(action.endpoint_index, shares))
@@ -357,11 +577,14 @@ class FailoverMultiSEMClient:
                 timeouts=round_.timeouts,
                 invalid=round_.invalid_endpoints,
                 valid=round_.valid_count,
+                quarantined=self.health.quarantined_count,
             )
         self.stats.rounds += 1
         self.stats.retries += round_.retries
         self.stats.timeouts += round_.timeouts
         self.stats.invalid_endpoints += round_.invalid_endpoints
+        if round_.deadline_exceeded:
+            self.stats.deadlines_exceeded += 1
         if round_.used_failover:
             self.stats.rounds_with_failover += 1
         if round_.result is None:

@@ -33,8 +33,10 @@ from repro.net.simulator import Simulator
 from repro.service.api import ResponseStatus, SignRequest, SignResponse, next_request_id
 from repro.service.batcher import BatchConfig, BatchingSEMService
 from repro.service.failover import (
+    ArmRoundDeadline,
     ArmTimer,
     FailoverConfig,
+    HealthScoreboard,
     SEMEndpoint,
     SendRequest,
     SigningRound,
@@ -53,6 +55,7 @@ class _Round:
     envelopes: list = field(default_factory=list)
     started_at: float = 0.0
     batch_size: int = 0
+    timer_ids: list = field(default_factory=list)  # cancelled at completion
 
 
 class SEMServiceNode(Node):
@@ -76,6 +79,7 @@ class SEMServiceNode(Node):
         membership=None,
         rng=None,
         use_fixed_base: bool = True,
+        journal=None,
         obs=None,
     ):
         super().__init__(name)
@@ -86,6 +90,9 @@ class SEMServiceNode(Node):
         self.failover_config = failover_config or FailoverConfig()
         self._rng = rng
         self.metrics = ServiceMetrics()
+        # Round-spanning endpoint health: byzantine SEMs get quarantined
+        # instead of being re-contacted (and re-rejected) every round.
+        self.health = HealthScoreboard.from_config(len(endpoints), self.failover_config)
         # The pipeline's transport is replaced per round by the message
         # fan-out below; it still does aggregation/blinding/unblinding.
         self._pipeline = SigningPipeline(
@@ -105,6 +112,7 @@ class SEMServiceNode(Node):
             membership=membership,
             clock=lambda: self.sim.now if self.sim else 0.0,
             metrics=self.metrics,
+            journal=journal,
         )
         self._rounds: dict[int, _Round] = {}
         self._round_ids = iter(range(1, 1 << 62))
@@ -159,6 +167,7 @@ class SEMServiceNode(Node):
             config=self.failover_config,
             rng=self._rng,
             obs=self.obs,
+            health=self.health,
         )
         round_ = _Round(
             round_id=next(self._round_ids),
@@ -187,10 +196,15 @@ class SEMServiceNode(Node):
                 else:
                     out.append(message)
             elif isinstance(action, ArmTimer):
-                self.sim.schedule(
+                round_.timer_ids.append(self.sim.schedule(
                     action.delay_s,
                     lambda r=round_.round_id, i=action.endpoint_index: self._on_sem_timeout(r, i),
-                )
+                ))
+            elif isinstance(action, ArmRoundDeadline):
+                round_.timer_ids.append(self.sim.schedule(
+                    action.delay_s,
+                    lambda r=round_.round_id: self._on_round_deadline(r),
+                ))
         self._after_event(round_)
         return out
 
@@ -199,6 +213,15 @@ class SEMServiceNode(Node):
         if round_ is None or self.crashed:
             return None
         return self._perform(round_, round_.machine.on_timeout(endpoint_index)) or None
+
+    def _on_round_deadline(self, round_id: int):
+        """The whole-round budget expired: fail the round closed."""
+        round_ = self._rounds.get(round_id)
+        if round_ is None or self.crashed:
+            return None
+        round_.machine.on_deadline()
+        self._after_event(round_)
+        return None
 
     def _handle_share_response(self, message: Message):
         located = self._inflight.pop(message.reply_to, None)
@@ -217,6 +240,11 @@ class SEMServiceNode(Node):
         if not machine.done or round_.round_id not in self._rounds:
             return
         del self._rounds[round_.round_id]
+        # Stale-timer hygiene: a completed round must not fire leftover
+        # per-SEM or deadline timers (they would double-count timeouts).
+        for timer_id in round_.timer_ids:
+            self.sim.cancel_timer(timer_id)
+        round_.timer_ids.clear()
         self._inflight = {
             k: v for k, v in self._inflight.items() if v[0] != round_.round_id
         }
@@ -271,8 +299,27 @@ class SEMServiceNode(Node):
             self.sim.send(reply)
 
     def _reply(self, envelope, response: SignResponse) -> Message:
+        # The fan-out path bypasses BatchingSEMService._finish, so terminal
+        # journaling (crash recovery's "done" record) happens here instead.
+        if self.service.journal is not None:
+            self.service.journal.record_terminal(response)
+            self.service._inflight_ids.discard(response.request_id)
         requester = self._requesters.pop(envelope.request.request_id, envelope.request.owner)
         return self.make_message(requester, "svc_sign_response", response)
+
+    # -- crash recovery -------------------------------------------------------
+    def recover(self) -> int:
+        """Replay the journal's in-flight requests into a fresh round.
+
+        Called once after constructing a replacement node over the crashed
+        instance's journal: pending requests re-enter the queue (dedup by
+        request id) and the flush timer is armed so they get signed.
+        Responses route to each request's ``owner`` node.
+        """
+        replayed = self.service.recover()
+        if replayed:
+            self._arm_flush_timer()
+        return replayed
 
 
 class _RaiseTransport:
@@ -335,6 +382,7 @@ def build_service_network(
     failover_config: FailoverConfig | None = None,
     client_service_channel: Channel | None = None,
     service_sem_channel: Channel | None = None,
+    journal=None,
     obs=None,
 ) -> tuple[Simulator, SEMServiceNode, list[ServiceClientNode]]:
     """Wire clients → service → SEM(s) into a fresh simulator.
@@ -389,11 +437,15 @@ def build_service_network(
         batch_config=batch_config,
         failover_config=failover_config,
         rng=rng,
+        journal=journal,
         obs=obs,
     )
     sim.add_node(service)
     if obs is not None and obs.enabled:
+        from repro.obs import bind_failover_health
+
         bind_service_metrics(obs.registry, service.metrics)
+        bind_failover_health(obs.registry, service.health)
     clients = []
     for i in range(n_clients):
         client = ServiceClientNode(f"client-{i}", params, "service")

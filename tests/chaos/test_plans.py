@@ -1,0 +1,89 @@
+"""Chaos acceptance: every committed plan holds the paper's availability bar.
+
+Two theorems under test, straight from Section V:
+
+* up to t − 1 faulty SEMs (any mix of crashed, byzantine, partitioned,
+  slow, or lied-to-by-the-wire): every request completes with signatures
+  that pass the pairing check under the organizational master key;
+* t or more faulty: every request fails **closed** within the round
+  deadline budget — no hangs, and never a signature that does not verify.
+
+And one property of the harness itself: a plan + seed is a total
+description of the run — replaying it reproduces every counter exactly.
+"""
+
+from __future__ import annotations
+
+from tests.chaos.conftest import PLAN_PATHS, run_plan
+
+
+class TestAcceptance:
+    def test_scenario_expectation_holds(self, plan_path, params_k4):
+        run = run_plan(plan_path, params_k4)
+        scenario = run.scenario
+        expected = len(run.payloads)
+        assert expected > 0
+        if scenario["expect"] == "complete":
+            for client in run.clients:
+                assert client.failed == [], (
+                    f"{run.plan.name}: {client.name} failed "
+                    f"{[run.clients[0].responses[i].error for i in client.failed]}"
+                )
+            completed = sum(len(c.completed) for c in run.clients)
+            assert completed == expected
+            assert run.verify_signatures(params_k4) > 0
+        else:  # fail_closed
+            for client in run.clients:
+                assert client.completed == []
+                for request_id in client.failed:
+                    assert client.responses[request_id].error
+            failed = sum(len(c.failed) for c in run.clients)
+            assert failed == expected
+            # Fail-closed means bounded: the round died by its deadline (or
+            # earlier, when every endpoint resolved), not on a retry tail.
+            deadline = scenario["round_deadline_s"]
+            assert run.sim.now <= deadline + 1.0
+        for kind in scenario.get("expect_injected", ()):
+            assert run.injector.counts.get(kind, 0) >= 1, (
+                f"{run.plan.name}: fault kind {kind!r} never fired "
+                f"(counts: {run.injector.counts})"
+            )
+        health = run.service.health.summary()
+        assert health["trips"] >= scenario.get("min_trips", 0)
+        assert health["invalid_total"] >= scenario.get("min_invalid", 0)
+        assert run.service.metrics.summary()["retries"] >= scenario.get("min_retries", 0)
+
+    def test_replay_is_deterministic(self, plan_path, params_k4):
+        first = run_plan(plan_path, params_k4)
+        second = run_plan(plan_path, params_k4)
+        assert first.digest() == second.digest()
+
+    def test_seed_override_reaches_the_injector(self, params_k4):
+        plan_path = next(p for p in PLAN_PATHS if p.stem == "wire_chaos")
+        run = run_plan(plan_path, params_k4, seed=0xFEED)
+        assert run.plan.seed == 0xFEED
+        # The overridden seed still yields a valid, completing run.
+        assert all(not c.failed for c in run.clients)
+
+
+class TestNoBadSignatures:
+    def test_byzantine_shares_never_reach_clients(self, params_k4):
+        """Even while quarantine is warming up, every delivered signature
+        verifies — byzantine share batches die at the Eq. 14 check."""
+        plan_path = next(p for p in PLAN_PATHS if p.stem == "byzantine_quarantine")
+        run = run_plan(plan_path, params_k4)
+        completed = sum(len(c.completed) for c in run.clients)
+        assert completed == len(run.payloads)
+        assert run.verify_signatures(params_k4) >= completed  # >= 1 block each
+
+    def test_quarantine_reduces_byzantine_contact(self, params_k4):
+        """The second wave must not pay sem-1 again: the scoreboard moved
+        it to last-resort standby after its first invalid batch."""
+        plan_path = next(p for p in PLAN_PATHS if p.stem == "byzantine_quarantine")
+        run = run_plan(plan_path, params_k4)
+        byzantine = run.sim.nodes["sem-1"]
+        health = run.service.health.summary()
+        assert health["trips"] >= 1
+        assert health["rounds"] >= 2
+        # Wave 1 contacts sem-1 (and trips the breaker); wave 2 does not.
+        assert byzantine.signed_batches == 1

@@ -1,0 +1,91 @@
+"""Stale-timer safety: a finished round must not be haunted by its timers.
+
+Every fan-out round arms one timeout timer per contacted SEM (plus the
+optional round-deadline timer).  Once the round completes — t valid share
+batches, or a terminal failure — those outstanding timers are cancelled on
+the simulator's wheel, and any that already popped are ignored by the
+state machine.  Without both layers, a stale ArmTimer would double-count
+``timeouts`` and could resurrect retries against a round that no longer
+exists.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.net.channel import Channel
+from repro.service import BatchConfig, FailoverConfig, build_service_network
+
+
+def build(params, *, threshold=2, round_deadline_s=None, timeout_s=1.0,
+          max_attempts=3, seed=61):
+    return build_service_network(
+        params,
+        threshold=threshold,
+        n_clients=1,
+        rng=random.Random(seed),
+        batch_config=BatchConfig(max_batch=4, max_wait_s=0.02),
+        failover_config=FailoverConfig(
+            timeout_s=timeout_s,
+            max_attempts=max_attempts,
+            round_deadline_s=round_deadline_s,
+        ),
+        client_service_channel=Channel(latency_s=0.005),
+        service_sem_channel=Channel(latency_s=0.005),
+    )
+
+
+class TestCompletedRoundCancelsTimers:
+    def test_healthy_round_fires_no_sem_timers(self, params_k4):
+        """All 3 SEMs answer in ~10ms against a 1s timeout: the 3 armed
+        ArmTimers (plus the deadline timer) must be cancelled, so the only
+        timer that ever fires is the service's flush timer."""
+        sim, service, clients = build(params_k4, round_deadline_s=30.0)
+        sim.send(clients[0].request_for_data(b"x" * 40, b"st0"))
+        sim.run()
+        assert clients[0].completed and not clients[0].failed
+        assert sim.timers_fired == 1  # the flush timer, nothing else
+        assert not sim._pending_timers  # nothing armed survives the run
+        assert service.metrics.summary()["retries"] == 0
+
+    def test_no_double_counted_timeouts_after_completion(self, params_k4):
+        """sem-0 is slow enough to time out once; the round completes on
+        the other SEMs.  sem-0's retry timer outlives the round — it must
+        be cancelled, not fire on_timeout into a finished machine."""
+        sim, service, clients = build(params_k4, timeout_s=0.05, max_attempts=5)
+        sim.nodes["sem-0"].service_delay_s = 10.0  # never answers in time
+        sim.send(clients[0].request_for_data(b"y" * 40, b"st1"))
+        sim.run()
+        assert clients[0].completed and not clients[0].failed
+        # sem-0 timed out at most max_attempts times while the round was
+        # live; after completion, the cancelled retry timers add nothing.
+        assert service.metrics.summary()["retries"] <= 4
+        assert not service._rounds  # the round is gone...
+        assert not sim._pending_timers  # ...and so are all of its timers
+
+    def test_deadline_timer_cancelled_on_success(self, params_k4):
+        """The round-deadline timer of a round that completed must not fire
+        later and mark the (already successful) round as failed."""
+        sim, service, clients = build(params_k4, round_deadline_s=5.0)
+        sim.send(clients[0].request_for_data(b"z" * 40, b"st2"))
+        sim.run()
+        assert clients[0].completed and not clients[0].failed
+        assert sim.now < 5.0  # the run drained without waiting out the budget
+        assert not sim._pending_timers
+
+    def test_deadline_fails_round_closed_in_sim(self, params_k4):
+        """Beyond tolerance with huge per-attempt retry ladders: the round
+        deadline (not the ladder) bounds the failure time."""
+        sim, service, clients = build(
+            params_k4, timeout_s=0.5, max_attempts=50, round_deadline_s=2.0,
+        )
+        sim.nodes["sem-0"].crash()
+        sim.nodes["sem-1"].crash()  # t = 2 crashed of w = 3: beyond tolerance
+        sim.send(clients[0].request_for_data(b"w" * 40, b"st3"))
+        sim.run()
+        (request_id,) = clients[0].failed
+        assert "deadline" in clients[0].responses[request_id].error
+        # The failure landed at the deadline, far before the ~25s the two
+        # 50-attempt retry ladders would have taken.
+        assert sim.now < 5.0
+        assert not service._rounds

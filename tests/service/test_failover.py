@@ -105,6 +105,7 @@ class TestSigningRound:
         round_ = make_round(
             cluster, blinded, rng,
             fanout=3, max_attempts=2, backoff_base_s=0.25, backoff_factor=2.0,
+            backoff_jitter=False,  # assert the exact exponential ladder
         )
         round_.start()
         first = round_.on_timeout(0)
@@ -113,6 +114,44 @@ class TestSigningRound:
         assert round_.retries == 1
         second = round_.on_timeout(0)  # attempts exhausted -> standby
         assert [a.endpoint_index for a in second if isinstance(a, SendRequest)] == [3]
+
+    def test_jittered_backoff_is_seeded_and_bounded(self, cluster, blinded):
+        import random as random_mod
+
+        def retry_delays(seed):
+            round_ = make_round(
+                cluster, blinded, random_mod.Random(seed),
+                max_attempts=4, backoff_base_s=0.25, backoff_cap_s=1.5,
+            )
+            round_.start()
+            delays = []
+            for _ in range(3):
+                actions = round_.on_timeout(0)
+                delays.extend(
+                    a.delay_s for a in actions if isinstance(a, SendRequest)
+                )
+            return delays
+
+        first, replay, other = retry_delays(5), retry_delays(5), retry_delays(6)
+        assert len(first) == 3
+        assert first == replay  # decorrelated jitter is fully seeded
+        assert first != other  # ...but actually random across seeds
+        assert all(0.25 <= d <= 1.5 for d in first)  # [base, cap] bounds
+
+    def test_jitter_rng_does_not_perturb_verification_draws(self, cluster, blinded):
+        """The jitter stream is derived once at construction: a round that
+        never retries consumes nothing extra from the caller's RNG."""
+        import random as random_mod
+
+        def smooth_run(seed):
+            rng = random_mod.Random(seed)
+            round_ = make_round(cluster, blinded, rng)
+            round_.start()
+            for j in range(cluster.t):
+                round_.on_response(j, shares_from(cluster, j, blinded))
+            return rng.getrandbits(64)
+
+        assert smooth_run(9) == smooth_run(9)
 
     def test_timeout_after_response_is_a_noop(self, cluster, blinded, rng):
         round_ = make_round(cluster, blinded, rng)
@@ -141,6 +180,77 @@ class TestSigningRound:
     def test_threshold_bounds(self, cluster, blinded, rng):
         with pytest.raises(ValueError):
             SigningRound(cluster.group, cluster.endpoints(), 6, blinded)
+
+
+class TestHealthScoreboard:
+    def _board(self, n=5, threshold=1, rounds=2):
+        from repro.service.failover import HealthScoreboard
+
+        return HealthScoreboard(n, threshold=threshold, quarantine_rounds=rounds)
+
+    def test_invalid_streak_trips_the_breaker(self):
+        board = self._board(threshold=2)
+        board.begin_round()
+        board.record_invalid(1)
+        assert not board.is_quarantined(1)  # streak 1 < threshold 2
+        board.record_invalid(1)
+        assert board.is_quarantined(1)
+        assert board.trips == 1
+
+    def test_contact_order_defers_quarantined(self):
+        board = self._board()
+        board.begin_round()
+        board.record_invalid(2)
+        board.begin_round()
+        healthy, quarantined = board.contact_order()
+        assert healthy == [0, 1, 3, 4]
+        assert quarantined == [2]
+
+    def test_lapsed_window_readmits_as_probe(self):
+        board = self._board(rounds=1)
+        board.begin_round()
+        board.record_invalid(0)
+        board.begin_round()
+        assert board.is_quarantined(0)  # round 2 <= quarantined_until
+        board.begin_round()
+        healthy, quarantined = board.contact_order()
+        assert 0 in healthy and quarantined == []
+        assert board.probes == 1
+
+    def test_success_clears_streak_and_quarantine(self):
+        board = self._board()
+        board.begin_round()
+        board.record_invalid(3)
+        assert board.is_quarantined(3)
+        board.record_success(3)
+        assert not board.is_quarantined(3)
+        assert board.summary()["quarantined"] == 0
+
+    def test_round_spanning_quarantine_in_the_sync_client(self, cluster, blinded, rng):
+        """A byzantine SEM is contacted (and rejected) in round 1, then
+        skipped by the next rounds while healthy endpoints cover t."""
+        calls = {"n": 0}
+        real = cluster.endpoints()[0].transport
+
+        def counting_byzantine(blinded_messages, credential=None):
+            calls["n"] += 1
+            return [s * cluster.group.g1() for s in real(blinded_messages, credential)]
+
+        endpoints = cluster.endpoints()
+        endpoints[0] = type(endpoints[0])(
+            name=endpoints[0].name, x=endpoints[0].x,
+            share_pk=endpoints[0].share_pk, transport=counting_byzantine,
+        )
+        client = FailoverMultiSEMClient(
+            cluster.group, endpoints, cluster.t,
+            config=FailoverConfig(max_attempts=1, quarantine_rounds=8),
+            rng=rng,
+        )
+        for _ in range(3):
+            assert len(client.sign_blinded_batch(blinded)) == len(blinded)
+        assert calls["n"] == 1  # rounds 2-3 never paid the byzantine SEM
+        assert client.health.trips == 1
+        assert client.stats.invalid_endpoints == 1
 
 
 class TestSynchronousClient:
@@ -206,7 +316,9 @@ class TestSynchronousClient:
         naps = []
         client = FailoverMultiSEMClient(
             cluster.group, endpoints, cluster.t,
-            config=FailoverConfig(max_attempts=2, backoff_base_s=0.125),
+            config=FailoverConfig(
+                max_attempts=2, backoff_base_s=0.125, backoff_jitter=False,
+            ),
             rng=rng, sleep=naps.append,
         )
         result = client.sign_blinded_batch(blinded)
@@ -214,6 +326,26 @@ class TestSynchronousClient:
         assert pytest.approx(0.125) in naps
         assert calls["n"] == 2
         assert client.stats.retries >= 1
+
+    def test_deadline_budget_fails_closed_before_retry_ladders(self, cluster, blinded, rng):
+        """Beyond tolerance with huge per-endpoint retry ladders: the round
+        deadline bounds total (modeled) time instead of walking them all."""
+        for j in range(3):
+            cluster.crash(j)
+        naps = []
+        client = FailoverMultiSEMClient.from_cluster(
+            cluster,
+            config=FailoverConfig(
+                timeout_s=0.5, max_attempts=50, round_deadline_s=3.0,
+            ),
+            rng=rng, sleep=naps.append,
+        )
+        with pytest.raises(FailoverError, match="deadline"):
+            client.sign_blinded_batch(blinded)
+        assert client.stats.deadlines_exceeded == 1
+        # Modeled elapsed time (sleeps + timeout charges) stayed near the
+        # budget — nowhere near the 50-attempt ladders' worth of retries.
+        assert sum(naps) + 0.5 * len(naps) < 10.0
 
     def test_requires_transports(self, cluster, blinded, rng):
         endpoints = [
