@@ -37,6 +37,7 @@ from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
 STATE_FILE = "state.json"
 CLOUD_DIR = "cloud"
 OBS_DIR = "obs"
+PRECOMPUTE_DIR = "precompute"
 LAST_RUN_FILE = "last_run.json"
 
 
@@ -77,6 +78,26 @@ def build_runtime(state: dict):
     cloud = CloudServer(params, org_pk=sem.pk)
     verifier = PublicVerifier(params, sem.pk)
     return params, sem, cloud, verifier
+
+
+def _make_pool(args, root: Path, params, obs):
+    """A worker pool for ``--workers N`` (N > 1), or ``None``.
+
+    Workers load fixed-base tables from the deployment's precompute cache
+    (``<state-dir>/precompute``) instead of rebuilding them per process;
+    results and op tallies are identical at any worker count.
+    """
+    workers = getattr(args, "workers", 1) or 1
+    if workers <= 1:
+        return None
+    from repro.core.parallel import WorkerPool
+
+    return WorkerPool(
+        params,
+        workers,
+        table_cache_dir=root / PRECOMPUTE_DIR,
+        tracer=obs.tracer if obs.enabled else None,
+    )
 
 
 def _blob_path(root: Path, file_id: str) -> Path:
@@ -207,20 +228,27 @@ def cmd_upload(args) -> int:
     if token is None:
         raise CliError(f"member {args.member!r} is not enrolled")
     credential = MemberCredential(token=bytes.fromhex(token))
-    owner = DataOwner(params, sem.pk, credential=credential)
     data = Path(args.path).read_bytes()
     obs = _make_obs()
     obs.observe_group(params.group)
-    with obs.tracer.span("upload", bytes=len(data)):
-        with obs.tracer.span("sign", optimized=not args.no_batch) as span:
-            signed = owner.sign_file(
-                data, args.file_id.encode(), sem, batch=not args.no_batch
-            )
-            span.set(
-                n_blocks=len(signed.blocks),
-                bytes_to_sem=params.group.g1_element_bytes() * len(signed.blocks),
-                bytes_from_sem=params.group.g1_element_bytes() * len(signed.blocks),
-            )
+    pool = _make_pool(args, root, params, obs)
+    table_cache = root / PRECOMPUTE_DIR if pool is not None else None
+    owner = DataOwner(params, sem.pk, credential=credential, pool=pool,
+                      table_cache_dir=table_cache)
+    try:
+        with obs.tracer.span("upload", bytes=len(data)):
+            with obs.tracer.span("sign", optimized=not args.no_batch) as span:
+                signed = owner.sign_file(
+                    data, args.file_id.encode(), sem, batch=not args.no_batch
+                )
+                span.set(
+                    n_blocks=len(signed.blocks),
+                    bytes_to_sem=params.group.g1_element_bytes() * len(signed.blocks),
+                    bytes_from_sem=params.group.g1_element_bytes() * len(signed.blocks),
+                )
+    finally:
+        if pool is not None:
+            pool.close()
     _blob_path(root, args.file_id).write_bytes(encode_signed_file(signed, params))
     state["files"][args.file_id] = {
         "blocks": len(signed.blocks),
@@ -243,19 +271,26 @@ def cmd_audit(args) -> int:
     cloud.store(signed)
     obs = _make_obs()
     obs.observe_group(params.group)
-    with obs.tracer.span("audit"):
-        with obs.tracer.span("challenge", n_blocks=len(signed.blocks)) as span:
-            challenge = verifier.generate_challenge(
-                args.file_id.encode(), len(signed.blocks), sample_size=args.sample
-            )
-            span.set(challenged=len(challenge))
-        with obs.tracer.span("proofgen", challenged=len(challenge)):
-            proof = cloud.generate_proof(args.file_id.encode(), challenge)
-        with obs.tracer.span(
-            "proofverify", challenged=len(challenge), k=params.k
-        ) as span:
-            ok = verifier.verify(challenge, proof)
-            span.set(ok=ok)
+    pool = _make_pool(args, root, params, obs)
+    cloud.pool = pool
+    verifier.pool = pool
+    try:
+        with obs.tracer.span("audit"):
+            with obs.tracer.span("challenge", n_blocks=len(signed.blocks)) as span:
+                challenge = verifier.generate_challenge(
+                    args.file_id.encode(), len(signed.blocks), sample_size=args.sample
+                )
+                span.set(challenged=len(challenge))
+            with obs.tracer.span("proofgen", challenged=len(challenge)):
+                proof = cloud.generate_proof(args.file_id.encode(), challenge)
+            with obs.tracer.span(
+                "proofverify", challenged=len(challenge), k=params.k
+            ) as span:
+                ok = verifier.verify(challenge, proof)
+                span.set(ok=ok)
+    finally:
+        if pool is not None:
+            pool.close()
     _write_obs_outputs(args, obs)
     _persist_last_run(root, "audit", obs)
     scope = f"{len(challenge)} of {len(signed.blocks)} blocks"
@@ -398,6 +433,18 @@ def _bench_suites(args) -> list[str]:
     return [args.suite]
 
 
+def _bench_options(args) -> dict:
+    """Suite scaling knobs from the command line (unset flags omitted)."""
+    options = {}
+    for key in ("workers", "challenged", "blocks", "msm_terms"):
+        value = getattr(args, key, None)
+        if value:
+            options["n_blocks" if key == "blocks" else key] = value
+    if getattr(args, "bench_param_set", None):
+        options["param_set"] = args.bench_param_set
+    return options
+
+
 def _print_run_summary(run: dict) -> None:
     for phase in run["phases"]:
         print(
@@ -411,8 +458,9 @@ def cmd_bench_run(args) -> int:
     from repro.obs.bench import append_run, run_suite, trajectory_path, write_run_file
 
     set_baseline = getattr(args, "set_baseline", False)
+    options = _bench_options(args)
     for suite in _bench_suites(args):
-        run = run_suite(suite, repeats=args.repeats)
+        run = run_suite(suite, repeats=args.repeats, options=options)
         path = trajectory_path(suite, args.trajectory_dir)
         append_run(path, run, set_baseline=set_baseline)
         run_file = write_run_file(run, args.results_dir)
@@ -458,10 +506,11 @@ def cmd_bench_compare(args) -> int:
     )
     reports = {}
     worst = 0
+    options = _bench_options(args)
     for suite in suites:
         baseline_path = args.baseline or trajectory_path(suite, args.trajectory_dir)
         baseline = baseline_of(load_trajectory(baseline_path))
-        current = run_suite(suite, repeats=args.repeats)
+        current = run_suite(suite, repeats=args.repeats, options=options)
         report = compare_runs(baseline, current, config)
         reports[suite] = report
         print(report.table())
@@ -545,6 +594,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("path")
     p.add_argument("--file-id", required=True)
     p.add_argument("--no-batch", action="store_true", help="verify Eq. 4 per signature")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="fan blinding/unblinding across N worker processes "
+                        "(identical signatures and op counts at any N)")
     _add_obs_flags(p)
     p.add_argument("--profile", action="store_true",
                    help="print a calibrated hot-path profile of this run")
@@ -553,6 +605,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("audit", help="run a public integrity audit")
     p.add_argument("file_id")
     p.add_argument("--sample", type=int, default=None, help="challenge only c blocks")
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="fan proof generation/verification across N worker "
+                        "processes (identical proofs and op counts at any N)")
     _add_obs_flags(p)
     p.add_argument("--profile", action="store_true",
                    help="print a calibrated hot-path profile of this run")
@@ -606,13 +661,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
-                        help="suite name or 'all' (table1, audit, service, chaos)")
+                        help="suite name or 'all' (table1, audit, service, "
+                             "chaos, msm)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",
                         help="where BENCH_<suite>.json trajectory files live")
         bp.add_argument("--results-dir", default="benchmarks/results", metavar="DIR",
                         help="where per-run JSON documents are written")
+        bp.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for suites that fan out (audit); "
+                             "op counts are invariant under N")
+        bp.add_argument("--challenged", type=int, default=None, metavar="C",
+                        help="challenge size for the audit suite")
+        bp.add_argument("--blocks", type=int, default=None, metavar="N",
+                        help="blocks to sign for the audit suite")
+        bp.add_argument("--msm-terms", type=int, default=None, metavar="N",
+                        help="extra term count to probe in the msm suite")
+        bp.add_argument("--bench-param-set", default=None, metavar="NAME",
+                        help="override the suite's curve parameter set")
 
     bp = bench_sub.add_parser("run", help="measure and append to the trajectory")
     _add_bench_common(bp)

@@ -45,7 +45,17 @@ class CostTracker:
 
     @property
     def exp_g1(self) -> int:
-        return self.counter.exp_g1
+        """Full-cost Exp_G1 operations executed: generic plus MSM-folded.
+
+        Exponentiations served from a fixed-base window table
+        (``exp_g1_fixed_base``) or elided for a zero exponent
+        (``exp_g1_skipped``) are excluded — benchmarks use this property to
+        show those optimizations paying off against the paper's bounds.
+        For the paper's one-Exp-per-element convention use
+        :func:`repro.obs.exporters.model_equivalent_exp` on
+        ``counter.snapshot()``.
+        """
+        return self.counter.exp_g1 + self.counter.exp_g1_msm
 
     @property
     def pairings(self) -> int:

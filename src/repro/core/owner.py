@@ -57,21 +57,38 @@ class DataOwner:
         use_fixed_base: precompute window tables for the u_1..u_k bases so
             Bind's k exponentiations become table lookups (one-time cost
             amortized across all blocks the owner ever signs).
+        table_cache_dir: load/persist those tables via the
+            :mod:`repro.ec.precompute` disk cache instead of rebuilding
+            (implies ``use_fixed_base``).
+        pool: a :class:`~repro.core.parallel.WorkerPool`; block
+            aggregation/blinding, Eq. 7 batch verification, and unblinding
+            then fan out across its workers.  Configure the pool with the
+            same ``table_cache_dir`` so workers and owner use identical
+            aggregation paths (keeping op tallies equal at any worker
+            count).
     """
 
     def __init__(self, params: SystemParams, sem_pk: GroupElement, credential=None,
-                 rng=None, use_fixed_base: bool = False):
+                 rng=None, use_fixed_base: bool = False,
+                 table_cache_dir=None, pool=None):
         self.params = params
         self.group = params.group
         self.sem_pk = sem_pk
         self.credential = credential
         self._rng = rng
         self.stats = OwnerStats()
+        self.pool = pool
         self._tables = None
-        if use_fixed_base:
-            from repro.ec.fixed_base import build_tables
+        if table_cache_dir is not None:
+            from repro.ec.precompute import load_or_build
 
-            self._tables = build_tables(list(params.u), params.order.bit_length())
+            self._tables, _ = load_or_build(
+                table_cache_dir, self.group, list(params.u), params.order.bit_length()
+            )
+        elif use_fixed_base:
+            from repro.ec.precompute import build_tables_fast
+
+            self._tables = build_tables_fast(list(params.u), params.order.bit_length())
 
     # -- single-block primitives (the paper's algorithms) -------------------
     def aggregate(self, block: Block) -> GroupElement:
@@ -133,7 +150,7 @@ class DataOwner:
             data = chacha20_encrypt(encrypt_key, nonce, data)
             encrypted = True
         blocks = encode_data(data, self.params, file_id)
-        states = [self.blind_block(block) for block in blocks]
+        states = self._blind_all(blocks)
         blinded = [s.blinded for s in states]
         element_size = self.group.g1_element_bytes()
         self.stats.blocks += len(blocks)
@@ -141,12 +158,12 @@ class DataOwner:
         blind_signatures = sem.sign_blinded_batch(blinded, self.credential)
         self.stats.bytes_from_sem += element_size * len(blind_signatures)
         if batch:
-            if not batch_unblind_verify(self.group, blinded, blind_signatures, self.sem_pk, self._rng):
+            if not batch_unblind_verify(
+                self.group, blinded, blind_signatures, self.sem_pk, self._rng,
+                pool=self.pool,
+            ):
                 raise ValueError("batch verification of blind signatures failed (Eq. 7)")
-            signatures = tuple(
-                self.unblind(s, bs, check=False, sem_pk_g1=sem_pk_g1)
-                for s, bs in zip(states, blind_signatures)
-            )
+            signatures = self._unblind_all(states, blind_signatures, sem_pk_g1)
         else:
             signatures = tuple(
                 self.unblind(s, bs, check=True, sem_pk_g1=sem_pk_g1)
@@ -158,6 +175,44 @@ class DataOwner:
             signatures=signatures,
             encrypted=encrypted,
             nonce=nonce,
+        )
+
+    # -- parallel fan-out helpers ------------------------------------------
+    def _blind_all(self, blocks: list[Block]) -> list[BlindingState]:
+        """Blind every block, fanning the aggregation out when pooled.
+
+        The blinding factors are always drawn here, sequentially, so a
+        seeded run consumes the rng stream identically at any worker count
+        and signatures come out bit-for-bit equal.
+        """
+        if self.pool is None:
+            return [self.blind_block(block) for block in blocks]
+        rs = [self.group.random_nonzero_scalar(self._rng) for _ in blocks]
+        blinded = self.pool.blind_blocks(blocks, rs)
+        if blinded is None:  # pool chose the inline path
+            return [
+                BlindingState(r=r, blinded=self.aggregate(b) * self.group.g1() ** r)
+                for b, r in zip(blocks, rs)
+            ]
+        return [BlindingState(r=r, blinded=m) for r, m in zip(rs, blinded)]
+
+    def _unblind_all(self, states, blind_signatures, sem_pk_g1) -> tuple:
+        """Unblind every signature (Eq. 5), fanned out when pooled."""
+        if self.pool is not None:
+            pk1 = sem_pk_g1
+            if pk1 is None and self.group.is_symmetric:
+                from repro.pairing.interface import GroupElement as _GE
+
+                pk1 = _GE(self.group, self.sem_pk.point, "g1")
+            if pk1 is not None:
+                result = self.pool.unblind_batch(
+                    states, blind_signatures, self.sem_pk, pk1
+                )
+                if result is not None:
+                    return tuple(result)
+        return tuple(
+            self.unblind(s, bs, check=False, sem_pk_g1=sem_pk_g1)
+            for s, bs in zip(states, blind_signatures)
         )
 
     @staticmethod

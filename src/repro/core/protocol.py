@@ -65,6 +65,20 @@ class SemPdpSystem:
         self._rng = rng
         self.obs = obs if obs is not None else NULL_OBS
         self.obs.observe_group(params.group)
+        self.pool = None
+        self.table_cache_dir = None
+
+    def close(self) -> None:
+        """Release the shared worker pool, if any (idempotent)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "SemPdpSystem":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- construction -----------------------------------------------------
     @classmethod
@@ -76,6 +90,8 @@ class SemPdpSystem:
         verify_on_upload: bool = False,
         rng=None,
         obs=None,
+        workers: int = 1,
+        table_cache_dir=None,
     ) -> "SemPdpSystem":
         """Stand up a full deployment.
 
@@ -90,6 +106,15 @@ class SemPdpSystem:
             obs: an :class:`~repro.obs.Observability` bundle; when given,
                 every protocol phase emits a traced span with its Exp/Pair
                 tallies and the system's group feeds the shared counter.
+            workers: when > 1, share one
+                :class:`~repro.core.parallel.WorkerPool` of this many
+                processes across the cloud, verifier, and enrolled owners;
+                proofs stay bit-identical and op tallies exactly equal to a
+                single-process run.  Call :meth:`close` (or use the system
+                as a context manager) to release the processes.
+            table_cache_dir: persist the u_1..u_k fixed-base tables via
+                :mod:`repro.ec.precompute` here; owners and pool workers
+                load them instead of rebuilding.
         """
         obs = obs if obs is not None else NULL_OBS
         obs.observe_group(group)
@@ -107,9 +132,22 @@ class SemPdpSystem:
                 org_pk = cluster.master_pk
                 for share_sem in cluster.sems:
                     manager.register_sem(share_sem)
-            cloud = CloudServer(params, org_pk=org_pk, verify_on_upload=verify_on_upload, rng=rng)
-            verifier = PublicVerifier(params, org_pk, rng=rng)
-        return cls(
+            pool = None
+            if workers > 1:
+                from repro.core.parallel import WorkerPool
+
+                pool = WorkerPool(
+                    params,
+                    workers,
+                    table_cache_dir=table_cache_dir,
+                    tracer=obs.tracer,
+                )
+            cloud = CloudServer(
+                params, org_pk=org_pk, verify_on_upload=verify_on_upload,
+                rng=rng, pool=pool,
+            )
+            verifier = PublicVerifier(params, org_pk, rng=rng, pool=pool)
+        system = cls(
             params=params,
             manager=manager,
             cloud=cloud,
@@ -119,6 +157,9 @@ class SemPdpSystem:
             rng=rng,
             obs=obs,
         )
+        system.pool = pool
+        system.table_cache_dir = table_cache_dir
+        return system
 
     @property
     def org_pk(self):
@@ -130,9 +171,21 @@ class SemPdpSystem:
 
     # -- membership -----------------------------------------------------------
     def enroll(self, member_id: str) -> DataOwner:
-        """Enroll a member and hand back a ready-to-use :class:`DataOwner`."""
+        """Enroll a member and hand back a ready-to-use :class:`DataOwner`.
+
+        The owner shares the system's worker pool and fixed-base table
+        cache, so uploads parallelize whenever the system was created with
+        ``workers > 1``.
+        """
         credential = self.manager.join(member_id)
-        return DataOwner(self.params, self.org_pk, credential=credential, rng=self._rng)
+        return DataOwner(
+            self.params,
+            self.org_pk,
+            credential=credential,
+            rng=self._rng,
+            table_cache_dir=self.table_cache_dir,
+            pool=self.pool,
+        )
 
     def revoke(self, member_id: str) -> None:
         """Instant revocation; stored signatures remain valid."""

@@ -14,6 +14,14 @@ double-and-add steps, at 40 x 15 stored points per base.
 
 Works on any :class:`~repro.pairing.interface.GroupElement`; see the
 ``test_ablation_fixed_base`` benchmark for the measured speedup.
+
+>>> import random
+>>> from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+>>> group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS["toy-64"])
+>>> base = group.random_g1(random.Random(2))
+>>> table = FixedBaseTable(base, exponent_bits=64)
+>>> table.power(12345) == base ** 12345
+True
 """
 
 from __future__ import annotations
@@ -49,6 +57,42 @@ class FixedBaseTable:
             for _ in range(window):
                 running = running * running
         self._table = table
+
+    @classmethod
+    def from_rows(
+        cls,
+        base: GroupElement,
+        exponent_bits: int,
+        window: int,
+        rows: list[list[GroupElement | None]],
+    ) -> "FixedBaseTable":
+        """Assemble a table from already-computed rows.
+
+        Used by the precompute cache (:mod:`repro.ec.precompute`) and the
+        batch-affine builder, which produce the rows without paying the
+        per-entry group multiplications of ``__init__``.  Each of the
+        ``ceil(exponent_bits / window)`` rows must hold ``2^window`` entries
+        with index ``d`` equal to ``base^(d · 2^(window·j))`` (index 0 is
+        ignored).
+
+        Raises:
+            ValueError: if the row/entry shape doesn't match the geometry.
+        """
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        digits = (exponent_bits + window - 1) // window
+        radix = 1 << window
+        if len(rows) != digits or any(len(row) != radix for row in rows):
+            raise ValueError("row shape does not match exponent_bits/window")
+        table = cls.__new__(cls)
+        table.base = base
+        table.window = window
+        table.digits = digits
+        table._identity = base.group.g1_identity() if base.which == "g1" else (
+            base.group.g2_identity()
+        )
+        table._table = rows
+        return table
 
     def power(self, exponent: int) -> GroupElement:
         """base^exponent using only table lookups and multiplications."""

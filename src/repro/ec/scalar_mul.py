@@ -2,14 +2,38 @@
 
 The PDP response computation (``sigma = prod sigma_i^beta_i``) and the
 verification equation (``H(id_i)^beta_i`` products, ``u_l^alpha_l`` products)
-are multi-scalar multiplications; Straus/Pippenger-style interleaving makes
-them several times faster than naive per-term exponentiation and is one of
-the ablations called out in DESIGN.md.
+are multi-scalar multiplications (MSMs).  Three algorithms live here, from
+slowest to fastest at scale:
+
+* :func:`multi_scalar_mul_naive` — per-term double-and-add; the correctness
+  reference the other two are property-tested against.
+* :func:`multi_scalar_mul_straus` — Straus interleaving: one shared doubling
+  chain for all terms.  Wins for a handful up to a few dozen terms.
+* :func:`multi_scalar_mul_pippenger` — Pippenger bucketing: per window of
+  ``c`` scalar bits, terms are thrown into ``2^c - 1`` buckets and collapsed
+  with a running suffix sum, so the add count is ``O(bits/c · (n + 2^c))``
+  instead of Straus's ``O(bits · n / 2)``.  Wins from tens of terms and
+  dominates at the paper's audit scale (c = 460 challenged blocks, and
+  thousands of terms for multi-file batch audits).
+
+:func:`multi_scalar_mul` dispatches between Straus and Pippenger at the
+crossover point selected at import time from the operation-count model
+(:func:`estimate_crossover`); :func:`set_pippenger_crossover` installs a
+measured value (see :func:`repro.analysis.calibrate.calibrate_msm_crossover`).
+
+All three operate on affine :class:`~repro.ec.curve.CurvePoint` values over
+any field.  The pairing backends run the same algorithms over raw Jacobian
+coordinates (:mod:`repro.ec.jacobian`) through the shared cores below, which
+are parameterized only by the group law.
 """
 
 from __future__ import annotations
 
 from repro.ec.curve import CurvePoint
+
+#: Nominal scalar size used for the import-time crossover selection; the
+#: paper's group order is 160 bits (Section VI-A).
+DEFAULT_SCALAR_BITS = 160
 
 
 def _wnaf_digits(scalar: int, width: int) -> list[int]:
@@ -31,7 +55,17 @@ def _wnaf_digits(scalar: int, width: int) -> list[int]:
 
 
 def scalar_mul_wnaf(point: CurvePoint, scalar: int, width: int = 4) -> CurvePoint:
-    """w-NAF scalar multiplication (fewer additions than double-and-add)."""
+    """w-NAF scalar multiplication (fewer additions than double-and-add).
+
+    Args:
+        point: the base point.
+        scalar: any integer (negatives handled by negating the point).
+        width: NAF window width; ``2^(width-2)`` odd multiples are
+            precomputed.
+
+    Returns:
+        ``scalar * point``.
+    """
     if scalar == 0:
         return point.curve.infinity()
     if scalar < 0:
@@ -52,30 +86,217 @@ def scalar_mul_wnaf(point: CurvePoint, scalar: int, width: int = 4) -> CurvePoin
     return result
 
 
-def multi_scalar_mul(points: list[CurvePoint], scalars: list[int]) -> CurvePoint:
-    """Simultaneous multi-scalar multiplication (Straus interleaving).
+# ---------------------------------------------------------------------------
+# Shared algorithm cores, parameterized by the group law
+# ---------------------------------------------------------------------------
+#
+# ``terms`` is a list of (point, scalar) with every scalar >= 0; ``identity``
+# is the neutral element; ``add``/``double`` implement the group law and must
+# accept the identity.  The raw Jacobian backend reuses these cores with
+# tuple points (repro.ec.jacobian), so the algorithms are written once.
 
-    Computes ``sum(scalars[i] * points[i])`` sharing the doubling chain
-    across all terms.  For the term counts used in PDP challenges (hundreds)
-    this is the right algorithm; Pippenger bucketing only wins for thousands
-    of terms.
+def _straus_core(terms, identity, add, double):
+    max_bits = max((s.bit_length() for _, s in terms), default=0)
+    result = identity
+    for bit in range(max_bits - 1, -1, -1):
+        result = double(result)
+        for pt, sc in terms:
+            if (sc >> bit) & 1:
+                result = add(result, pt)
+    return result
+
+
+def _pippenger_core(terms, identity, add, double, window, collapse=None):
+    max_bits = max((s.bit_length() for _, s in terms), default=0)
+    result = identity
+    if max_bits == 0:
+        return result
+    n_windows = (max_bits + window - 1) // window
+    mask = (1 << window) - 1
+    for w_idx in range(n_windows - 1, -1, -1):
+        if result is not identity:
+            for _ in range(window):
+                result = double(result)
+        shift = w_idx * window
+        buckets: list = [None] * mask
+        for pt, sc in terms:
+            digit = (sc >> shift) & mask
+            if digit:
+                held = buckets[digit - 1]
+                buckets[digit - 1] = pt if held is None else add(held, pt)
+        if collapse is not None:
+            buckets = collapse(buckets)
+        # Suffix-sum collapse: sum_d d * bucket[d] with 2(2^c - 1) adds.
+        running = None
+        acc = None
+        for held in reversed(buckets):
+            if held is not None:
+                running = held if running is None else add(running, held)
+            if running is not None:
+                acc = running if acc is None else add(acc, running)
+        if acc is not None:
+            result = acc if result is identity else add(result, acc)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Cost model and crossover selection
+# ---------------------------------------------------------------------------
+
+def pippenger_window(n_terms: int, bits: int = DEFAULT_SCALAR_BITS) -> int:
+    """The bucket width minimizing the modeled group-op count for ``n_terms``.
+
+    Per window of width ``c`` Pippenger pays ~``n`` bucket insertions plus
+    ``2·(2^c − 1)`` collapse additions; there are ``ceil(bits/c)`` windows
+    plus the shared ``bits`` doublings.  The optimum grows like
+    ``log2(n) − log2(log2(n))``; this just evaluates the model directly.
+    """
+    if n_terms < 1:
+        return 1
+    best_c, best_cost = 1, None
+    for c in range(1, max(2, bits.bit_length() + 8)):
+        cost = _pippenger_op_estimate(n_terms, bits, c)
+        if best_cost is None or cost < best_cost:
+            best_c, best_cost = c, cost
+    return best_c
+
+
+def _pippenger_op_estimate(n_terms: int, bits: int, window: int) -> int:
+    windows = (bits + window - 1) // window
+    return windows * (n_terms + 2 * ((1 << window) - 1)) + bits
+
+
+def _straus_op_estimate(n_terms: int, bits: int) -> int:
+    # bits doublings + one add per set scalar bit (density 1/2 on average).
+    return bits + (n_terms * bits) // 2
+
+
+def estimate_crossover(bits: int = DEFAULT_SCALAR_BITS) -> int:
+    """Smallest term count where the Pippenger op model beats Straus.
+
+    This is the import-time default for :func:`multi_scalar_mul`'s dispatch;
+    :func:`repro.analysis.calibrate.calibrate_msm_crossover` replaces it
+    with a measured value for one concrete curve when asked.
+    """
+    for n in range(2, 4097):
+        best = min(
+            _pippenger_op_estimate(n, bits, c) for c in range(1, 16)
+        )
+        if best < _straus_op_estimate(n, bits):
+            return n
+    return 4097
+
+
+#: Term count at or above which :func:`multi_scalar_mul` picks Pippenger.
+_PIPPENGER_CROSSOVER = estimate_crossover()
+
+
+def pippenger_crossover() -> int:
+    """The currently installed Straus→Pippenger dispatch threshold."""
+    return _PIPPENGER_CROSSOVER
+
+
+def set_pippenger_crossover(n_terms: int) -> int:
+    """Install a new dispatch threshold (returns the previous one).
+
+    Raises:
+        ValueError: if ``n_terms`` is not positive.
+    """
+    global _PIPPENGER_CROSSOVER
+    if n_terms < 1:
+        raise ValueError("crossover must be a positive term count")
+    previous = _PIPPENGER_CROSSOVER
+    _PIPPENGER_CROSSOVER = n_terms
+    return previous
+
+
+# ---------------------------------------------------------------------------
+# Public CurvePoint API
+# ---------------------------------------------------------------------------
+
+def _prepare_terms(points: list[CurvePoint], scalars: list[int]):
+    """Validate inputs and fold negative scalars into negated points."""
+    if len(points) != len(scalars):
+        raise ValueError("points and scalars must have equal length")
+    if not points:
+        raise ValueError("need at least one term")
+    return [
+        (-pt, -sc) if sc < 0 else (pt, sc) for pt, sc in zip(points, scalars)
+    ]
+
+
+def multi_scalar_mul_naive(points: list[CurvePoint], scalars: list[int]) -> CurvePoint:
+    """``sum(scalars[i] * points[i])`` by independent double-and-add.
+
+    The correctness reference the fast algorithms are tested against; never
+    the right choice for performance.
+    """
+    terms = _prepare_terms(points, scalars)
+    result = points[0].curve.infinity()
+    for pt, sc in terms:
+        result = result + sc * pt
+    return result
+
+
+def multi_scalar_mul_straus(points: list[CurvePoint], scalars: list[int]) -> CurvePoint:
+    """Simultaneous MSM sharing one doubling chain (Straus interleaving).
+
+    The right algorithm for a handful up to a few dozen terms; above the
+    :func:`pippenger_crossover` threshold bucketing wins.
+    """
+    terms = _prepare_terms(points, scalars)
+    curve = points[0].curve
+    return _straus_core(
+        terms, curve.infinity(), lambda a, b: a + b, lambda a: a.double()
+    )
+
+
+def multi_scalar_mul_pippenger(
+    points: list[CurvePoint], scalars: list[int], window: int | None = None
+) -> CurvePoint:
+    """Pippenger bucket MSM.
+
+    Args:
+        points: the base points (duplicates and identity allowed).
+        scalars: one integer per point (zeros and negatives allowed).
+        window: bucket width in scalar bits; chosen by
+            :func:`pippenger_window` when omitted.
+
+    Returns:
+        ``sum(scalars[i] * points[i])``.
+    """
+    terms = _prepare_terms(points, scalars)
+    curve = points[0].curve
+    max_bits = max((s.bit_length() for _, s in terms), default=0)
+    if window is None:
+        window = pippenger_window(len(terms), max(max_bits, 1))
+    if window < 1:
+        raise ValueError("window must be >= 1")
+    return _pippenger_core(
+        terms, curve.infinity(), lambda a, b: a + b, lambda a: a.double(), window
+    )
+
+
+def multi_scalar_mul(points: list[CurvePoint], scalars: list[int]) -> CurvePoint:
+    """Simultaneous multi-scalar multiplication with automatic dispatch.
+
+    Computes ``sum(scalars[i] * points[i])``, choosing Straus interleaving
+    below :func:`pippenger_crossover` terms and Pippenger bucketing at or
+    above it.  All strategies agree exactly on every input (see
+    ``tests/ec/test_msm_property.py``).
+
+    >>> from repro.mathkit.field import PrimeField
+    >>> from repro.ec.curve import EllipticCurve
+    >>> F = PrimeField(1000003)
+    >>> curve = EllipticCurve(F(2), F(3), F(0))  # y^2 = x^3 + 2x + 3
+    >>> p, q = curve.point(F(1), F(586770)), curve.point(F(3), F(6))
+    >>> multi_scalar_mul([p, q], [5, -2]) == 5 * p + (-2) * q
+    True
     """
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have equal length")
     if not points:
         raise ValueError("need at least one term")
-    curve = points[0].curve
-    max_bits = max((s.bit_length() for s in scalars), default=0)
-    if max_bits == 0:
-        return curve.infinity()
-    # Handle negatives by negating points.
-    prepared = [
-        (-pt, -sc) if sc < 0 else (pt, sc) for pt, sc in zip(points, scalars)
-    ]
-    result = curve.infinity()
-    for bit in range(max_bits - 1, -1, -1):
-        result = result.double()
-        for pt, sc in prepared:
-            if (sc >> bit) & 1:
-                result = result + pt
-    return result
+    if len(points) >= _PIPPENGER_CROSSOVER:
+        return multi_scalar_mul_pippenger(points, scalars)
+    return multi_scalar_mul_straus(points, scalars)

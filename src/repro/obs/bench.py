@@ -190,7 +190,7 @@ def _dense(params, n_blocks: int) -> bytes:
     return bytes((i % 255) + 1 for i in range(params.block_bytes() * n_blocks - 8))
 
 
-def _suite_table1(repeats: int) -> tuple[list[dict], dict]:
+def _suite_table1(repeats: int, options: dict) -> tuple[list[dict], dict]:
     """The four Table I cells at toy scale (k=6, n=8 dense blocks)."""
     import random
 
@@ -230,8 +230,18 @@ def _suite_table1(repeats: int) -> tuple[list[dict], dict]:
     return phases, {"param_set": "toy-64", "k": 6, "n_blocks": 8}
 
 
-def _suite_audit(repeats: int) -> tuple[list[dict], dict]:
-    """ProofGen + ProofVerify over a c=4 challenge (k=4, n=8 blocks)."""
+def _suite_audit(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """ProofGen + ProofVerify over a c=4 challenge (k=4, n=8 blocks).
+
+    Options (``repro-pdp bench run --suite audit ...``):
+
+    * ``param_set`` — curve parameters (default ``toy-64``);
+    * ``challenged`` — challenge size c (default 4);
+    * ``n_blocks`` — blocks to sign (default 8, raised to c if below it);
+    * ``workers`` — fan proof generation and verification across N worker
+      processes.  Op counts are invariant under the worker count by
+      construction, so the same baseline gates every ``--workers`` value.
+    """
     import random
 
     from repro.core.cloud import CloudServer
@@ -239,35 +249,55 @@ def _suite_audit(repeats: int) -> tuple[list[dict], dict]:
     from repro.core.params import setup
     from repro.core.sem import SecurityMediator
     from repro.core.verifier import PublicVerifier
+    from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
 
-    group = _toy_group()
+    param_set = str(options.get("param_set") or "toy-64")
+    challenged = int(options.get("challenged") or 4)
+    n_blocks = max(int(options.get("n_blocks") or 8), challenged)
+    workers = int(options.get("workers") or 1)
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[param_set])
     params = setup(group, k=4)
     rng = random.Random(23)
     sem = SecurityMediator(group, rng=rng, require_membership=False)
     owner = DataOwner(params, sem.pk, rng=rng)
-    signed = owner.sign_file(_dense(params, 8), b"bench", sem, batch=True)
-    cloud = CloudServer(params, org_pk=sem.pk)
-    cloud.store(signed)
-    verifier = PublicVerifier(params, sem.pk)
-    challenge = verifier.generate_challenge(b"bench", len(signed.blocks), sample_size=4)
-    wall_gen, ops_gen = measure_ops_and_wall(
-        group, lambda: cloud.generate_proof(b"bench", challenge), repeats
-    )
-    proof = cloud.generate_proof(b"bench", challenge)
-    assert verifier.verify(challenge, proof), "audit suite produced a failing proof"
-    wall_ver, ops_ver = measure_ops_and_wall(
-        group, lambda: verifier.verify(challenge, proof), repeats
-    )
+    signed = owner.sign_file(_dense(params, n_blocks), b"bench", sem, batch=True)
+    pool = None
+    if workers > 1:
+        from repro.core.parallel import WorkerPool
+
+        pool = WorkerPool(params, workers)
+    try:
+        cloud = CloudServer(params, org_pk=sem.pk, pool=pool)
+        cloud.store(signed)
+        verifier = PublicVerifier(params, sem.pk, pool=pool)
+        challenge = verifier.generate_challenge(
+            b"bench", len(signed.blocks), sample_size=challenged
+        )
+        # Warm up outside the timed region (fork + per-worker init is a
+        # one-time cost; the phases measure steady-state throughput) and
+        # check the proof verifies before timing anything.
+        proof = cloud.generate_proof(b"bench", challenge)
+        assert verifier.verify(challenge, proof), "audit suite produced a failing proof"
+        wall_gen, ops_gen = measure_ops_and_wall(
+            group, lambda: cloud.generate_proof(b"bench", challenge), repeats
+        )
+        wall_ver, ops_ver = measure_ops_and_wall(
+            group, lambda: verifier.verify(challenge, proof), repeats
+        )
+    finally:
+        if pool is not None:
+            pool.close()
     phases = [
         make_phase("proofgen", wall_gen, ops_gen, repeats=repeats,
                    scalars={"challenged": len(challenge)}),
         make_phase("proofverify", wall_ver, ops_ver, repeats=repeats,
                    scalars={"challenged": len(challenge)}),
     ]
-    return phases, {"param_set": "toy-64", "k": 4, "n_blocks": 8, "challenged": 4}
+    return phases, {"param_set": param_set, "k": 4, "n_blocks": n_blocks,
+                    "challenged": challenged, "workers": workers}
 
 
-def _suite_service(repeats: int) -> tuple[list[dict], dict]:
+def _suite_service(repeats: int, options: dict) -> tuple[list[dict], dict]:
     """Batched vs sequential signing pipeline at batch size 64 (k=4)."""
     import random
 
@@ -307,7 +337,7 @@ def _suite_service(repeats: int) -> tuple[list[dict], dict]:
     return phases, {"param_set": "toy-64", "k": 4, "batch": 64}
 
 
-def _suite_chaos(repeats: int) -> tuple[list[dict], dict]:
+def _suite_chaos(repeats: int, options: dict) -> tuple[list[dict], dict]:
     """Failover round over a clean (w=3, t=2) cluster vs one byzantine SEM.
 
     The byzantine phase pays the full detection-and-recovery path: the bad
@@ -360,24 +390,79 @@ def _suite_chaos(repeats: int) -> tuple[list[dict], dict]:
                     "n_blinded": n, "byzantine": 1}
 
 
-#: suite name -> builder(repeats) -> (phases, config)
+def _suite_msm(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """Straus vs Pippenger head-to-head at small and audit-scale term counts.
+
+    One phase per (algorithm, size) cell; the Pippenger phases carry a
+    ``speedup_x`` scalar relative to Straus at the same size.  Both
+    algorithms count one ``exp_g1_msm`` per nonzero term, so their op
+    tallies are identical by construction and the regression gate only
+    watches the wall-clock trend.
+
+    Options: ``param_set`` (default ``toy-64``), ``msm_terms`` (a single
+    extra size to probe on top of the defaults).
+    """
+    import random
+
+    from repro.ec import scalar_mul
+    from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+    param_set = str(options.get("param_set") or "toy-64")
+    sizes = [64, 460, 1000]
+    extra = options.get("msm_terms")
+    if extra and int(extra) not in sizes:
+        sizes.append(int(extra))
+    sizes.sort()
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[param_set])
+    rng = random.Random(47)
+    points = [group.random_g1(rng) for _ in range(max(sizes))]
+    scalars = [group.random_nonzero_scalar(rng) for _ in range(max(sizes))]
+
+    def forced(crossover, pts, scs):
+        def fn():
+            previous = scalar_mul.set_pippenger_crossover(crossover)
+            try:
+                group.multi_exp(pts, scs)
+            finally:
+                scalar_mul.set_pippenger_crossover(previous)
+        return fn
+
+    phases = []
+    for n in sizes:
+        pts, scs = points[:n], scalars[:n]
+        wall_s, ops_s = measure_ops_and_wall(group, forced(n + 1, pts, scs), repeats)
+        wall_p, ops_p = measure_ops_and_wall(group, forced(1, pts, scs), repeats)
+        phases.append(make_phase(f"straus.{n}", wall_s, ops_s, repeats=repeats,
+                                 scalars={"terms": n}))
+        phases.append(make_phase(f"pippenger.{n}", wall_p, ops_p, repeats=repeats,
+                                 scalars={"terms": n, "speedup_x": wall_s / wall_p}))
+    return phases, {"param_set": param_set, "sizes": sizes,
+                    "crossover": scalar_mul.pippenger_crossover()}
+
+
+#: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
     "audit": _suite_audit,
     "service": _suite_service,
     "chaos": _suite_chaos,
+    "msm": _suite_msm,
 }
 
 
-def run_suite(suite: str, repeats: int = 3) -> dict:
-    """Run one registered suite and return its validated run document."""
+def run_suite(suite: str, repeats: int = 3, options: dict | None = None) -> dict:
+    """Run one registered suite and return its validated run document.
+
+    ``options`` tunes suites that scale (see each builder's docstring);
+    unknown keys are ignored by suites that don't use them.
+    """
     try:
         builder = SUITES[suite]
     except KeyError:
         raise BenchSchemaError(
             f"unknown suite {suite!r}; choose from {sorted(SUITES)}"
         ) from None
-    phases, config = builder(repeats)
+    phases, config = builder(repeats, dict(options or {}))
     config["repeats"] = repeats
     return validate_run(make_run(suite, phases, config=config))
 
@@ -412,7 +497,9 @@ def load_trajectory(path) -> dict | None:
 
 
 def _write_trajectory(path, doc: dict) -> None:
-    Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def append_run(path, run: dict, set_baseline: bool = False) -> dict:

@@ -13,12 +13,13 @@ Three ways out of the observability layer:
 
 The cost table counts *model-equivalent* exponentiations:
 
-    Exp = exp_g1 + exp_g1_fixed_base + exp_g1_skipped
+    Exp = exp_g1 + exp_g1_fixed_base + exp_g1_msm + exp_g1_skipped
 
 because the paper's formulas count one Exp per element regardless of
-whether the implementation served it from a fixed-base window table or
-skipped it for a zero exponent — both are recorded separately by the
-counter so the reconciliation is exact, not approximate.
+whether the implementation served it from a fixed-base window table,
+folded it into a multi-scalar multiplication, or skipped it for a zero
+exponent — each is recorded separately by the counter so the
+reconciliation is exact, not approximate.
 """
 
 from __future__ import annotations
@@ -96,6 +97,7 @@ def model_equivalent_exp(ops: dict) -> int:
     return (
         ops.get("exp_g1", 0)
         + ops.get("exp_g1_fixed_base", 0)
+        + ops.get("exp_g1_msm", 0)
         + ops.get("exp_g1_skipped", 0)
     )
 

@@ -28,9 +28,13 @@ from repro.obs.tracer import OP_KEYS, Span
 #: Operation-counter keys → the calibrated primitive that explains them.
 #: ``exp_g1_skipped`` costs nothing by construction; ``exp_g2`` runs on the
 #: same curve in the symmetric type-A setting, so it shares the G1 unit.
+#: ``exp_g1_msm`` is the amortized per-term cost inside a multi-scalar
+#: multiplication — far below a standalone exponentiation once Straus or
+#: Pippenger shares the doubling ladder across terms.
 _PRIMITIVE_FOR_OP = {
     "exp_g1": "exp_g1",
     "exp_g1_fixed_base": "exp_g1_fixed_base",
+    "exp_g1_msm": "exp_g1_msm",
     "exp_g2": "exp_g1",
     "pairings": "pairing",
     "hash_to_g1": "hash_to_g1",
@@ -47,6 +51,7 @@ class PrimitiveCosts:
     pairing: float
     hash_to_g1: float
     mul_g1: float
+    exp_g1_msm: float = 0.0
 
     def unit_cost(self, op_key: str) -> float:
         primitive = _PRIMITIVE_FOR_OP.get(op_key)
@@ -56,6 +61,7 @@ class PrimitiveCosts:
         return {
             "exp_g1": self.exp_g1,
             "exp_g1_fixed_base": self.exp_g1_fixed_base,
+            "exp_g1_msm": self.exp_g1_msm,
             "pairing": self.pairing,
             "hash_to_g1": self.hash_to_g1,
             "mul_g1": self.mul_g1,
@@ -99,6 +105,11 @@ def calibrate_primitive_costs(group, repeats: int = 8, rng=None) -> PrimitiveCos
 
         hash_g1 = _time_loop(_hash, repeats)
         mul_g1 = _time_loop(lambda: g * h, repeats * 10)
+        msm_points = [g, h] * 16
+        msm_scalars = [group.random_nonzero_scalar(rng) for _ in msm_points]
+        exp_msm = _time_loop(
+            lambda: group.multi_exp(msm_points, msm_scalars), max(repeats // 4, 1)
+        ) / len(msm_points)
     finally:
         group.counter = previous
     return PrimitiveCosts(
@@ -107,6 +118,7 @@ def calibrate_primitive_costs(group, repeats: int = 8, rng=None) -> PrimitiveCos
         pairing=pairing,
         hash_to_g1=hash_g1,
         mul_g1=mul_g1,
+        exp_g1_msm=exp_msm,
     )
 
 

@@ -29,6 +29,7 @@ from repro.pairing.interface import OperationCounter
 OP_KEYS = (
     "exp_g1",
     "exp_g1_fixed_base",
+    "exp_g1_msm",
     "exp_g1_skipped",
     "exp_g2",
     "exp_gt",

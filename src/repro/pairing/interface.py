@@ -21,18 +21,22 @@ class OperationCounter:
     """Tallies of the operations the paper's Table I counts.
 
     ``exp_g1`` counts exponentiations executed through the generic
-    double-and-add path.  Two sibling tallies keep the measurement
+    double-and-add path.  Three sibling tallies keep the measurement
     reconcilable with the paper's closed forms, which count one Exp per
     element unconditionally:
 
     * ``exp_g1_fixed_base`` — exponentiations served from a precomputed
       window table (:mod:`repro.ec.fixed_base`), which the model still
       counts as one Exp each;
+    * ``exp_g1_msm`` — exponentiations folded into a multi-scalar
+      multiplication (:meth:`PairingGroup.multi_exp`), one per nonzero
+      term: the MSM executes far fewer group operations than independent
+      exponentiations would, but the model still counts one Exp per term;
     * ``exp_g1_skipped`` — exponentiations the implementation elided for a
       zero exponent (e.g. zero-padded block elements), which the model
       also counts.
 
-    The model-equivalent total is the sum of all three; the observability
+    The model-equivalent total is the sum of all four; the observability
     cost table uses it to check measured runs against Table I *exactly*.
     """
 
@@ -43,6 +47,7 @@ class OperationCounter:
     mul_g1: int = 0
     hash_to_g1: int = 0
     exp_g1_fixed_base: int = 0
+    exp_g1_msm: int = 0
     exp_g1_skipped: int = 0
     labels: dict[str, int] = field(default_factory=dict)
 
@@ -54,6 +59,7 @@ class OperationCounter:
         self.mul_g1 = 0
         self.hash_to_g1 = 0
         self.exp_g1_fixed_base = 0
+        self.exp_g1_msm = 0
         self.exp_g1_skipped = 0
         self.labels.clear()
 
@@ -66,8 +72,24 @@ class OperationCounter:
             "mul_g1": self.mul_g1,
             "hash_to_g1": self.hash_to_g1,
             "exp_g1_fixed_base": self.exp_g1_fixed_base,
+            "exp_g1_msm": self.exp_g1_msm,
             "exp_g1_skipped": self.exp_g1_skipped,
         }
+
+    def merge(self, delta: dict[str, int]) -> None:
+        """Add a snapshot/diff of another counter into this one.
+
+        The parallel fan-out (:mod:`repro.core.parallel`) hands each worker
+        a fresh counter and merges the per-worker deltas back here, so a
+        chunked run tallies exactly what the serial run would.
+
+        Args:
+            delta: op-name → count mapping, as produced by
+                :meth:`snapshot` or :meth:`diff`.  Unknown keys raise
+                ``AttributeError`` rather than being silently dropped.
+        """
+        for key, value in delta.items():
+            setattr(self, key, getattr(self, key) + value)
 
     def diff(self, before: dict[str, int]) -> dict[str, int]:
         """Nonzero deltas of the current tallies against a prior snapshot."""
@@ -238,6 +260,58 @@ class PairingGroup(ABC):
             result = result * self.pair(p, q)
         return result
 
+    def multi_exp(
+        self, elements: list[GroupElement], exponents: list[int]
+    ) -> GroupElement:
+        """The product  ``prod elements[i] ** exponents[i]``  in one MSM.
+
+        This is the group-level entry point for every aggregate the scheme
+        computes — Eq. 7's ``∏ σ̃_i^{γ_i}``, the proof's ``∏ σ_i^{β_i}``,
+        and Eq. 6's ``∏ H(id_i)^{β_i} · ∏ u_l^{α_l}`` — replacing per-term
+        ``**``/``*`` loops with a Straus- or Pippenger-backed multi-scalar
+        multiplication (:mod:`repro.ec.scalar_mul`).
+
+        Op-count cost: one ``exp_g1_msm`` per nonzero exponent and one
+        ``exp_g1_skipped`` per zero exponent (for G1 inputs), so the
+        model-equivalent Exp total is identical to exponentiating each term
+        separately; the internal merge additions are not tallied as
+        ``mul_g1``.  Counting is per-term, which makes the tallies invariant
+        under any chunking of the input — the parallel fan-out relies on
+        this.
+
+        Args:
+            elements: group elements, all from the same source group.
+            exponents: one integer per element (reduced mod the group
+                order; zeros and negatives fine).
+
+        Returns:
+            The aggregated :class:`GroupElement`.
+
+        Raises:
+            ValueError: on empty input, length mismatch, or elements drawn
+                from different source groups.
+        """
+        if len(elements) != len(exponents):
+            raise ValueError("elements and exponents must have equal length")
+        if not elements:
+            raise ValueError("need at least one term")
+        which = elements[0].which
+        if any(el.which != which for el in elements):
+            raise ValueError("multi_exp terms must share one source group")
+        reduced = [e % self.order for e in exponents]
+        counter = self.counter
+        if counter is not None:
+            if which == "g1":
+                for e in reduced:
+                    if e:
+                        counter.exp_g1_msm += 1
+                    else:
+                        counter.exp_g1_skipped += 1
+            else:
+                counter.exp_g2 += len(reduced)
+        point = self._msm([el.point for el in elements], reduced, which)
+        return GroupElement(self, point, which)
+
     @abstractmethod
     def g1(self) -> GroupElement:
         """A fixed generator of G1."""
@@ -274,6 +348,22 @@ class PairingGroup(ABC):
         return (self.order.bit_length() + 7) // 8
 
     # -- backend primitives -------------------------------------------------
+    def _msm(self, points, exponents, which: str):
+        """Raw multi-scalar multiplication hook behind :meth:`multi_exp`.
+
+        The default folds per-term ``_scalar_mul`` results with ``_add`` and
+        works for any backend; fast backends override it with a shared-chain
+        MSM (see :meth:`repro.pairing.type_a.TypeAPairingGroup._msm`).
+        Implementations must not touch the operation counter — the caller
+        accounts per-term.
+        """
+        acc = self._identity(which)
+        for pt, e in zip(points, exponents):
+            if e == 0:
+                continue
+            acc = self._add(acc, self._scalar_mul(pt, e, which), which)
+        return acc
+
     @abstractmethod
     def _add(self, a, b, which: str): ...
 

@@ -87,6 +87,11 @@ class SignRequest:
 
         Raises:
             RequestValidationError: on any contract violation.
+
+        >>> SignRequest(request_id=1, owner="alice").validate(None)
+        Traceback (most recent call last):
+            ...
+        repro.service.api.RequestValidationError: a request carries either blocks or blinded elements, not both/neither
         """
         if bool(self.blocks) == bool(self.blinded):
             raise RequestValidationError(

@@ -1,0 +1,131 @@
+"""The documentation stays true: CLI invocations parse, links resolve.
+
+Three checks keep the prose and the code from drifting apart:
+
+* every ``repro-pdp ...`` command shown in a fenced code block of the
+  documentation parses against the real argparse tree;
+* every relative markdown link (and ``#anchor``) in README/DESIGN/
+  EXPERIMENTS/docs/*.md points at a file (and heading) that exists;
+* the bench ``--suite`` help text names exactly the registered suites.
+"""
+
+import re
+import shlex
+from pathlib import Path
+
+import pytest
+
+from repro.cli import build_parser
+from repro.obs.bench import SUITES
+
+REPO = Path(__file__).resolve().parents[2]
+DOC_FILES = sorted(
+    [REPO / "README.md", REPO / "DESIGN.md", REPO / "EXPERIMENTS.md"]
+    + list((REPO / "docs").glob("*.md"))
+)
+
+
+def _fenced_blocks(text: str) -> list[str]:
+    return re.findall(r"```[a-z]*\n(.*?)```", text, flags=re.DOTALL)
+
+
+def _documented_commands() -> list[tuple[str, str]]:
+    """Every ``repro-pdp ...`` line in a fenced block, per source file."""
+    commands = []
+    for path in DOC_FILES:
+        for block in _fenced_blocks(path.read_text()):
+            # Join backslash line continuations before scanning.
+            joined = re.sub(r"\\\n\s*", " ", block)
+            for line in joined.splitlines():
+                line = line.strip()
+                if not line.startswith("repro-pdp"):
+                    continue
+                # Keep only the repro-pdp command of a shell pipeline.
+                line = re.split(r"\s(?:&&|\|\||\|)\s", line)[0].strip()
+                commands.append((path.name, line))
+    return commands
+
+
+DOCUMENTED = _documented_commands()
+
+
+def test_docs_actually_document_the_cli():
+    assert len(DOCUMENTED) >= 8, DOCUMENTED
+
+
+@pytest.mark.parametrize(
+    "source,command", DOCUMENTED, ids=[f"{s}:{c[:60]}" for s, c in DOCUMENTED]
+)
+def test_documented_invocation_parses(source, command):
+    argv = shlex.split(command, comments=True)[1:]
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:  # argparse reports errors via sys.exit
+        pytest.fail(f"{source}: `{command}` does not parse (exit {exc.code})")
+    assert callable(args.fn)
+
+
+def test_bench_suite_help_matches_registry():
+    parser = build_parser()
+    # Find the bench run --suite help string through the subparser tree.
+    bench = next(
+        a for a in parser._subparsers._group_actions[0].choices.items()
+        if a[0] == "bench"
+    )[1]
+    run = bench._subparsers._group_actions[0].choices["run"]
+    suite_action = next(a for a in run._actions if "--suite" in a.option_strings)
+    documented = set(re.findall(r"[a-z0-9_]+", suite_action.help)) - {
+        "suite", "name", "or", "all",
+    }
+    assert documented == set(SUITES), (
+        f"--suite help names {sorted(documented)}, registry has {sorted(SUITES)}"
+    )
+
+
+def _github_anchor(heading: str) -> str:
+    """GitHub's heading → anchor slug (lowercase, punctuation dropped)."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())
+    heading = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", heading)  # linked headings
+    heading = heading.lower()
+    heading = re.sub(r"[^\w\- ]", "", heading, flags=re.UNICODE)
+    return heading.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set:
+    anchors = set()
+    in_fence = False
+    for line in path.read_text().splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+        elif not in_fence and re.match(r"#{1,6}\s", line):
+            anchors.add(_github_anchor(line.lstrip("#")))
+    return anchors
+
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+@pytest.mark.parametrize("path", DOC_FILES, ids=[p.name for p in DOC_FILES])
+def test_relative_links_resolve(path):
+    text = path.read_text()
+    broken = []
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve() if file_part else path
+        if not dest.exists():
+            broken.append(f"{target}: {file_part} does not exist")
+            continue
+        if anchor and dest.suffix == ".md" and anchor not in _anchors(dest):
+            broken.append(f"{target}: no heading for #{anchor} in {dest.name}")
+    assert not broken, f"{path.name}: " + "; ".join(broken)
+
+
+def test_readme_mentions_every_top_level_command():
+    readme = (REPO / "README.md").read_text()
+    parser = build_parser()
+    commands = parser._subparsers._group_actions[0].choices
+    missing = [name for name in commands if name not in readme]
+    assert not missing, f"README.md never mentions: {missing}"

@@ -1,0 +1,203 @@
+"""Property tests: naive, Straus, and Pippenger MSM agree on every input.
+
+The issue's acceptance bar — all three algorithms agree on negative
+scalars, zero scalars, identity points, a single term, and duplicated
+points — plus the raw-Jacobian backend used by the pairing group and the
+dispatcher's crossover behavior.
+"""
+
+import random
+
+import pytest
+
+from repro.ec.curve import EllipticCurve
+from repro.ec.jacobian import batch_inverse, batch_normalize, jac_msm
+from repro.ec.scalar_mul import (
+    estimate_crossover,
+    multi_scalar_mul,
+    multi_scalar_mul_naive,
+    multi_scalar_mul_pippenger,
+    multi_scalar_mul_straus,
+    pippenger_crossover,
+    pippenger_window,
+    set_pippenger_crossover,
+)
+from repro.mathkit.field import PrimeField
+from repro.mathkit.ntheory import sqrt_mod
+
+Q = 1000003
+F = PrimeField(Q)
+CURVE = EllipticCurve(F(2), F(3), F(0))
+
+
+def _points(count, rng):
+    out = []
+    x = 1
+    while len(out) < count:
+        rhs = (x**3 + 2 * x + 3) % Q
+        y = sqrt_mod(rhs, Q)
+        if y is not None:
+            pt = CURVE.point(F(x), F(y))
+            out.append(-pt if rng.random() < 0.5 else pt)
+        x += 1
+    return out
+
+
+ALGORITHMS = [
+    multi_scalar_mul_naive,
+    multi_scalar_mul_straus,
+    multi_scalar_mul_pippenger,
+    multi_scalar_mul,
+]
+
+
+def _assert_all_agree(points, scalars):
+    expected = multi_scalar_mul_naive(points, scalars)
+    for algorithm in ALGORITHMS[1:]:
+        assert algorithm(points, scalars) == expected, algorithm.__name__
+    return expected
+
+
+class TestAgreement:
+    def test_random_inputs(self):
+        rng = random.Random(7)
+        for n in (1, 2, 3, 7, 20, 40):
+            points = _points(n, rng)
+            scalars = [rng.randrange(-(1 << 64), 1 << 64) for _ in range(n)]
+            _assert_all_agree(points, scalars)
+
+    def test_negative_scalars(self):
+        rng = random.Random(8)
+        points = _points(6, rng)
+        scalars = [-1, -(1 << 40), -3, -7, -255, -(Q + 1)]
+        _assert_all_agree(points, scalars)
+
+    def test_zero_scalars(self):
+        rng = random.Random(9)
+        points = _points(5, rng)
+        assert _assert_all_agree(points, [0] * 5) == CURVE.infinity()
+        mixed = [0, 5, 0, -3, 0]
+        _assert_all_agree(points, mixed)
+
+    def test_identity_points(self):
+        rng = random.Random(10)
+        points = _points(4, rng)
+        points[1] = CURVE.infinity()
+        points[3] = CURVE.infinity()
+        _assert_all_agree(points, [3, 12345, -7, 9])
+
+    def test_single_term(self):
+        rng = random.Random(11)
+        (pt,) = _points(1, rng)
+        for scalar in (0, 1, -1, 2, 1 << 63, -(1 << 63)):
+            _assert_all_agree([pt], [scalar])
+
+    def test_duplicated_points(self):
+        rng = random.Random(12)
+        (pt,) = _points(1, rng)
+        points = [pt] * 8
+        scalars = [rng.randrange(1 << 32) for _ in range(8)]
+        result = _assert_all_agree(points, scalars)
+        assert result == sum(scalars) * pt
+
+    def test_pippenger_explicit_windows(self):
+        rng = random.Random(13)
+        points = _points(10, rng)
+        scalars = [rng.getrandbits(64) for _ in range(10)]
+        expected = multi_scalar_mul_naive(points, scalars)
+        for window in (1, 2, 3, 5, 8):
+            assert multi_scalar_mul_pippenger(points, scalars, window) == expected
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        rng = random.Random(14)
+        points = _points(2, rng)
+        for algorithm in ALGORITHMS:
+            with pytest.raises(ValueError, match="equal length"):
+                algorithm(points, [1])
+
+    def test_empty(self):
+        for algorithm in ALGORITHMS:
+            with pytest.raises(ValueError, match="at least one term"):
+                algorithm([], [])
+
+    def test_bad_window(self):
+        rng = random.Random(15)
+        points = _points(1, rng)
+        with pytest.raises(ValueError, match="window"):
+            multi_scalar_mul_pippenger(points, [3], window=0)
+
+
+class TestCrossoverDispatch:
+    def test_modeled_crossover_is_sane(self):
+        assert 2 <= estimate_crossover() <= 4096
+        assert pippenger_crossover() >= 1
+
+    def test_set_crossover_round_trip(self):
+        previous = set_pippenger_crossover(5)
+        try:
+            assert pippenger_crossover() == 5
+        finally:
+            set_pippenger_crossover(previous)
+        assert pippenger_crossover() == previous
+
+    def test_set_crossover_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            set_pippenger_crossover(0)
+
+    def test_dispatch_agrees_on_both_sides(self):
+        rng = random.Random(16)
+        points = _points(12, rng)
+        scalars = [rng.getrandbits(48) for _ in range(12)]
+        expected = multi_scalar_mul_naive(points, scalars)
+        previous = set_pippenger_crossover(4)  # forces Pippenger at n=12
+        try:
+            assert multi_scalar_mul(points, scalars) == expected
+            set_pippenger_crossover(100)  # forces Straus at n=12
+            assert multi_scalar_mul(points, scalars) == expected
+        finally:
+            set_pippenger_crossover(previous)
+
+    def test_window_model_monotone_floor(self):
+        assert pippenger_window(0) == 1
+        for n in (1, 10, 100, 1000, 10000):
+            assert pippenger_window(n) >= 1
+        assert pippenger_window(10000) >= pippenger_window(10)
+
+
+class TestJacobianBackend:
+    def test_jac_msm_matches_group_exponentiation(self, group):
+        rng = random.Random(17)
+        elements = [group.random_g1(rng) for _ in range(20)]
+        scalars = [rng.randrange(-group.order, group.order) for _ in range(20)]
+        acc = None
+        for el, sc in zip(elements, scalars):
+            term = el ** (sc % group.order)
+            acc = term if acc is None else acc * term
+        result = jac_msm([el.point for el in elements],
+                         [sc % group.order for sc in scalars], group.q)
+        assert result == acc.point
+
+    def test_jac_msm_skips_identity_and_zero(self, group):
+        rng = random.Random(18)
+        el = group.random_g1(rng)
+        assert jac_msm([None, el.point], [5, 0], group.q) is None
+
+    def test_batch_inverse_matches_pow(self, group):
+        rng = random.Random(19)
+        values = [rng.randrange(1, group.q) for _ in range(9)]
+        expected = [pow(v, -1, group.q) for v in values]
+        assert batch_inverse(values, group.q) == expected
+
+    def test_batch_normalize_round_trip(self, group):
+        rng = random.Random(20)
+        pts = [group.random_g1(rng).point for _ in range(5)]
+        jacs = [(x, y, 1) for x, y in pts]
+        # Scale each by a random z to make normalization non-trivial.
+        scaled = []
+        for (x, y, z), _ in zip(jacs, pts):
+            s = rng.randrange(2, group.q)
+            scaled.append((x * s * s % group.q, y * s * s * s % group.q, s))
+        normalized = batch_normalize(scaled, group.q)
+        assert normalized == pts

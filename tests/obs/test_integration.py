@@ -68,7 +68,10 @@ class TestTracedEndToEnd:
         by_name = {r["name"]: r for r in records}
         for phase in ("sign", "proofgen", "proofverify"):
             attrs = by_name[phase]["attrs"]
-            assert any(key in attrs for key in ("exp_g1", "exp_g1_fixed_base"))
+            assert any(
+                key in attrs
+                for key in ("exp_g1", "exp_g1_fixed_base", "exp_g1_msm")
+            )
 
     def test_registry_mirrors_the_run(self, fresh_group):
         obs, _ = run_traced_system(fresh_group)

@@ -159,8 +159,8 @@ class TestOperationCounter:
             g.detach_counter()
         counter.reset()
         assert counter.snapshot() == {
-            "exp_g1": 0, "exp_g1_fixed_base": 0, "exp_g1_skipped": 0,
-            "exp_g2": 0, "exp_gt": 0,
+            "exp_g1": 0, "exp_g1_fixed_base": 0, "exp_g1_msm": 0,
+            "exp_g1_skipped": 0, "exp_g2": 0, "exp_gt": 0,
             "pairings": 0, "mul_g1": 0, "hash_to_g1": 0,
         }
 

@@ -237,7 +237,7 @@ class TestBench:
         for run in [doc["baseline"], *doc["runs"]]:
             phase = next(p for p in run["phases"] if p["name"] == "proofgen")
             phase["exp"] -= 1
-            phase["ops"]["exp_g1"] -= 1
+            phase["ops"]["exp_g1_msm"] -= 1
         path.write_text(json.dumps(doc))
         assert self._bench(tmp_path, "compare") == 1
         out = capsys.readouterr().out
