@@ -323,81 +323,79 @@ def cmd_tamper(args) -> int:
 
 
 def cmd_serve_sim(args) -> int:
-    """Run the batched signing service under the discrete-event simulator."""
-    from repro.net.channel import Channel
-    from repro.service import BatchConfig, FailoverConfig, build_service_network
+    """Run the batched signing service under the discrete-event simulator.
 
+    Two front doors, one engine: ``--scenario FILE`` executes a declarative
+    scenario document, while the legacy flag set is synthesized into an
+    equivalent in-memory scenario and replayed through the same
+    :class:`~repro.scenarios.runner.ScenarioRunner` (byte-for-byte
+    compatible with the historical wiring).
+    """
+    from repro.scenarios import (
+        ScenarioError,
+        ScenarioRunner,
+        load_scenario,
+        scenario_from_legacy_args,
+        warn_if_mixed,
+    )
+
+    if args.scenario:
+        warn_if_mixed(args)
+        try:
+            scenario = load_scenario(args.scenario)
+        except (OSError, ScenarioError) as exc:
+            raise CliError(str(exc)) from None
+        return _run_scenario(args, scenario)
     if args.param_set not in TYPE_A_PARAM_SETS:
         raise CliError(f"unknown param set {args.param_set!r}; "
                        f"choose from {sorted(TYPE_A_PARAM_SETS)}")
     group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[args.param_set])
-    params = setup(group, args.k)
-    rng = random.Random(args.seed)
     threshold = args.threshold if args.threshold and args.threshold > 1 else None
     w = 1 if threshold is None else 2 * threshold - 1
     if args.crash >= (threshold or 1):
         raise CliError(f"crashing {args.crash} SEMs exceeds the t-1 = "
                        f"{(threshold or 1) - 1} tolerance of a t={threshold or 1} deployment")
-    channel = Channel(latency_s=args.latency, drop_rate=args.drop_rate,
-                      rng=random.Random(rng.getrandbits(64)))
+    try:
+        scenario = scenario_from_legacy_args(args)
+    except ScenarioError as exc:
+        raise CliError(str(exc)) from None
     obs = _make_obs()
     journal = None
     if args.journal:
         from repro.service import SigningJournal
 
         journal = SigningJournal(args.journal, group=group)
-    sim, service, clients = build_service_network(
-        params,
-        threshold=threshold,
-        n_clients=args.clients,
-        rng=rng,
-        batch_config=BatchConfig(max_batch=args.max_batch, max_wait_s=args.max_wait),
-        failover_config=FailoverConfig(
-            timeout_s=args.timeout, round_deadline_s=args.round_deadline
-        ),
-        client_service_channel=channel,
-        service_sem_channel=channel,
-        journal=journal,
-        obs=obs,
-    )
-    injector = None
+    chaos_plan = None
     if args.chaos:
         from repro.net.faults import FaultPlan
 
-        plan = FaultPlan.from_file(args.chaos, seed=args.chaos_seed)
-        injector = plan.install(sim)
-        if obs.enabled:
-            from repro.obs import bind_fault_injector
-
-            bind_fault_injector(obs.registry, injector)
-    replayed = service.recover() if journal is not None else 0
+        chaos_plan = FaultPlan.from_file(args.chaos, seed=args.chaos_seed)
+    runner = ScenarioRunner(scenario, obs=obs, journal=journal,
+                            chaos_plan=chaos_plan)
+    compiled = runner.compile()
+    injector = compiled.injector
+    service = next(iter(compiled.services.values()))
     dashboard = None
     if args.watch:
         from repro.obs import Dashboard
 
         dashboard = Dashboard(
-            obs.registry, clock=lambda: sim.now, interval_s=args.watch_interval
+            obs.registry, clock=lambda: compiled.sim.now,
+            interval_s=args.watch_interval,
         )
-        dashboard.attach(sim)
-    for j in range(args.crash):
-        sim.nodes[f"sem-{j}"].crash()
-    for i, client in enumerate(clients):
-        for n in range(args.requests):
-            data = rng.randbytes(args.file_bytes)
-            sim.send(client.request_for_data(data, f"file-{i}-{n}".encode()))
-    sim.run()
+        dashboard.attach(compiled.sim)
+    result = runner.run()
     if dashboard is not None:
         dashboard.tick()  # final frame: the run's end state
     summary = service.metrics.summary()
-    expected = args.clients * args.requests
-    completed = sum(len(c.completed) for c in clients)
-    failed = sum(len(c.failed) for c in clients)
-    lost = expected - completed - failed
+    expected = result.issued
+    completed, failed, lost = result.completed, result.failed, result.lost
     print(f"serve-sim: {args.param_set}, k={args.k}, "
           f"{w} SEM(s) (t={threshold or 1}, {args.crash} crashed), "
           f"{args.clients} client(s) x {args.requests} request(s)")
     print(f"  completed {completed}, failed {failed}, lost {lost} "
-          f"in {sim.now:.3f}s virtual time ({sim.total_bytes()} bytes on the wire)")
+          f"in {result.virtual_duration_s:.3f}s virtual time "
+          f"({result.bytes_on_wire} bytes on the wire)")
     print(f"  batches: {summary['batches']} (mean size {summary['batch_size_mean']:.1f}), "
           f"signatures: {summary['signatures_produced']}")
     print(f"  queue high watermark: {summary['queue_high_watermark']}, "
@@ -418,9 +416,130 @@ def cmd_serve_sim(args) -> int:
         jsummary = journal.summary()
         print(f"  journal: {jsummary['accepted']} accepted, "
               f"{jsummary['completed']} completed, "
-              f"{jsummary['pending']} pending, {replayed} replayed")
+              f"{jsummary['pending']} pending, {runner.replayed} replayed")
     _write_obs_outputs(args, obs)
     return 0 if completed == expected else 1
+
+
+# ---------------------------------------------------------------------------
+# Scenario engine commands
+# ---------------------------------------------------------------------------
+
+def _run_scenario(args, scenario) -> int:
+    """Execute one scenario, print its verdict, optionally write the report.
+
+    Shared by ``repro-pdp scenario run`` and ``serve-sim --scenario``.
+    Exit codes: 0 envelope pass, 1 envelope fail.
+    """
+    import dataclasses
+
+    from repro.scenarios import ScenarioRunner
+
+    seed_override = getattr(args, "seed_override", None)
+    if seed_override is not None:
+        scenario = dataclasses.replace(
+            scenario,
+            settings=dataclasses.replace(scenario.settings, seed=seed_override),
+        )
+    obs = _make_obs()
+    runner = ScenarioRunner(scenario, obs=obs,
+                            max_events=getattr(args, "max_events", None))
+    result = runner.run()
+    workload = scenario.workload
+    print(f"scenario '{scenario.name}': {scenario.settings.param_set}, "
+          f"k={scenario.settings.k}, seed {scenario.settings.seed}, "
+          f"{len(scenario.topology.sem_groups)} group(s), "
+          f"{len(workload.cohorts)} cohort(s), "
+          f"{workload.total_members} member(s)")
+    print(f"  issued {result.issued}, completed {result.completed}, "
+          f"failed {result.failed}, lost {result.lost} "
+          f"in {result.virtual_duration_s:.3f}s virtual time "
+          f"({result.bytes_on_wire} bytes on the wire)")
+    print(f"  latency p50 {result.latency_p50_s:.3f}s, "
+          f"p99 {result.latency_p99_s:.3f}s (virtual); "
+          f"ops/request: Exp {result.ops_per_request('exp'):.1f}, "
+          f"Pair {result.ops_per_request('pair'):.1f}")
+    for name, stats in sorted(result.verifiers.items()):
+        print(f"  tpa {name}: {stats['audits_passed']} audit(s) passed, "
+              f"{stats['audits_failed']} failed over "
+              f"{stats['files_watched']} file(s)")
+    if result.fault_counts:
+        fired = ", ".join(f"{k} {v}" for k, v in sorted(result.fault_counts.items()))
+        print(f"  faults: {fired}")
+    print(f"  digest: {result.digest()}")
+    if result.passed:
+        checked = len(scenario.settings.envelope.checks)
+        print(f"  envelope: PASS ({checked} check(s))")
+    else:
+        print("  envelope: FAIL")
+        for violation in result.violations:
+            print(f"    {violation.render()}")
+    report_out = getattr(args, "report_out", None)
+    if report_out:
+        Path(report_out).parent.mkdir(parents=True, exist_ok=True)
+        Path(report_out).write_text(
+            json.dumps(result.to_report(), indent=2, sort_keys=True) + "\n"
+        )
+        print(f"  report: {report_out}")
+    _write_obs_outputs(args, obs)
+    return 0 if result.passed else 1
+
+
+def cmd_scenario_run(args) -> int:
+    from repro.scenarios import ScenarioError, load_scenario
+
+    try:
+        scenario = load_scenario(args.path)
+    except (OSError, ScenarioError) as exc:
+        raise CliError(str(exc)) from None
+    return _run_scenario(args, scenario)
+
+
+def cmd_scenario_validate(args) -> int:
+    """Validate document(s); exit 1 if any fail, printing every diagnosis."""
+    from repro.scenarios import ScenarioError, load_scenario
+
+    failures = 0
+    for path in args.paths:
+        try:
+            scenario = load_scenario(path)
+        except (OSError, ScenarioError) as exc:
+            failures += 1
+            print(f"{path}: INVALID — {exc}")
+            continue
+        print(f"{path}: ok — '{scenario.name}' "
+              f"({len(scenario.workload.cohorts)} cohort(s), "
+              f"{scenario.workload.total_members} member(s), "
+              f"{len(scenario.settings.envelope.checks)} envelope check(s))")
+    return 1 if failures else 0
+
+
+def cmd_scenario_list(args) -> int:
+    """List the scenario corpus in a directory (default ``scenarios/``)."""
+    from repro.scenarios import ScenarioError, discover_scenarios, load_scenario
+
+    paths = discover_scenarios(Path(args.dir))
+    if not paths:
+        print(f"no scenario documents under {args.dir}")
+        return 0
+    for path in paths:
+        try:
+            scenario = load_scenario(path)
+        except (OSError, ScenarioError) as exc:
+            print(f"{path.name}: INVALID — {exc}")
+            continue
+        summary = scenario.description or "(no description)"
+        print(f"{path.name}: '{scenario.name}' — {summary}")
+        print(f"    {scenario.workload.total_members} member(s) in "
+              f"{len(scenario.workload.cohorts)} cohort(s), "
+              f"{len(scenario.topology.sem_groups)} SEM group(s), "
+              f"duration {scenario.settings.duration_s}s, "
+              f"budget {scenario.total_requests_budget} request(s)")
+    return 0
+
+
+def cmd_scenario(args) -> int:
+    return args.scenario_fn(args)
 
 
 def _bench_suites(args) -> list[str]:
@@ -621,6 +740,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve-sim", help="run the batched signing service in the simulator"
     )
+    p.add_argument("--scenario", metavar="FILE", default=None,
+                   help="run a declarative scenario document instead of the "
+                        "legacy flag set (legacy flags below are then ignored)")
     p.add_argument("--param-set", default="toy-64")
     p.add_argument("-k", type=int, default=4, help="elements per block")
     p.add_argument("--threshold", type=int, default=None,
@@ -655,6 +777,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_info)
 
     p = sub.add_parser(
+        "scenario", help="declarative scenario engine (validate / run / list)"
+    )
+    scenario_sub = p.add_subparsers(dest="scenario_command", required=True)
+
+    sp = scenario_sub.add_parser("validate", help="schema-check document(s)")
+    sp.add_argument("paths", nargs="+", metavar="FILE")
+    sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_validate)
+
+    sp = scenario_sub.add_parser(
+        "run", help="execute a scenario and judge its acceptance envelope"
+    )
+    sp.add_argument("path", metavar="FILE")
+    sp.add_argument("--seed", type=int, default=None, dest="seed_override",
+                    metavar="N", help="override the document's seed")
+    sp.add_argument("--report-out", metavar="PATH", default=None,
+                    help="write the machine-readable verdict report to PATH")
+    sp.add_argument("--max-events", type=int, default=None, metavar="N",
+                    help="hard cap on simulator events (runaway guard)")
+    _add_obs_flags(sp)
+    sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_run)
+
+    sp = scenario_sub.add_parser("list", help="describe the scenario corpus")
+    sp.add_argument("--dir", default="scenarios", metavar="DIR",
+                    help="directory holding scenario documents")
+    sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_list)
+
+    p = sub.add_parser(
         "bench", help="continuous performance tracking (run / compare / baseline)"
     )
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -662,7 +811,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
                         help="suite name or 'all' (table1, audit, service, "
-                             "chaos, msm)")
+                             "chaos, msm, scenario)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

@@ -440,6 +440,87 @@ def _suite_msm(repeats: int, options: dict) -> tuple[list[dict], dict]:
                     "crossover": scalar_mul.pippenger_crossover()}
 
 
+#: Self-contained scenario documents the scenario suite measures — inline
+#: (not loaded from ``scenarios/``) so the suite runs from any cwd and a
+#: corpus edit cannot silently shift the perf baseline.
+_SCENARIO_SUITE_DOCS = {
+    "open.poisson": {
+        "name": "bench-open-poisson",
+        "workload": {"cohorts": [{
+            "name": "writers", "members": 5000, "target": "org",
+            "arrival": {"kind": "poisson", "rate_rps": 80.0},
+            "file_sizes": {"kind": "fixed", "bytes": 64, "max_bytes": 64},
+            "upload_to": ["cloud"],
+        }]},
+        "topology": {
+            "sem_groups": [{"name": "org", "w": 3, "t": 2}],
+            "clouds": [{"name": "cloud"}],
+            "verifiers": [{"name": "tpa", "audits": "cloud", "period_s": 0.2}],
+        },
+        "settings": {"duration_s": 0.4, "seed": 3, "max_requests": 24},
+    },
+    "burst.mmpp": {
+        "name": "bench-burst-mmpp",
+        "workload": {"cohorts": [{
+            "name": "crowd", "members": 20000, "target": "org",
+            "arrival": {"kind": "mmpp", "rate_rps": 30.0,
+                        "burst_rate_rps": 300.0,
+                        "mean_burst_s": 0.05, "mean_idle_s": 0.2},
+            "file_sizes": {"kind": "uniform", "min_bytes": 32, "max_bytes": 128},
+        }]},
+        "topology": {"sem_groups": [{"name": "org", "w": 3, "t": 2}]},
+        "settings": {"duration_s": 0.4, "seed": 5, "max_requests": 24},
+    },
+    "faults.failover": {
+        "name": "bench-faults-failover",
+        "workload": {"cohorts": [{
+            "name": "writers", "members": 50, "target": "org",
+            "arrival": {"kind": "poisson", "rate_rps": 60.0},
+            "file_sizes": {"kind": "fixed", "bytes": 64, "max_bytes": 64},
+        }]},
+        "topology": {"sem_groups": [{"name": "org", "w": 3, "t": 2}]},
+        "settings": {
+            "duration_s": 0.3, "seed": 7, "max_requests": 16,
+            "failover": {"timeout_s": 0.05},
+            "faults": [{"kind": "crash", "node": "sem-org-0",
+                        "at": 0.0, "until": 0.2}],
+        },
+    },
+}
+
+
+def _suite_scenario(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """The scenario engine end-to-end: compile + drive + collect per shape.
+
+    One phase per workload shape (open-loop Poisson with cloud/TPA audit
+    traffic, MMPP burst, crash-failover faults), each a full
+    :class:`~repro.scenarios.runner.ScenarioRunner` run of an inline
+    document.  Ops come from the run's own deterministic tally — the
+    engine derives every stream from the scenario seed, so the op mix is
+    bit-identical across repeats and machines and any drift the
+    regression gate reports is a real protocol- or engine-cost change.
+    """
+    from repro.scenarios import run_scenario, scenario_from_dict
+
+    phases = []
+    for label, doc in _SCENARIO_SUITE_DOCS.items():
+        result = run_scenario(scenario_from_dict(doc))
+        wall = result.wall_s
+        for _ in range(repeats - 1):
+            wall = min(wall, run_scenario(scenario_from_dict(doc)).wall_s)
+        phases.append(make_phase(
+            label, wall, result.ops, repeats=repeats,
+            scalars={
+                "issued": result.issued,
+                "completed": result.completed,
+                "latency_p99_s": result.latency_p99_s,
+                "bytes_on_wire": result.bytes_on_wire,
+            },
+        ))
+    return phases, {"param_set": "toy-64", "k": 4,
+                    "shapes": sorted(_SCENARIO_SUITE_DOCS)}
+
+
 #: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
@@ -447,6 +528,7 @@ SUITES = {
     "service": _suite_service,
     "chaos": _suite_chaos,
     "msm": _suite_msm,
+    "scenario": _suite_scenario,
 }
 
 

@@ -1,0 +1,134 @@
+"""Seeded arrival-time processes for scenario cohorts.
+
+Each process is an interarrival-time generator driven by one dedicated
+``random.Random`` (derived per cohort by :mod:`repro.scenarios.rng`), so
+a cohort's arrival stream is a pure function of the scenario seed and the
+cohort's name.  All four open-loop kinds produce the same long-run mean
+rate for the same ``rate`` parameter; they differ in *shape*:
+
+* :class:`PoissonProcess` — memoryless, CV(interarrival) = 1;
+* :class:`MMPPProcess` — 2-state Markov-modulated Poisson: overdispersed
+  (CV > 1), the classic bursty-traffic model;
+* :class:`ParetoProcess` — heavy-tailed interarrivals with tail index
+  ``alpha`` (finite mean requires alpha > 1), scaled to the mean rate;
+* :class:`DiurnalProcess` — nonhomogeneous Poisson with a sinusoidal
+  rate profile (period = the scenario's compressed "day"), sampled by
+  thinning against the peak rate.
+
+Closed-loop and batch arrivals have no interarrival process — the cohort
+driver issues them from response events / at t = 0 directly.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.scenarios.schema import ArrivalSpec, ScenarioError
+
+
+class ArrivalProcess:
+    """Interface: successive interarrival gaps in virtual seconds."""
+
+    def next_interarrival(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    def __init__(self, rate_rps: float, rng: random.Random):
+        self.rate = rate_rps
+        self.rng = rng
+
+    def next_interarrival(self) -> float:
+        return self.rng.expovariate(self.rate)
+
+
+class MMPPProcess(ArrivalProcess):
+    """2-state MMPP: exponential sojourns in an idle state emitting at the
+    base rate and a burst state emitting at ``burst_rate``."""
+
+    def __init__(self, base_rate: float, burst_rate: float,
+                 mean_burst_s: float, mean_idle_s: float, rng: random.Random):
+        self.rates = (base_rate, burst_rate)      # state 0 = idle, 1 = burst
+        self.mean_sojourn = (mean_idle_s, mean_burst_s)
+        self.rng = rng
+        self.state = 0
+        self._sojourn_left = rng.expovariate(1.0 / self.mean_sojourn[0])
+
+    def next_interarrival(self) -> float:
+        gap = 0.0
+        while True:
+            candidate = self.rng.expovariate(self.rates[self.state])
+            if candidate <= self._sojourn_left:
+                self._sojourn_left -= candidate
+                return gap + candidate
+            # The state flips before the candidate arrival: advance to the
+            # flip, discard the candidate (memorylessness makes this exact),
+            # and continue sampling under the new state's rate.
+            gap += self._sojourn_left
+            self.state = 1 - self.state
+            self._sojourn_left = self.rng.expovariate(1.0 / self.mean_sojourn[self.state])
+
+
+class ParetoProcess(ArrivalProcess):
+    """Pareto(Lomax-free) interarrivals: ``x_m * U^(-1/alpha)`` scaled so
+    the mean gap is ``1/rate`` (x_m = (alpha-1)/(alpha*rate))."""
+
+    def __init__(self, rate_rps: float, alpha: float, rng: random.Random):
+        if alpha <= 1.0:
+            raise ScenarioError("arrivals.pareto", "alpha must exceed 1")
+        self.alpha = alpha
+        self.x_m = (alpha - 1.0) / (alpha * rate_rps)
+        self.rng = rng
+
+    def next_interarrival(self) -> float:
+        u = 1.0 - self.rng.random()               # U in (0, 1]
+        return self.x_m * u ** (-1.0 / self.alpha)
+
+
+class DiurnalProcess(ArrivalProcess):
+    """Sinusoidal-rate Poisson via thinning (Lewis–Shedler).
+
+    rate(t) = mean * (1 + (peak_ratio - 1) * (1 + sin(2*pi*(t/period + phase)))/2)
+    normalized so the long-run mean is ``mean_rate`` and the instantaneous
+    peak is ``peak_ratio`` x the trough-to-peak midpoint.
+    """
+
+    def __init__(self, mean_rate: float, peak_ratio: float, period_s: float,
+                 phase: float, rng: random.Random):
+        self.mean = mean_rate
+        # Modulation depth in [0, 1): rate swings mean*(1 ± depth).
+        self.depth = (peak_ratio - 1.0) / (peak_ratio + 1.0)
+        self.period = period_s
+        self.phase = phase
+        self.rng = rng
+        self.t = 0.0
+        self.peak = mean_rate * (1.0 + self.depth)
+
+    def rate_at(self, t: float) -> float:
+        cycle = math.sin(2.0 * math.pi * (t / self.period + self.phase))
+        return self.mean * (1.0 + self.depth * cycle)
+
+    def next_interarrival(self) -> float:
+        start = self.t
+        while True:
+            self.t += self.rng.expovariate(self.peak)
+            if self.rng.random() * self.peak <= self.rate_at(self.t):
+                return self.t - start
+
+
+def make_arrival_process(spec: ArrivalSpec, members: int,
+                         rng: random.Random) -> ArrivalProcess:
+    """Build the open-loop process for one cohort's validated spec."""
+    rate = spec.effective_rate(members)
+    if spec.kind == "poisson":
+        return PoissonProcess(rate, rng)
+    if spec.kind == "mmpp":
+        return MMPPProcess(rate, spec.burst_rate_rps, spec.mean_burst_s,
+                           spec.mean_idle_s, rng)
+    if spec.kind == "pareto":
+        return ParetoProcess(rate, spec.alpha, rng)
+    if spec.kind == "diurnal":
+        return DiurnalProcess(rate, spec.peak_ratio, spec.period_s,
+                              spec.phase, rng)
+    raise ScenarioError("arrivals", f"{spec.kind!r} has no interarrival process")

@@ -1,0 +1,533 @@
+"""Compile a validated scenario onto the discrete-event simulator.
+
+The compiler is the bridge between the declarative contract
+(:mod:`repro.scenarios.schema`) and the existing runtime: SEM groups
+become :class:`~repro.service.simnodes.SEMServiceNode` deployments,
+cohorts become driver nodes feeding requests through their arrival
+process, clouds/verifiers become storage + TPA nodes, links become
+per-direction :class:`~repro.net.channel.Channel` instances, and fault
+plans install through :mod:`repro.net.faults` unchanged.
+
+Every random stream is derived by name from the scenario seed
+(:mod:`repro.scenarios.rng`): per-cohort arrival/population/payload
+streams, per-directed-link channel streams, per-group key material.  No
+``random.Random`` instance is ever shared between two components, so
+adding or reordering components cannot perturb the others — the property
+the determinism tests pin down.
+
+Request ids are run-local (a fresh counter per compilation) rather than
+process-global, so two runs of one scenario in the same process produce
+bit-identical traffic — including message byte sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+
+from repro.core.blocks import encode_data
+from repro.core.cloud import CloudServer
+from repro.core.owner import SignedFile
+from repro.core.params import setup
+from repro.core.verifier import PublicVerifier
+from repro.crypto.threshold import distribute_key
+from repro.net.actors import CloudNode, SEMNode
+from repro.net.channel import Channel
+from repro.net.faults import FaultPlan
+from repro.net.message import Message
+from repro.net.node import Node
+from repro.net.simulator import Simulator
+from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+from repro.pairing.interface import OperationCounter
+from repro.scenarios.arrivals import make_arrival_process
+from repro.scenarios.population import Population
+from repro.scenarios.rng import derive_rng, derive_seed
+from repro.scenarios.schema import CohortSpec, LinkParams, Scenario
+from repro.service.api import SignRequest, SignResponse
+from repro.service.batcher import BatchConfig
+from repro.service.failover import FailoverConfig, SEMEndpoint
+from repro.service.simnodes import SEMServiceNode
+
+
+class RequestBudget:
+    """The global cap on issued requests, shared by every cohort driver."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.issued = 0
+
+    def take(self) -> bool:
+        if self.issued >= self.limit:
+            return False
+        self.issued += 1
+        return True
+
+
+class CohortNode(Node):
+    """One cohort's driver: its members' requests, aggregated.
+
+    Open-loop kinds schedule the next arrival from the interarrival
+    process; ``closed`` keeps ``concurrency`` requests in flight with a
+    think-time gap; ``batch`` issues everything at t = 0.  Arrivals stop
+    at the scenario horizon or when a budget (global or per-cohort) runs
+    out — the simulator then drains naturally.
+    """
+
+    def __init__(
+        self,
+        cohort: CohortSpec,
+        params,
+        service_name: str,
+        seed: int,
+        horizon_s: float,
+        budget: RequestBudget,
+        request_ids,
+        clouds: list[str] | None = None,
+    ):
+        super().__init__(f"c-{cohort.name}")
+        self.cohort = cohort
+        self.params = params
+        self.service_name = service_name
+        self.horizon_s = horizon_s
+        self.budget = budget
+        self._ids = request_ids
+        self.clouds = list(clouds or cohort.upload_to)
+        self._stripe = 0
+        self.population = Population(cohort, derive_rng(seed, "population", cohort.name))
+        self._payload_rng = derive_rng(seed, "payload", cohort.name)
+        self._arrival_rng = derive_rng(seed, "arrival", cohort.name)
+        self.process = None
+        if cohort.arrival.kind not in ("closed", "batch"):
+            self.process = make_arrival_process(
+                cohort.arrival, cohort.members, self._arrival_rng
+            )
+        self.issued = 0
+        self.completed: list[int] = []
+        self.failed: list[int] = []
+        self.latencies: list[float] = []
+        self.uploads_acked = 0
+        self._sent_at: dict[int, float] = {}
+        self._pending_blocks: dict[int, tuple] = {}
+        self._seq = 0
+        self.on("svc_sign_response", self._handle_response)
+        self.on("upload_ack", self._handle_upload_ack)
+
+    # -- arrivals ------------------------------------------------------------
+    def start(self) -> list[Message]:
+        """Arm the arrival schedule; returns any t = 0 messages to send."""
+        kind = self.cohort.arrival.kind
+        if kind == "batch":
+            out = []
+            for _ in range(self.cohort.members * self.cohort.arrival.requests_per_member):
+                message = self._next_request()
+                if message is None:
+                    break
+                out.append(message)
+            return out
+        if kind == "closed":
+            for slot in range(self.cohort.arrival.concurrency):
+                self.sim.schedule(self._think_gap(initial=True), self._fire)
+            return []
+        self.sim.schedule(self.process.next_interarrival(), self._fire)
+        return []
+
+    def _think_gap(self, initial: bool = False) -> float:
+        think = self.cohort.arrival.think_time_s
+        if think <= 0:
+            return 0.0
+        if initial:
+            # Stagger the closed-loop slots so they don't arrive in lockstep.
+            return self._arrival_rng.uniform(0.0, think)
+        return self._arrival_rng.expovariate(1.0 / think)
+
+    def _fire(self):
+        if self.crashed or self.sim.now > self.horizon_s:
+            return None
+        message = self._next_request()
+        if message is None:
+            return None
+        if self.process is not None:  # open loop: arm the next arrival
+            self.sim.schedule(self.process.next_interarrival(), self._fire)
+        return message
+
+    def _exhausted(self) -> bool:
+        cap = self.cohort.max_requests
+        return cap is not None and self.issued >= cap
+
+    def _next_request(self) -> Message | None:
+        if self._exhausted() or not self.budget.take():
+            return None
+        member, size = self.population.next_request()
+        data = self._payload_rng.randbytes(size)
+        file_id = f"{self.cohort.name}/{self._seq}-m{member}".encode()
+        self._seq += 1
+        blocks = tuple(encode_data(data, self.params, file_id))
+        request = SignRequest(
+            request_id=next(self._ids),
+            owner=self.name,
+            blocks=blocks,
+            submitted_at=self.sim.now if self.sim else 0.0,
+        )
+        self.issued += 1
+        self._sent_at[request.request_id] = self.sim.now if self.sim else 0.0
+        if self.clouds:
+            self._pending_blocks[request.request_id] = (file_id, blocks)
+        return self.make_message(self.service_name, "svc_sign_request", request)
+
+    # -- responses -----------------------------------------------------------
+    def _handle_response(self, message: Message):
+        response: SignResponse = message.payload
+        sent = self._sent_at.pop(response.request_id, None)
+        if sent is not None:
+            self.latencies.append(self.sim.now - sent)
+        out = []
+        if response.ok:
+            self.completed.append(response.request_id)
+            pending = self._pending_blocks.pop(response.request_id, None)
+            if pending is not None:
+                file_id, blocks = pending
+                signed = SignedFile(
+                    file_id=file_id, blocks=blocks, signatures=response.signatures
+                )
+                cloud = self.clouds[self._stripe % len(self.clouds)]
+                self._stripe += 1
+                out.append(self.make_message(cloud, "upload", signed))
+        else:
+            self.failed.append(response.request_id)
+            self._pending_blocks.pop(response.request_id, None)
+        if self.cohort.arrival.kind == "closed" and self.sim.now <= self.horizon_s:
+            self.sim.schedule(self._think_gap(), self._fire)
+        return out or None
+
+    def _handle_upload_ack(self, message: Message):
+        self.uploads_acked += 1
+        return None
+
+    def stats(self) -> dict:
+        return {
+            **self.population.stats(),
+            "issued": self.issued,
+            "completed": len(self.completed),
+            "failed": len(self.failed),
+            "uploads_acked": self.uploads_acked,
+        }
+
+
+class ScenarioCloudNode(CloudNode):
+    """A cloud store that registers new files with its TPA watchers."""
+
+    def __init__(self, name: str, server: CloudServer):
+        super().__init__(name, server)
+        self.watchers: list[TPANode] = []
+
+    def _handle_upload(self, message: Message):
+        reply = super()._handle_upload(message)
+        signed: SignedFile = message.payload
+        for watcher in self.watchers:
+            watcher.watch(signed.file_id, len(signed.blocks))
+        return reply
+
+
+class TPANode(Node):
+    """A third-party auditor re-challenging its cloud on a period.
+
+    Ticks stop at the scenario horizon so the event queue drains; verdicts
+    accumulate as pass/fail counts per file.
+    """
+
+    def __init__(self, name: str, verifier: PublicVerifier, cloud_name: str,
+                 period_s: float, sample_size: int | None, horizon_s: float):
+        super().__init__(name)
+        self.verifier = verifier
+        self.cloud_name = cloud_name
+        self.period_s = period_s
+        self.sample_size = sample_size
+        self.horizon_s = horizon_s
+        self.watched: dict[bytes, int] = {}
+        self.audits_passed = 0
+        self.audits_failed = 0
+        self.on("proof", self._handle_proof)
+
+    def start(self) -> None:
+        self.sim.schedule(self.period_s, self._tick)
+
+    def watch(self, file_id: bytes, n_blocks: int) -> None:
+        self.watched[file_id] = n_blocks
+
+    def _tick(self):
+        if self.crashed or self.sim.now > self.horizon_s:
+            return None
+        self.sim.schedule(self.period_s, self._tick)
+        out = []
+        for file_id, n_blocks in self.watched.items():
+            challenge = self.verifier.generate_challenge(
+                file_id, n_blocks, sample_size=self.sample_size
+            )
+            out.append(
+                self.make_message(self.cloud_name, "challenge", (file_id, challenge))
+            )
+        return out or None
+
+    def _handle_proof(self, message: Message):
+        file_id, challenge, response = message.payload
+        if self.verifier.verify(challenge, response):
+            self.audits_passed += 1
+        else:
+            self.audits_failed += 1
+        return None
+
+
+@dataclass
+class CompiledScenario:
+    """Everything a runner needs to execute and account for one scenario."""
+
+    scenario: Scenario
+    sim: Simulator
+    params: object
+    counter: OperationCounter
+    services: dict[str, SEMServiceNode] = field(default_factory=dict)
+    cohorts: dict[str, CohortNode] = field(default_factory=dict)
+    clouds: dict[str, ScenarioCloudNode] = field(default_factory=dict)
+    verifiers: dict[str, TPANode] = field(default_factory=dict)
+    budget: RequestBudget | None = None
+    injector: object = None
+    # Legacy compatibility handles (serve-sim flag shim):
+    legacy_clients: list = field(default_factory=list)
+    legacy_rng: random.Random | None = None
+    legacy_expected: int = 0
+    legacy_replayed: int = 0
+
+    def start_workload(self) -> None:
+        """Arm cohort arrival schedules and TPA audit ticks."""
+        for cohort in self.cohorts.values():
+            for message in cohort.start():
+                self.sim.send(message)
+        for tpa in self.verifiers.values():
+            tpa.start()
+
+    def assert_independent_streams(self) -> None:
+        """Every compiled channel must own a distinct RNG instance.
+
+        A shared ``random.Random`` across links would correlate drop
+        decisions that the schema declares independent; this is the
+        cheap structural audit the determinism tests lean on.
+        """
+        rngs = [ch.rng for ch in self.sim._channels.values() if ch.rng is not None]
+        if len(rngs) != len({id(r) for r in rngs}):
+            raise AssertionError("compiled channels share an RNG instance")
+
+
+def _link_params_for(scenario: Scenario, src: str, dst: str) -> LinkParams:
+    """The declared parameters of ``src -> dst`` (either direction), or the
+    topology default."""
+    for link in scenario.topology.links:
+        if (link.src, link.dst) in ((src, dst), (dst, src)):
+            return link.params
+    return scenario.topology.default_link
+
+
+def _channel(params: LinkParams, seed: int, src: str, dst: str) -> Channel:
+    rng = derive_rng(seed, "link", src, dst) if params.drop_rate > 0 else None
+    return Channel(
+        latency_s=params.latency_s,
+        bandwidth_bps=params.bandwidth_bps,
+        drop_rate=params.drop_rate,
+        rng=rng,
+    )
+
+
+def _connect(sim: Simulator, scenario: Scenario, seed: int,
+             spec_a: str, node_a: str, spec_b: str, node_b: str) -> None:
+    """Wire both directions of one pair with independent derived channels."""
+    params = _link_params_for(scenario, spec_a, spec_b)
+    sim.connect(node_a, node_b, _channel(params, seed, node_a, node_b),
+                bidirectional=False)
+    sim.connect(node_b, node_a, _channel(params, seed, node_b, node_a),
+                bidirectional=False)
+
+
+def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
+    """Build the simulator network for a (non-legacy) scenario."""
+    settings = scenario.settings
+    seed = settings.seed
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[settings.param_set])
+    params = setup(group, settings.k)
+    if obs is not None and obs.enabled:
+        obs.observe_group(group)
+        counter = obs.counter
+    else:
+        counter = OperationCounter()
+        group.attach_counter(counter)
+    sim = Simulator()
+    if obs is not None and obs.enabled:
+        obs.tracer.clock = lambda: sim.now
+    compiled = CompiledScenario(scenario=scenario, sim=sim, params=params,
+                                counter=counter)
+    batch_config = BatchConfig(max_batch=settings.batch.max_batch,
+                               max_wait_s=settings.batch.max_wait_s)
+    failover_config = FailoverConfig(
+        timeout_s=settings.failover.timeout_s,
+        round_deadline_s=settings.failover.round_deadline_s,
+    )
+    group_pks: dict[str, object] = {}
+    for spec in scenario.topology.sem_groups:
+        key_rng = derive_rng(seed, "group", spec.name)
+        service_name = f"svc-{spec.name}"
+        if spec.w == 1 and spec.t == 1:
+            sk = group.random_nonzero_scalar(key_rng)
+            sem = SEMNode(f"sem-{spec.name}-0", group, sk)
+            sim.add_node(sem)
+            endpoints = [SEMEndpoint(name=sem.name, x=1, share_pk=sem.pk)]
+            org_pk, org_pk_g1 = sem.pk, group.g1() ** sk
+        else:
+            shares = distribute_key(group, spec.w, spec.t, rng=key_rng)
+            endpoints = []
+            for j, share in enumerate(shares.shares):
+                name = f"sem-{spec.name}-{j}"
+                sim.add_node(SEMNode(name, group, share.y))
+                endpoints.append(
+                    SEMEndpoint(name=name, x=share.x, share_pk=shares.share_pks[j])
+                )
+            org_pk, org_pk_g1 = shares.master_pk, shares.master_pk_g1
+        service = SEMServiceNode(
+            service_name,
+            params,
+            endpoints,
+            spec.t,
+            org_pk,
+            org_pk_g1=org_pk_g1,
+            batch_config=batch_config,
+            failover_config=failover_config,
+            rng=derive_rng(seed, "service", spec.name),
+            obs=obs,
+        )
+        sim.add_node(service)
+        compiled.services[spec.name] = service
+        group_pks[spec.name] = org_pk
+        for endpoint in endpoints:
+            params_link = spec.sem_link
+            sim.connect(service_name, endpoint.name,
+                        _channel(params_link, seed, service_name, endpoint.name),
+                        bidirectional=False)
+            sim.connect(endpoint.name, service_name,
+                        _channel(params_link, seed, endpoint.name, service_name),
+                        bidirectional=False)
+    # Clouds store files signed by the single group that uploads to them
+    # (schema validation guarantees the mapping is unambiguous).
+    cloud_group: dict[str, str] = {}
+    for cohort in scenario.workload.cohorts:
+        for cloud in cohort.upload_to:
+            cloud_group.setdefault(cloud, cohort.target)
+    for spec in scenario.topology.clouds:
+        org_pk = group_pks.get(cloud_group.get(spec.name, ""),
+                               next(iter(group_pks.values())))
+        node = ScenarioCloudNode(
+            spec.name, CloudServer(params, org_pk=org_pk,
+                                   rng=derive_rng(seed, "cloud", spec.name))
+        )
+        sim.add_node(node)
+        compiled.clouds[spec.name] = node
+    for spec in scenario.topology.verifiers:
+        org_pk = group_pks.get(cloud_group.get(spec.audits, ""),
+                               next(iter(group_pks.values())))
+        verifier = PublicVerifier(params, org_pk,
+                                  rng=derive_rng(seed, "tpa", spec.name))
+        node = TPANode(spec.name, verifier, spec.audits, spec.period_s,
+                       spec.sample_size, settings.duration_s)
+        sim.add_node(node)
+        compiled.verifiers[spec.name] = node
+        compiled.clouds[spec.audits].watchers.append(node)
+        _connect(sim, scenario, seed, spec.name, spec.name, spec.audits, spec.audits)
+    compiled.budget = RequestBudget(settings.max_requests)
+    request_ids = itertools.count(1)
+    for cohort in scenario.workload.cohorts:
+        node = CohortNode(
+            cohort,
+            params,
+            f"svc-{cohort.target}",
+            seed,
+            settings.duration_s,
+            compiled.budget,
+            request_ids,
+        )
+        sim.add_node(node)
+        compiled.cohorts[cohort.name] = node
+        _connect(sim, scenario, seed, cohort.name, node.name,
+                 cohort.target, f"svc-{cohort.target}")
+        for cloud in cohort.upload_to:
+            _connect(sim, scenario, seed, cohort.name, node.name, cloud, cloud)
+    if settings.faults:
+        fault_seed = settings.fault_seed
+        if fault_seed is None:
+            fault_seed = derive_seed(seed, "faults") % (1 << 31)
+        plan = FaultPlan(
+            faults=list(settings.faults),
+            seed=fault_seed,
+            name=settings.fault_plan_name or scenario.name,
+        )
+        compiled.injector = plan.install(sim)
+    for spec in scenario.topology.sem_groups:
+        for j in range(spec.initial_crashed):
+            sim.nodes[f"sem-{spec.name}-{j}"].crash()
+    compiled.assert_independent_streams()
+    return compiled
+
+
+def compile_legacy(scenario: Scenario, obs, journal=None,
+                   chaos_plan: FaultPlan | None = None) -> CompiledScenario:
+    """Replicate the historical ``serve-sim`` wiring for the flag shim.
+
+    Byte-for-byte compatible with the pre-scenario code path: one root
+    RNG seeds key material, channels, and payloads in the original
+    consumption order, node names stay ``service``/``sem-j``/``client-i``,
+    and arrivals are the legacy all-at-t=0 batch issued by
+    :class:`~repro.scenarios.runner.ScenarioRunner`.
+    """
+    from repro.service.simnodes import build_service_network
+
+    settings = scenario.settings
+    spec = scenario.topology.sem_groups[0]
+    cohort = scenario.workload.cohorts[0]
+    group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[settings.param_set])
+    params = setup(group, settings.k)
+    rng = random.Random(settings.seed)
+    threshold = spec.t if spec.t > 1 else None
+    link = scenario.topology.default_link
+    channel = Channel(latency_s=link.latency_s, drop_rate=link.drop_rate,
+                      rng=random.Random(rng.getrandbits(64)))
+    sim, service, clients = build_service_network(
+        params,
+        threshold=threshold,
+        n_clients=cohort.members,
+        rng=rng,
+        batch_config=BatchConfig(max_batch=settings.batch.max_batch,
+                                 max_wait_s=settings.batch.max_wait_s),
+        failover_config=FailoverConfig(
+            timeout_s=settings.failover.timeout_s,
+            round_deadline_s=settings.failover.round_deadline_s,
+        ),
+        client_service_channel=channel,
+        service_sem_channel=channel,
+        journal=journal,
+        obs=obs,
+    )
+    compiled = CompiledScenario(
+        scenario=scenario, sim=sim, params=params,
+        counter=obs.counter if obs is not None and obs.enabled else OperationCounter(),
+        services={spec.name: service},
+        legacy_clients=clients,
+        legacy_rng=rng,
+        legacy_expected=cohort.members * cohort.arrival.requests_per_member,
+    )
+    if chaos_plan is not None:
+        compiled.injector = chaos_plan.install(sim)
+        if obs is not None and obs.enabled:
+            from repro.obs import bind_fault_injector
+
+            bind_fault_injector(obs.registry, compiled.injector)
+    if journal is not None:
+        compiled.legacy_replayed = service.recover()
+    for j in range(spec.initial_crashed):
+        sim.nodes[f"sem-{j}"].crash()
+    return compiled

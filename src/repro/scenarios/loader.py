@@ -1,0 +1,306 @@
+"""Scenario documents: YAML/JSON in, validated :class:`Scenario` out.
+
+The loader is strict by design (validation-first, fail-fast — the
+AsyncFlow input-contract discipline): unknown keys are rejected with
+their document path, every field is type-coerced explicitly, and the
+resulting :class:`~repro.scenarios.schema.Scenario` re-validates all
+cross-references on construction.  YAML support uses PyYAML when the
+interpreter has it (the standard toolchain does) and falls back to JSON
+otherwise — ``.json`` scenarios always work.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.scenarios.schema import (
+    ArrivalSpec,
+    BatchSpec,
+    CloudSpec,
+    CohortSpec,
+    EnvelopeSpec,
+    FailoverSpec,
+    LinkParams,
+    LinkSpec,
+    RunSettings,
+    Scenario,
+    ScenarioError,
+    SEMGroupSpec,
+    SizeSpec,
+    TopologySpec,
+    VerifierSpec,
+    WorkloadSpec,
+    make_fault,
+)
+
+
+def _check_keys(raw: dict, known: set[str], path: str) -> None:
+    if not isinstance(raw, dict):
+        raise ScenarioError(path, f"expected a mapping, got {type(raw).__name__}")
+    unknown = set(raw) - known
+    if unknown:
+        raise ScenarioError(path, f"unknown keys {sorted(unknown)} "
+                                  f"(known: {sorted(known)})")
+
+
+def _opt_float(raw: dict, key: str, path: str):
+    value = raw.get(key)
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise ScenarioError(f"{path}.{key}", f"expected a number, got {value!r}") from None
+
+
+def _opt_int(raw: dict, key: str, path: str):
+    value = raw.get(key)
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)) or int(value) != value:
+        raise ScenarioError(f"{path}.{key}", f"expected an integer, got {value!r}")
+    return int(value)
+
+
+def _float(raw: dict, key: str, default: float, path: str) -> float:
+    value = _opt_float(raw, key, path)
+    return default if value is None else value
+
+
+def _int(raw: dict, key: str, default: int, path: str) -> int:
+    value = _opt_int(raw, key, path)
+    return default if value is None else value
+
+
+def _arrival(raw: dict, path: str) -> ArrivalSpec:
+    _check_keys(raw, {"kind", "rate_rps", "per_user_rps", "burst_rate_rps",
+                      "mean_burst_s", "mean_idle_s", "alpha", "peak_ratio",
+                      "period_s", "phase", "concurrency", "think_time_s",
+                      "requests_per_member"}, path)
+    return ArrivalSpec(
+        kind=str(raw.get("kind", "poisson")),
+        rate_rps=_opt_float(raw, "rate_rps", path),
+        per_user_rps=_opt_float(raw, "per_user_rps", path),
+        burst_rate_rps=_opt_float(raw, "burst_rate_rps", path),
+        mean_burst_s=_float(raw, "mean_burst_s", 0.5, path),
+        mean_idle_s=_float(raw, "mean_idle_s", 2.0, path),
+        alpha=_float(raw, "alpha", 1.5, path),
+        peak_ratio=_float(raw, "peak_ratio", 2.0, path),
+        period_s=_float(raw, "period_s", 10.0, path),
+        phase=_float(raw, "phase", 0.0, path),
+        concurrency=_int(raw, "concurrency", 1, path),
+        think_time_s=_float(raw, "think_time_s", 0.0, path),
+        requests_per_member=_int(raw, "requests_per_member", 1, path),
+    )
+
+
+def _sizes(raw: dict, path: str) -> SizeSpec:
+    _check_keys(raw, {"kind", "bytes", "min_bytes", "max_bytes",
+                      "median_bytes", "sigma", "alpha"}, path)
+    return SizeSpec(
+        kind=str(raw.get("kind", "fixed")),
+        bytes=_int(raw, "bytes", 64, path),
+        min_bytes=_int(raw, "min_bytes", 32, path),
+        max_bytes=_int(raw, "max_bytes", 4096, path),
+        median_bytes=_int(raw, "median_bytes", 128, path),
+        sigma=_float(raw, "sigma", 0.5, path),
+        alpha=_float(raw, "alpha", 1.8, path),
+    )
+
+
+def _cohort(raw: dict, path: str) -> CohortSpec:
+    _check_keys(raw, {"name", "members", "target", "arrival", "file_sizes",
+                      "max_requests", "upload_to"}, path)
+    upload_to = raw.get("upload_to", [])
+    if not isinstance(upload_to, (list, tuple)):
+        raise ScenarioError(f"{path}.upload_to", "expected a list of cloud names")
+    return CohortSpec(
+        name=str(raw.get("name", "")),
+        members=_int(raw, "members", 1, path),
+        target=str(raw.get("target", "")),
+        arrival=_arrival(raw.get("arrival", {}), f"{path}.arrival"),
+        file_sizes=_sizes(raw.get("file_sizes", {}), f"{path}.file_sizes"),
+        max_requests=_opt_int(raw, "max_requests", path),
+        upload_to=tuple(str(c) for c in upload_to),
+    )
+
+
+def _link_params(raw: dict, path: str) -> LinkParams:
+    _check_keys(raw, {"latency_s", "bandwidth_bps", "drop_rate"}, path)
+    return LinkParams(
+        latency_s=_float(raw, "latency_s", 0.005, path),
+        bandwidth_bps=_opt_float(raw, "bandwidth_bps", path),
+        drop_rate=_float(raw, "drop_rate", 0.0, path),
+    )
+
+
+def _topology(raw: dict, path: str) -> TopologySpec:
+    _check_keys(raw, {"sem_groups", "clouds", "verifiers", "links",
+                      "default_link"}, path)
+    groups = []
+    for i, entry in enumerate(raw.get("sem_groups", [])):
+        gpath = f"{path}.sem_groups[{i}]"
+        _check_keys(entry, {"name", "w", "t", "initial_crashed", "sem_link"}, gpath)
+        groups.append(SEMGroupSpec(
+            name=str(entry.get("name", "")),
+            w=_int(entry, "w", 1, gpath),
+            t=_int(entry, "t", 1, gpath),
+            initial_crashed=_int(entry, "initial_crashed", 0, gpath),
+            sem_link=_link_params(entry.get("sem_link", {}), f"{gpath}.sem_link"),
+        ))
+    clouds = []
+    for i, entry in enumerate(raw.get("clouds", [])):
+        cpath = f"{path}.clouds[{i}]"
+        _check_keys(entry, {"name"}, cpath)
+        clouds.append(CloudSpec(name=str(entry.get("name", ""))))
+    verifiers = []
+    for i, entry in enumerate(raw.get("verifiers", [])):
+        vpath = f"{path}.verifiers[{i}]"
+        _check_keys(entry, {"name", "audits", "period_s", "sample_size"}, vpath)
+        verifiers.append(VerifierSpec(
+            name=str(entry.get("name", "")),
+            audits=str(entry.get("audits", "")),
+            period_s=_float(entry, "period_s", 0.5, vpath),
+            sample_size=_opt_int(entry, "sample_size", vpath),
+        ))
+    links = []
+    for i, entry in enumerate(raw.get("links", [])):
+        lpath = f"{path}.links[{i}]"
+        _check_keys(entry, {"src", "dst", "latency_s", "bandwidth_bps",
+                            "drop_rate"}, lpath)
+        links.append(LinkSpec(
+            src=str(entry.get("src", "")),
+            dst=str(entry.get("dst", "")),
+            params=_link_params(
+                {k: v for k, v in entry.items() if k not in ("src", "dst")}, lpath
+            ),
+        ))
+    return TopologySpec(
+        sem_groups=tuple(groups),
+        clouds=tuple(clouds),
+        verifiers=tuple(verifiers),
+        links=tuple(links),
+        default_link=_link_params(raw.get("default_link", {}),
+                                  f"{path}.default_link"),
+    )
+
+
+def _envelope(raw: dict, path: str) -> EnvelopeSpec:
+    _check_keys(raw, {"max_p99_latency_s", "max_p50_latency_s", "max_drop_rate",
+                      "max_failed", "min_completed", "max_exp_per_request",
+                      "max_pair_per_request", "max_virtual_duration_s"}, path)
+    return EnvelopeSpec(
+        max_p99_latency_s=_opt_float(raw, "max_p99_latency_s", path),
+        max_p50_latency_s=_opt_float(raw, "max_p50_latency_s", path),
+        max_drop_rate=_opt_float(raw, "max_drop_rate", path),
+        max_failed=_opt_int(raw, "max_failed", path),
+        min_completed=_opt_int(raw, "min_completed", path),
+        max_exp_per_request=_opt_float(raw, "max_exp_per_request", path),
+        max_pair_per_request=_opt_float(raw, "max_pair_per_request", path),
+        max_virtual_duration_s=_opt_float(raw, "max_virtual_duration_s", path),
+    )
+
+
+def _settings(raw: dict, path: str) -> RunSettings:
+    _check_keys(raw, {"duration_s", "seed", "param_set", "k", "max_requests",
+                      "batch", "failover", "faults", "fault_seed",
+                      "fault_plan_name", "envelope", "metrics"}, path)
+    batch_raw = raw.get("batch", {})
+    _check_keys(batch_raw, {"max_batch", "max_wait_s"}, f"{path}.batch")
+    failover_raw = raw.get("failover", {})
+    _check_keys(failover_raw, {"timeout_s", "round_deadline_s"}, f"{path}.failover")
+    faults_raw = raw.get("faults", [])
+    if not isinstance(faults_raw, list):
+        raise ScenarioError(f"{path}.faults", "expected a list of fault objects")
+    faults = tuple(
+        make_fault(entry, f"{path}.faults[{i}]") for i, entry in enumerate(faults_raw)
+    )
+    metrics = raw.get("metrics", ["latency", "throughput", "ops"])
+    if not isinstance(metrics, (list, tuple)):
+        raise ScenarioError(f"{path}.metrics", "expected a list of metric groups")
+    return RunSettings(
+        duration_s=_float(raw, "duration_s", 1.0, path),
+        seed=_int(raw, "seed", 0, path),
+        param_set=str(raw.get("param_set", "toy-64")),
+        k=_int(raw, "k", 4, path),
+        max_requests=_int(raw, "max_requests", 1000, path),
+        batch=BatchSpec(
+            max_batch=_int(batch_raw, "max_batch", 16, f"{path}.batch"),
+            max_wait_s=_float(batch_raw, "max_wait_s", 0.02, f"{path}.batch"),
+        ),
+        failover=FailoverSpec(
+            timeout_s=_float(failover_raw, "timeout_s", 0.5, f"{path}.failover"),
+            round_deadline_s=_opt_float(failover_raw, "round_deadline_s",
+                                        f"{path}.failover"),
+        ),
+        faults=faults,
+        fault_seed=_opt_int(raw, "fault_seed", path),
+        fault_plan_name=str(raw.get("fault_plan_name", "")),
+        envelope=_envelope(raw.get("envelope", {}), f"{path}.envelope"),
+        metrics=tuple(str(m) for m in metrics),
+    )
+
+
+def scenario_from_dict(raw: dict) -> Scenario:
+    """Build and fully validate a scenario from a parsed document."""
+    _check_keys(raw, {"name", "description", "workload", "topology",
+                      "settings"}, "scenario")
+    workload_raw = raw.get("workload", {})
+    _check_keys(workload_raw, {"cohorts"}, "workload")
+    cohorts_raw = workload_raw.get("cohorts", [])
+    if not isinstance(cohorts_raw, list):
+        raise ScenarioError("workload.cohorts", "expected a list of cohorts")
+    workload = WorkloadSpec(cohorts=tuple(
+        _cohort(entry, f"workload.cohorts[{i}]")
+        for i, entry in enumerate(cohorts_raw)
+    ))
+    return Scenario(
+        name=str(raw.get("name", "")),
+        description=str(raw.get("description", "")),
+        workload=workload,
+        topology=_topology(raw.get("topology", {}), "topology"),
+        settings=_settings(raw.get("settings", {}), "settings"),
+    )
+
+
+def parse_scenario(text: str, source: str = "<string>") -> Scenario:
+    """Parse a YAML or JSON scenario document from a string."""
+    try:
+        import yaml
+    except ImportError:  # pragma: no cover - PyYAML ships with the toolchain
+        yaml = None
+    if yaml is not None:
+        try:
+            raw = yaml.safe_load(text)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(source, f"not valid YAML: {exc}") from None
+    else:
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ScenarioError(
+                source, f"not valid JSON (and PyYAML is unavailable): {exc}"
+            ) from None
+    if not isinstance(raw, dict):
+        raise ScenarioError(source, "document root must be a mapping")
+    return scenario_from_dict(raw)
+
+
+def load_scenario(path) -> Scenario:
+    """Load and validate one scenario file (``.yaml``/``.yml``/``.json``)."""
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(str(path), "no such scenario file")
+    return parse_scenario(path.read_text(), source=str(path))
+
+
+def discover_scenarios(directory) -> list[Path]:
+    """Scenario files under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(
+        p for p in directory.iterdir()
+        if p.suffix in (".yaml", ".yml", ".json") and p.is_file()
+    )

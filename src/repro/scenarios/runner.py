@@ -1,0 +1,333 @@
+"""Execute a compiled scenario and judge it against its envelope.
+
+The runner owns the full lifecycle: compile → arm workload → drain the
+simulator → collect metrics → check the acceptance envelope → emit a
+verdict report.  Everything it reports splits into two planes:
+
+* the **deterministic plane** — completions, latencies, byte counts, op
+  tallies, fault counts — a pure function of the scenario document and
+  its seed.  :meth:`ScenarioResult.digest` hashes exactly this plane, so
+  two runs of one scenario must produce identical digests (the
+  determinism tests replay a million-user scenario and assert it);
+* the **wall plane** — host execution time — reported for humans and
+  excluded from the digest.
+
+Verdict reports follow the bench-run discipline (committed-schema JSON,
+sorted keys) so CI can archive them next to ``BENCH_<suite>.json``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.scenarios.compile import (
+    CompiledScenario,
+    compile_legacy,
+    compile_scenario,
+)
+from repro.scenarios.schema import EnvelopeSpec, Scenario
+
+#: Verdict report schema identifier (bump on breaking changes).
+VERDICT_SCHEMA = "repro-scenario-verdict-v1"
+
+
+def percentile(sorted_values: list[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    pos = q * (len(sorted_values) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+@dataclass(frozen=True)
+class EnvelopeViolation:
+    """One acceptance-envelope check that failed."""
+
+    check: str
+    limit: float
+    observed: float
+
+    def render(self) -> str:
+        return f"{self.check}: observed {self.observed:.6g} vs limit {self.limit:.6g}"
+
+
+@dataclass
+class ScenarioResult:
+    """The runner's complete accounting of one finished run."""
+
+    scenario: Scenario
+    issued: int = 0
+    completed: int = 0
+    failed: int = 0
+    dropped_messages: int = 0
+    delivered_messages: int = 0
+    bytes_on_wire: int = 0
+    virtual_duration_s: float = 0.0
+    wall_s: float = 0.0                      # excluded from the digest
+    latencies: list[float] = field(default_factory=list)
+    ops: dict[str, int] = field(default_factory=dict)
+    cohorts: dict[str, dict] = field(default_factory=dict)
+    clouds: dict[str, dict] = field(default_factory=dict)
+    verifiers: dict[str, dict] = field(default_factory=dict)
+    services: dict[str, dict] = field(default_factory=dict)
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    violations: list[EnvelopeViolation] = field(default_factory=list)
+
+    @property
+    def lost(self) -> int:
+        """Requests that never got a terminal response (dropped in flight)."""
+        return self.issued - self.completed - self.failed
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.delivered_messages + self.dropped_messages
+        return self.dropped_messages / total if total else 0.0
+
+    @property
+    def latency_p50_s(self) -> float:
+        return percentile(sorted(self.latencies), 0.50)
+
+    @property
+    def latency_p99_s(self) -> float:
+        return percentile(sorted(self.latencies), 0.99)
+
+    def model_ops(self) -> dict[str, int]:
+        """Raw counter tallies folded into the paper's Table I units."""
+        from repro.obs.exporters import model_equivalent_exp
+
+        return {"exp": model_equivalent_exp(self.ops),
+                "pair": self.ops.get("pairings", 0)}
+
+    def ops_per_request(self, key: str) -> float:
+        """Model-equivalent ``exp``/``pair`` operations per issued request."""
+        return self.model_ops()[key] / self.issued if self.issued else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.violations
+
+    # -- determinism ---------------------------------------------------------
+    def deterministic_view(self) -> dict:
+        """The digest's input: every metric that must replay identically."""
+        return {
+            "scenario": self.scenario.name,
+            "seed": self.scenario.settings.seed,
+            "issued": self.issued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "lost": self.lost,
+            "dropped_messages": self.dropped_messages,
+            "delivered_messages": self.delivered_messages,
+            "bytes_on_wire": self.bytes_on_wire,
+            "virtual_duration_s": round(self.virtual_duration_s, 9),
+            "latencies": [round(v, 9) for v in self.latencies],
+            "ops": dict(sorted(self.ops.items())),
+            "cohorts": {k: self.cohorts[k] for k in sorted(self.cohorts)},
+            "clouds": {k: self.clouds[k] for k in sorted(self.clouds)},
+            "verifiers": {k: self.verifiers[k] for k in sorted(self.verifiers)},
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+        }
+
+    def digest(self) -> str:
+        canonical = json.dumps(self.deterministic_view(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    # -- reporting -----------------------------------------------------------
+    def to_report(self) -> dict:
+        """The verdict document written by ``repro-pdp scenario run``."""
+        return {
+            "schema": VERDICT_SCHEMA,
+            "scenario": self.scenario.name,
+            "description": self.scenario.description,
+            "seed": self.scenario.settings.seed,
+            "verdict": "pass" if self.passed else "fail",
+            "checks": self.scenario.settings.envelope.checks,
+            "violations": [
+                {"check": v.check, "limit": v.limit, "observed": v.observed}
+                for v in self.violations
+            ],
+            "digest": self.digest(),
+            "wall_s": self.wall_s,
+            "metrics": {
+                "issued": self.issued,
+                "completed": self.completed,
+                "failed": self.failed,
+                "lost": self.lost,
+                "drop_rate": self.drop_rate,
+                "latency_p50_s": self.latency_p50_s,
+                "latency_p99_s": self.latency_p99_s,
+                "virtual_duration_s": self.virtual_duration_s,
+                "bytes_on_wire": self.bytes_on_wire,
+                "exp_per_request": self.ops_per_request("exp"),
+                "pair_per_request": self.ops_per_request("pair"),
+            },
+            "population": {
+                "total_members": self.scenario.workload.total_members,
+                "cohorts": {k: self.cohorts[k] for k in sorted(self.cohorts)},
+            },
+            "clouds": {k: self.clouds[k] for k in sorted(self.clouds)},
+            "verifiers": {k: self.verifiers[k] for k in sorted(self.verifiers)},
+            "services": {k: self.services[k] for k in sorted(self.services)},
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+        }
+
+
+def check_envelope(result: ScenarioResult,
+                   envelope: EnvelopeSpec) -> list[EnvelopeViolation]:
+    """Every envelope check that the finished run violates."""
+    observed = {
+        "max_p99_latency_s": result.latency_p99_s,
+        "max_p50_latency_s": result.latency_p50_s,
+        "max_drop_rate": result.drop_rate,
+        "max_failed": float(result.failed),
+        "min_completed": float(result.completed),
+        "max_exp_per_request": result.ops_per_request("exp"),
+        "max_pair_per_request": result.ops_per_request("pair"),
+        "max_virtual_duration_s": result.virtual_duration_s,
+    }
+    violations = []
+    for check in envelope.checks:
+        limit = float(getattr(envelope, check))
+        value = observed[check]
+        breached = value < limit if check.startswith("min_") else value > limit
+        if breached:
+            violations.append(EnvelopeViolation(check=check, limit=limit,
+                                                observed=value))
+    return violations
+
+
+class ScenarioRunner:
+    """Compile, execute, and judge one scenario.
+
+    The legacy path (``scenario.legacy``) reproduces the historical
+    ``serve-sim`` wiring byte-for-byte so the flag shim cannot drift from
+    the behaviour the chaos-smoke CI job and the verify recipe pin down;
+    both paths share this collection and verdict logic.
+    """
+
+    def __init__(self, scenario: Scenario, obs=None, journal=None,
+                 chaos_plan=None, max_events: int | None = None):
+        self.scenario = scenario
+        self.obs = obs
+        self.journal = journal
+        self.chaos_plan = chaos_plan
+        self.max_events = max_events
+        self.compiled: CompiledScenario | None = None
+        self.replayed = 0
+
+    def compile(self) -> CompiledScenario:
+        if self.compiled is None:
+            if self.scenario.legacy:
+                self.compiled = compile_legacy(
+                    self.scenario, self.obs, journal=self.journal,
+                    chaos_plan=self.chaos_plan,
+                )
+            else:
+                self.compiled = compile_scenario(self.scenario, obs=self.obs)
+        return self.compiled
+
+    def run(self) -> ScenarioResult:
+        compiled = self.compile()
+        started = time.perf_counter()
+        if self.scenario.legacy:
+            self._drive_legacy(compiled)
+        else:
+            compiled.start_workload()
+        virtual_end = compiled.sim.run(max_events=self.max_events)
+        result = self._collect(compiled, virtual_end)
+        result.wall_s = time.perf_counter() - started
+        result.violations = check_envelope(result,
+                                           self.scenario.settings.envelope)
+        return result
+
+    # -- legacy drive --------------------------------------------------------
+    def _drive_legacy(self, compiled: CompiledScenario) -> None:
+        """The historical request loop: every request enqueued at t = 0,
+        payload bytes drawn from the root RNG in client-major order."""
+        self.replayed = compiled.legacy_replayed
+        cohort = self.scenario.workload.cohorts[0]
+        rng = compiled.legacy_rng
+        size = cohort.file_sizes.bytes
+        for i, client in enumerate(compiled.legacy_clients):
+            for n in range(cohort.arrival.requests_per_member):
+                data = rng.randbytes(size)
+                compiled.sim.send(
+                    client.request_for_data(data, f"file-{i}-{n}".encode())
+                )
+
+    # -- collection ----------------------------------------------------------
+    def _collect(self, compiled: CompiledScenario,
+                 virtual_end: float) -> ScenarioResult:
+        sim = compiled.sim
+        result = ScenarioResult(scenario=self.scenario)
+        result.virtual_duration_s = virtual_end
+        result.dropped_messages = sim.dropped
+        result.delivered_messages = sim.delivered
+        result.bytes_on_wire = sim.total_bytes()
+        if compiled.counter is not None:
+            result.ops = {k: v for k, v in compiled.counter.snapshot().items() if v}
+        if self.scenario.legacy:
+            clients = compiled.legacy_clients
+            result.issued = compiled.legacy_expected
+            result.completed = sum(len(c.completed) for c in clients)
+            result.failed = sum(len(c.failed) for c in clients)
+            for client in clients:
+                result.latencies.extend(client.latencies)
+            cohort = self.scenario.workload.cohorts[0]
+            result.cohorts[cohort.name] = {
+                "members": cohort.members,
+                "requests": result.issued,
+                "completed": result.completed,
+                "failed": result.failed,
+            }
+        else:
+            for name, node in compiled.cohorts.items():
+                result.issued += node.issued
+                result.completed += len(node.completed)
+                result.failed += len(node.failed)
+                result.latencies.extend(node.latencies)
+                result.cohorts[name] = node.stats()
+        for name, node in compiled.clouds.items():
+            result.clouds[name] = {
+                "files_stored": node.server.stored_files,
+            }
+        for name, node in compiled.verifiers.items():
+            result.verifiers[name] = {
+                "audits_passed": node.audits_passed,
+                "audits_failed": node.audits_failed,
+                "files_watched": len(node.watched),
+            }
+        for name, service in compiled.services.items():
+            summary = service.metrics.summary()
+            health = service.health.summary()
+            result.services[name] = {
+                "batches": summary["batches"],
+                "batch_size_mean": summary["batch_size_mean"],
+                "signatures_produced": summary["signatures_produced"],
+                "queue_high_watermark": summary["queue_high_watermark"],
+                "retries": summary["retries"],
+                "failovers": summary["failovers"],
+                "latency_p50_s": summary["latency_p50_s"],
+                "latency_p99_s": summary["latency_p99_s"],
+                "quarantine_trips": health["trips"],
+                "probes": health["probes"],
+                "invalid_share_batches": health["invalid_total"],
+            }
+        if compiled.injector is not None:
+            result.fault_counts = dict(compiled.injector.counts)
+        return result
+
+
+def run_scenario(scenario: Scenario, obs=None,
+                 max_events: int | None = None) -> ScenarioResult:
+    """One-call convenience used by tests and the bench suite."""
+    return ScenarioRunner(scenario, obs=obs, max_events=max_events).run()

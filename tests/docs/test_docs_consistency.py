@@ -83,6 +83,33 @@ def test_bench_suite_help_matches_registry():
     )
 
 
+def test_docs_document_the_scenario_engine():
+    """The scenario command group is load-bearing documentation: at least
+    one documented invocation per subcommand must appear (and therefore
+    parse, via test_documented_invocation_parses)."""
+    scenario_lines = [c for _, c in DOCUMENTED if c.startswith("repro-pdp scenario")]
+    for sub in ("validate", "run", "list"):
+        assert any(f"scenario {sub}" in line for line in scenario_lines), (
+            f"no doc shows `repro-pdp scenario {sub} ...`: {scenario_lines}"
+        )
+
+
+def test_docs_referenced_scenarios_exist_and_validate():
+    """Every ``scenarios/*.yaml`` path the docs mention is a real,
+    schema-valid document in the committed corpus."""
+    from repro.scenarios import load_scenario
+
+    pattern = re.compile(r"scenarios/[\w.-]+\.(?:ya?ml|json)")
+    referenced = set()
+    for path in DOC_FILES:
+        referenced.update(pattern.findall(path.read_text()))
+    assert referenced, "docs never reference a scenario document"
+    for rel in sorted(referenced):
+        target = REPO / rel
+        assert target.exists(), f"docs reference {rel}, which does not exist"
+        load_scenario(target)  # raises ScenarioError on an invalid document
+
+
 def _github_anchor(heading: str) -> str:
     """GitHub's heading → anchor slug (lowercase, punctuation dropped)."""
     heading = re.sub(r"`([^`]*)`", r"\1", heading.strip())

@@ -1,0 +1,45 @@
+"""Shared builders for scenario-engine tests.
+
+``base_doc()`` returns a minimal *valid* scenario document; rejection
+tests mutate one field and assert the validator names the broken path,
+runner tests tweak the workload shape.  Deep-copying per test keeps the
+mutations independent.
+"""
+
+from __future__ import annotations
+
+import copy
+
+import pytest
+
+
+def base_doc() -> dict:
+    return {
+        "name": "test-base",
+        "workload": {
+            "cohorts": [
+                {
+                    "name": "writers",
+                    "members": 3,
+                    "target": "org",
+                    "arrival": {"kind": "batch", "requests_per_member": 2},
+                    "file_sizes": {"kind": "fixed", "bytes": 64, "max_bytes": 64},
+                },
+            ],
+        },
+        "topology": {
+            "sem_groups": [{"name": "org", "w": 1, "t": 1}],
+        },
+        "settings": {
+            "duration_s": 0.5,
+            "seed": 1,
+            "param_set": "toy-64",
+            "k": 4,
+            "max_requests": 6,
+        },
+    }
+
+
+@pytest.fixture()
+def doc() -> dict:
+    return copy.deepcopy(base_doc())

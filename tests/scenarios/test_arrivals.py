@@ -1,0 +1,149 @@
+"""Statistical checks on the seeded arrival processes.
+
+Each sampler is driven by a fixed-seed ``random.Random``, so these are
+deterministic assertions about large-sample statistics, not flaky
+tolerance games: same seed, same draws, same means.  What we check is
+the *shape contract* from the module docstring — all open-loop kinds hit
+the same long-run mean rate; they differ in dispersion and modulation.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.scenarios.arrivals import (
+    DiurnalProcess,
+    MMPPProcess,
+    ParetoProcess,
+    PoissonProcess,
+    make_arrival_process,
+)
+from repro.scenarios.schema import ArrivalSpec, ScenarioError
+
+N = 20_000
+
+
+def gaps(process, n=N) -> list[float]:
+    return [process.next_interarrival() for _ in range(n)]
+
+
+def cv(values) -> float:
+    return statistics.pstdev(values) / statistics.fmean(values)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        sample = gaps(PoissonProcess(50.0, random.Random(101)))
+        assert statistics.fmean(sample) == pytest.approx(1 / 50.0, rel=0.03)
+
+    def test_memoryless_dispersion(self):
+        sample = gaps(PoissonProcess(50.0, random.Random(102)))
+        assert cv(sample) == pytest.approx(1.0, abs=0.05)
+
+
+class TestMMPP:
+    RATES = dict(base_rate=20.0, burst_rate=200.0,
+                 mean_burst_s=0.5, mean_idle_s=2.0)
+
+    def test_long_run_mean_is_sojourn_weighted(self):
+        # Time-weighted rate: (idle_s*base + burst_s*burst) / (idle_s + burst_s).
+        r = self.RATES
+        expected = ((r["mean_idle_s"] * r["base_rate"]
+                     + r["mean_burst_s"] * r["burst_rate"])
+                    / (r["mean_idle_s"] + r["mean_burst_s"]))
+        sample = gaps(MMPPProcess(rng=random.Random(103), **self.RATES))
+        observed = len(sample) / sum(sample)
+        assert observed == pytest.approx(expected, rel=0.10)
+
+    def test_overdispersed_vs_poisson(self):
+        sample = gaps(MMPPProcess(rng=random.Random(104), **self.RATES))
+        assert cv(sample) > 1.3
+
+
+class TestPareto:
+    def test_mean_rate(self):
+        # alpha = 2.5 has finite variance, so the sample mean converges.
+        sample = gaps(ParetoProcess(10.0, alpha=2.5, rng=random.Random(105)))
+        assert statistics.fmean(sample) == pytest.approx(0.1, rel=0.05)
+
+    def test_tail_index(self):
+        # P(X > c*x_m) = c^-alpha for a Pareto tail; check one decade out.
+        alpha = 1.5
+        process = ParetoProcess(10.0, alpha=alpha, rng=random.Random(106))
+        sample = gaps(process, n=50_000)
+        c = 10.0
+        expected = c ** -alpha
+        observed = sum(g > c * process.x_m for g in sample) / len(sample)
+        assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_heavier_than_exponential(self):
+        sample = gaps(ParetoProcess(10.0, alpha=1.4, rng=random.Random(107)))
+        assert cv(sample) > 1.5
+
+
+class TestDiurnal:
+    def test_long_run_mean(self):
+        process = DiurnalProcess(100.0, peak_ratio=3.0, period_s=1.0,
+                                 phase=0.0, rng=random.Random(108))
+        sample = gaps(process)
+        assert len(sample) / sum(sample) == pytest.approx(100.0, rel=0.05)
+
+    def test_rate_profile_bounds(self):
+        process = DiurnalProcess(100.0, peak_ratio=3.0, period_s=1.0,
+                                 phase=0.0, rng=random.Random(109))
+        depth = (3.0 - 1.0) / (3.0 + 1.0)
+        rates = [process.rate_at(t / 200.0) for t in range(200)]
+        assert max(rates) == pytest.approx(100.0 * (1 + depth), rel=1e-3)
+        assert min(rates) == pytest.approx(100.0 * (1 - depth), rel=1e-3)
+
+    def test_windowed_modulation(self):
+        # With phase 0 the sinusoid is positive on the first half-period:
+        # arrivals there must outnumber the second half, ~(1 + 2d/pi)/(1 - 2d/pi).
+        process = DiurnalProcess(100.0, peak_ratio=3.0, period_s=1.0,
+                                 phase=0.0, rng=random.Random(110))
+        first = second = 0
+        t = 0.0
+        for _ in range(N):
+            t += process.next_interarrival()
+            if t % 1.0 < 0.5:
+                first += 1
+            else:
+                second += 1
+        depth = 0.5
+        expected = (1 + 2 * depth / math.pi) / (1 - 2 * depth / math.pi)
+        assert first / second == pytest.approx(expected, rel=0.10)
+
+
+class TestFactory:
+    def test_per_user_rate_scales_with_members(self):
+        spec = ArrivalSpec(kind="poisson", per_user_rps=0.0002)
+        process = make_arrival_process(spec, members=1_000_000,
+                                       rng=random.Random(111))
+        sample = gaps(process, n=5_000)
+        assert len(sample) / sum(sample) == pytest.approx(200.0, rel=0.05)
+
+    def test_each_kind_maps_to_its_class(self):
+        rng = random.Random(112)
+        cases = [
+            (ArrivalSpec(kind="poisson", rate_rps=10.0), PoissonProcess),
+            (ArrivalSpec(kind="mmpp", rate_rps=10.0, burst_rate_rps=100.0),
+             MMPPProcess),
+            (ArrivalSpec(kind="pareto", rate_rps=10.0, alpha=1.5), ParetoProcess),
+            (ArrivalSpec(kind="diurnal", rate_rps=10.0), DiurnalProcess),
+        ]
+        for spec, cls in cases:
+            assert isinstance(make_arrival_process(spec, 10, rng), cls)
+
+    def test_batch_has_no_interarrival_process(self):
+        spec = ArrivalSpec(kind="batch")
+        with pytest.raises(ScenarioError):
+            make_arrival_process(spec, 10, random.Random(113))
+
+    def test_same_seed_same_stream(self):
+        a = gaps(PoissonProcess(50.0, random.Random(7)), n=100)
+        b = gaps(PoissonProcess(50.0, random.Random(7)), n=100)
+        assert a == b

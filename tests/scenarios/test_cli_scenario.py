@@ -1,0 +1,126 @@
+"""The ``repro-pdp scenario`` command group and ``serve-sim --scenario``."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+CORPUS = REPO_ROOT / "scenarios"
+
+GOOD_YAML = """\
+name: cli-good
+workload:
+  cohorts:
+    - name: writers
+      members: 3
+      target: org
+      arrival: {kind: batch, requests_per_member: 2}
+      file_sizes: {kind: fixed, bytes: 64, max_bytes: 64}
+topology:
+  sem_groups:
+    - {name: org, w: 1, t: 1}
+settings:
+  duration_s: 0.5
+  seed: 1
+  max_requests: 6
+  envelope: {min_completed: 6, max_failed: 0}
+"""
+
+BAD_YAML = GOOD_YAML.replace("w: 1, t: 1", "w: 1, t: 3")
+
+
+@pytest.fixture()
+def good(tmp_path) -> Path:
+    path = tmp_path / "good.yaml"
+    path.write_text(GOOD_YAML)
+    return path
+
+
+@pytest.fixture()
+def bad(tmp_path) -> Path:
+    path = tmp_path / "bad.yaml"
+    path.write_text(BAD_YAML)
+    return path
+
+
+class TestValidate:
+    def test_valid_document(self, good, capsys):
+        assert main(["scenario", "validate", str(good)]) == 0
+        assert "ok — 'cli-good'" in capsys.readouterr().out
+
+    def test_invalid_document(self, bad, capsys):
+        assert main(["scenario", "validate", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "INVALID" in out and "t=3 exceeds group size w=1" in out
+
+    def test_mixed_batch_reports_every_failure(self, good, bad, capsys):
+        assert main(["scenario", "validate", str(good), str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "ok" in out and "INVALID" in out
+
+    def test_missing_file(self, tmp_path, capsys):
+        assert main(["scenario", "validate", str(tmp_path / "nope.yaml")]) == 1
+        assert "no such scenario file" in capsys.readouterr().out
+
+
+class TestRun:
+    def test_run_passes_envelope(self, good, capsys):
+        assert main(["scenario", "run", str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "PASS" in out and "digest" in out
+
+    def test_run_fails_envelope(self, tmp_path, capsys):
+        path = tmp_path / "strict.yaml"
+        path.write_text(GOOD_YAML.replace("min_completed: 6",
+                                          "min_completed: 999"))
+        assert main(["scenario", "run", str(path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_report_out(self, good, tmp_path, capsys):
+        report_path = tmp_path / "verdict.json"
+        assert main(["scenario", "run", str(good),
+                     "--report-out", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro-scenario-verdict-v1"
+        assert report["verdict"] == "pass"
+        assert report["metrics"]["completed"] == 6
+
+    def test_seed_override_changes_digest(self, good, capsys):
+        assert main(["scenario", "run", str(good)]) == 0
+        base = capsys.readouterr().out
+        assert main(["scenario", "run", str(good), "--seed", "99"]) == 0
+        reseeded = capsys.readouterr().out
+
+        def digest(out: str) -> str:
+            return next(line for line in out.splitlines() if "digest" in line)
+
+        assert digest(base) != digest(reseeded)
+
+
+class TestList:
+    def test_lists_corpus(self, capsys):
+        assert main(["scenario", "list", "--dir", str(CORPUS)]) == 0
+        out = capsys.readouterr().out
+        assert "paper_table1.yaml" in out
+        assert "million_user_diurnal.yaml" in out
+
+    def test_empty_directory(self, tmp_path, capsys):
+        assert main(["scenario", "list", "--dir", str(tmp_path)]) == 0
+        assert "no scenario documents" in capsys.readouterr().out
+
+
+class TestServeSimFrontDoor:
+    def test_scenario_flag_routes_to_engine(self, good, capsys):
+        assert main(["serve-sim", "--scenario", str(good)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-good" in out and "PASS" in out
+
+    def test_legacy_flags_still_work(self, capsys):
+        assert main(["serve-sim", "--clients", "2", "--requests", "2",
+                     "--seed", "3"]) == 0
+        assert "completed" in capsys.readouterr().out

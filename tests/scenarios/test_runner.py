@@ -1,0 +1,124 @@
+"""End-to-end runs through the scenario runner: verdicts, envelopes, faults.
+
+Small documents (single-digit request budgets, toy-64 params) so the
+whole module stays in tier-1 time, while still exercising the full
+pipeline: compile -> drive -> collect -> envelope -> report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    EnvelopeSpec,
+    VERDICT_SCHEMA,
+    check_envelope,
+    run_scenario,
+    scenario_from_dict,
+)
+
+
+class TestHappyPath:
+    def test_batch_cohort_completes_budget(self, doc):
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.issued == result.completed == 6
+        assert result.failed == 0
+        assert result.passed
+        assert result.latency_p99_s > 0
+        assert result.ops.get("exp_g1", 0) > 0
+
+    def test_upload_and_audit_pipeline(self, doc):
+        doc["topology"]["clouds"] = [{"name": "cloud"}]
+        doc["topology"]["verifiers"] = [
+            {"name": "tpa", "audits": "cloud", "period_s": 0.1}]
+        doc["workload"]["cohorts"][0]["upload_to"] = ["cloud"]
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.completed == 6
+        assert result.clouds["cloud"]["files_stored"] == 6
+        tpa = result.verifiers["tpa"]
+        assert tpa["audits_passed"] > 0 and tpa["audits_failed"] == 0
+
+    def test_global_budget_caps_cohorts(self, doc):
+        doc["settings"]["max_requests"] = 4     # below the 3x2 batch demand
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.issued == result.completed == 4
+
+
+class TestEnvelope:
+    def test_violation_fails_run(self, doc):
+        doc["settings"]["envelope"] = {"min_completed": 999}
+        result = run_scenario(scenario_from_dict(doc))
+        assert not result.passed
+        assert any(v.check == "min_completed" for v in result.violations)
+        rendered = result.violations[0].render()
+        assert "999" in rendered and "6" in rendered
+
+    def test_check_envelope_direct(self, doc):
+        result = run_scenario(scenario_from_dict(doc))
+        assert check_envelope(result, EnvelopeSpec()) == []
+        violations = check_envelope(result, EnvelopeSpec(
+            max_p99_latency_s=1e-9, max_failed=0, min_completed=1))
+        assert [v.check for v in violations] == ["max_p99_latency_s"]
+
+    def test_op_cost_envelope_uses_model_units(self, doc):
+        result = run_scenario(scenario_from_dict(doc))
+        model = result.model_ops()
+        assert model["exp"] > 0
+        # A bound right at the observed cost passes; epsilon below fails.
+        per_req = model["exp"] / result.issued
+        assert check_envelope(result, EnvelopeSpec(
+            max_exp_per_request=per_req)) == []
+        violations = check_envelope(result, EnvelopeSpec(
+            max_exp_per_request=per_req * 0.99))
+        assert [v.check for v in violations] == ["max_exp_per_request"]
+
+    def test_report_document(self, doc):
+        doc["settings"]["envelope"] = {"min_completed": 6, "max_failed": 0}
+        result = run_scenario(scenario_from_dict(doc))
+        report = result.to_report()
+        assert report["schema"] == VERDICT_SCHEMA
+        assert report["scenario"] == "test-base"
+        assert report["verdict"] == "pass"
+        assert report["checks"] == ["max_failed", "min_completed"]
+        assert report["digest"] == result.digest()
+
+
+class TestFaultAxis:
+    def test_crash_failover_still_completes(self, doc):
+        doc["topology"]["sem_groups"][0].update(w=3, t=2)
+        doc["settings"]["failover"] = {"timeout_s": 0.02}
+        doc["settings"]["faults"] = [
+            {"kind": "crash", "node": "sem-org-0", "at": 0.0, "until": 0.4}]
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.completed == 6 and result.failed == 0
+        assert sum(result.fault_counts.values()) > 0
+
+    def test_partition_drops_are_counted(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "poisson", "rate_rps": 40.0}
+        doc["settings"]["max_requests"] = 12
+        doc["settings"]["duration_s"] = 1.0
+        doc["settings"]["faults"] = [
+            {"kind": "partition", "links": [["c-writers", "svc-org"]],
+             "at": 0.2, "until": 0.6}]
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.dropped_messages > 0
+        assert result.lost > 0
+        assert 0.0 < result.drop_rate < 1.0
+
+    def test_initial_crash_within_tolerance(self, doc):
+        doc["topology"]["sem_groups"][0].update(
+            w=3, t=2, initial_crashed=1)
+        doc["settings"]["failover"] = {"timeout_s": 0.02}
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.completed == 6
+
+
+class TestClosedLoop:
+    def test_closed_cohort_respects_concurrency(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "closed", "concurrency": 2, "think_time_s": 0.01}
+        doc["workload"]["cohorts"][0]["members"] = 5
+        doc["settings"]["max_requests"] = 8
+        result = run_scenario(scenario_from_dict(doc))
+        assert result.issued == result.completed == 8

@@ -1,0 +1,205 @@
+"""Validator rejection tests: every broken document names its broken path.
+
+The schema is the subsystem's contract — by the time a ``Scenario``
+exists the compiler runs with no defensive checks, so everything illegal
+must die here, with a path a user can find in their YAML.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import ScenarioError, scenario_from_dict
+
+
+def err(doc) -> ScenarioError:
+    with pytest.raises(ScenarioError) as exc_info:
+        scenario_from_dict(doc)
+    return exc_info.value
+
+
+class TestDocumentShape:
+    def test_base_doc_is_valid(self, doc):
+        scenario = scenario_from_dict(doc)
+        assert scenario.name == "test-base"
+        assert scenario.total_requests_budget == 6
+
+    def test_unknown_top_level_key(self, doc):
+        doc["wrokload"] = doc.pop("workload")
+        assert "wrokload" in str(err(doc))
+
+    def test_unknown_settings_key(self, doc):
+        doc["settings"]["durationn_s"] = 1.0
+        e = err(doc)
+        assert e.path == "settings" and "durationn_s" in e.problem
+
+    def test_unknown_cohort_key(self, doc):
+        doc["workload"]["cohorts"][0]["uploads"] = ["cloud"]
+        assert "workload.cohorts[0]" in str(err(doc))
+
+    def test_non_numeric_field(self, doc):
+        doc["settings"]["duration_s"] = "fast"
+        assert "settings.duration_s" in str(err(doc))
+
+    def test_empty_workload(self, doc):
+        doc["workload"]["cohorts"] = []
+        assert "at least one cohort" in str(err(doc))
+
+    def test_bad_name_characters(self, doc):
+        doc["name"] = "spaces are bad"
+        assert "alphanumerics" in str(err(doc))
+
+
+class TestArrivalValidation:
+    def test_unknown_kind(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {"kind": "flood"}
+        assert "unknown arrival kind" in str(err(doc))
+
+    def test_negative_rate(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "poisson", "rate_rps": -5.0}
+        assert "must be positive" in str(err(doc))
+
+    def test_rate_and_per_user_are_exclusive(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "poisson", "rate_rps": 10.0, "per_user_rps": 0.1}
+        assert "exactly one" in str(err(doc))
+
+    def test_mmpp_needs_burst_rate(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "mmpp", "rate_rps": 10.0}
+        assert "burst_rate_rps" in str(err(doc))
+
+    def test_mmpp_burst_below_base(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "mmpp", "rate_rps": 100.0, "burst_rate_rps": 10.0}
+        assert ">=" in str(err(doc))
+
+    def test_pareto_tail_index(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "pareto", "rate_rps": 10.0, "alpha": 0.9}
+        assert "alpha" in str(err(doc))
+
+    def test_diurnal_phase_range(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "diurnal", "rate_rps": 10.0, "phase": 1.5}
+        assert "phase" in str(err(doc))
+
+    def test_closed_concurrency_exceeds_members(self, doc):
+        doc["workload"]["cohorts"][0]["arrival"] = {
+            "kind": "closed", "concurrency": 50}
+        assert "exceeds" in str(err(doc))
+
+
+class TestSizeValidation:
+    def test_unknown_kind(self, doc):
+        doc["workload"]["cohorts"][0]["file_sizes"] = {"kind": "zipf"}
+        assert "unknown size kind" in str(err(doc))
+
+    def test_fixed_above_clamp(self, doc):
+        doc["workload"]["cohorts"][0]["file_sizes"] = {
+            "kind": "fixed", "bytes": 9000, "max_bytes": 4096}
+        assert "[1, max_bytes]" in str(err(doc))
+
+    def test_uniform_inverted_bounds(self, doc):
+        doc["workload"]["cohorts"][0]["file_sizes"] = {
+            "kind": "uniform", "min_bytes": 512, "max_bytes": 64}
+        assert "min_bytes <= max_bytes" in str(err(doc))
+
+
+class TestTopologyValidation:
+    def test_threshold_exceeds_group_size(self, doc):
+        doc["topology"]["sem_groups"][0].update(w=2, t=3)
+        assert "t=3 exceeds group size w=2" in str(err(doc))
+
+    def test_initial_crashed_below_threshold(self, doc):
+        doc["topology"]["sem_groups"][0].update(w=3, t=2, initial_crashed=2)
+        assert "can never sign" in str(err(doc))
+
+    def test_dangling_cohort_target(self, doc):
+        doc["workload"]["cohorts"][0]["target"] = "ghost"
+        assert "unknown SEM group 'ghost'" in str(err(doc))
+
+    def test_dangling_upload_cloud(self, doc):
+        doc["workload"]["cohorts"][0]["upload_to"] = ["nimbus"]
+        assert "unknown cloud 'nimbus'" in str(err(doc))
+
+    def test_verifier_audits_unknown_cloud(self, doc):
+        doc["topology"]["verifiers"] = [{"name": "tpa", "audits": "nimbus"}]
+        assert "audits unknown cloud" in str(err(doc))
+
+    def test_link_unknown_endpoint(self, doc):
+        doc["topology"]["links"] = [{"src": "writers", "dst": "ghost"}]
+        assert "unknown endpoint 'ghost'" in str(err(doc))
+
+    def test_duplicate_topology_names(self, doc):
+        doc["topology"]["clouds"] = [{"name": "org"}]
+        assert "duplicate topology name" in str(err(doc))
+
+    def test_duplicate_cohort_names(self, doc):
+        doc["workload"]["cohorts"].append(
+            dict(doc["workload"]["cohorts"][0]))
+        assert "duplicate cohort name" in str(err(doc))
+
+    def test_drop_rate_must_be_sub_one(self, doc):
+        doc["topology"]["default_link"] = {"drop_rate": 1.0}
+        assert "drop_rate" in str(err(doc))
+
+    def test_cloud_signed_by_two_groups(self, doc):
+        doc["topology"]["sem_groups"].append({"name": "org2", "w": 1, "t": 1})
+        doc["topology"]["clouds"] = [{"name": "cloud"}]
+        doc["workload"]["cohorts"][0]["upload_to"] = ["cloud"]
+        doc["workload"]["cohorts"].append({
+            "name": "others", "members": 2, "target": "org2",
+            "arrival": {"kind": "batch"}, "upload_to": ["cloud"],
+        })
+        assert "one cloud, one signing group" in str(err(doc))
+
+
+class TestSettingsValidation:
+    def test_unknown_param_set(self, doc):
+        doc["settings"]["param_set"] = "prod-4096"
+        assert "unknown param_set" in str(err(doc))
+
+    def test_unknown_metric_group(self, doc):
+        doc["settings"]["metrics"] = ["latency", "vibes"]
+        assert "unknown metric group" in str(err(doc))
+
+    def test_negative_envelope_bound(self, doc):
+        doc["settings"]["envelope"] = {"max_p99_latency_s": -0.1}
+        assert "non-negative" in str(err(doc))
+
+    def test_unknown_fault_kind(self, doc):
+        doc["settings"]["faults"] = [{"kind": "meteor", "node": "svc-org"}]
+        assert "settings.faults[0]" in str(err(doc))
+
+    def test_fault_targets_unknown_node(self, doc):
+        doc["settings"]["faults"] = [
+            {"kind": "crash", "node": "sem-org-9", "at": 0.0}]
+        e = err(doc)
+        assert "unknown node 'sem-org-9'" in e.problem
+        # The diagnosis lists the legal names (the compile contract).
+        assert "svc-org" in e.problem and "sem-org-0" in e.problem
+
+    def test_fault_link_pattern_unknown_node(self, doc):
+        doc["settings"]["faults"] = [
+            {"kind": "partition", "links": [["c-writers", "svc-ghost"]],
+             "at": 0.0}]
+        assert "svc-ghost" in str(err(doc))
+
+    def test_fault_link_wildcard_allowed(self, doc):
+        doc["settings"]["faults"] = [
+            {"kind": "slow", "links": [["*", "svc-org"]],
+             "at": 0.0, "delay_s": 0.01}]
+        scenario = scenario_from_dict(doc)
+        assert scenario.settings.faults[0].kind == "slow"
+
+
+class TestNodeNameContract:
+    def test_compiled_names(self, doc):
+        doc["topology"]["sem_groups"][0].update(w=3, t=2)
+        doc["topology"]["clouds"] = [{"name": "cloud"}]
+        doc["topology"]["verifiers"] = [{"name": "tpa", "audits": "cloud"}]
+        names = scenario_from_dict(doc).node_names()
+        assert names == {"svc-org", "sem-org-0", "sem-org-1", "sem-org-2",
+                         "c-writers", "cloud", "tpa"}
