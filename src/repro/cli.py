@@ -39,6 +39,7 @@ CLOUD_DIR = "cloud"
 OBS_DIR = "obs"
 PRECOMPUTE_DIR = "precompute"
 LAST_RUN_FILE = "last_run.json"
+LEDGER_FILE = "ledger.jsonl"
 
 
 class CliError(Exception):
@@ -129,13 +130,66 @@ def _make_obs():
     return Observability.create()
 
 
-def _write_obs_outputs(args, obs) -> None:
+def _write_obs_outputs(args, obs, header: dict | None = None) -> None:
     from repro.obs import write_metrics_text, write_trace_jsonl
 
     if getattr(args, "trace_out", None):
-        write_trace_jsonl(obs.tracer, args.trace_out)
+        write_trace_jsonl(obs.tracer, args.trace_out, header=header)
     if getattr(args, "metrics_out", None):
         write_metrics_text(obs.registry, args.metrics_out)
+
+
+def _make_ledger(args):
+    """A file-backed :class:`~repro.obs.ledger.Ledger` for ``--ledger PATH``."""
+    path = getattr(args, "ledger", None)
+    if not path:
+        return None
+    from repro.obs import Ledger, LedgerError
+
+    try:
+        return Ledger(path)
+    except LedgerError as exc:
+        raise CliError(f"--ledger {path}: {exc}") from None
+
+
+def _deployment_ledger(root: Path, state: dict, org_pk):
+    """The deployment's own flight-recorder chain (``<state-dir>/obs/``).
+
+    Genesis pins (param_set, k, setup seed) and a ``verifier_key`` entry
+    pins the organization public key, so ``repro-pdp ledger verify`` can
+    re-evaluate recorded audit verdicts offline.
+    """
+    from repro.obs import Ledger
+
+    obs_dir = root / OBS_DIR
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    ledger = Ledger(obs_dir / LEDGER_FILE)
+    fresh = ledger.ensure_genesis({
+        "param_set": state["param_set"],
+        "k": state["k"],
+        "setup_seed": state["seed"],
+    })
+    if fresh:
+        ledger.append("verifier_key", {
+            "verifier": "cli", "pk": org_pk.to_bytes().hex(),
+        })
+    return ledger
+
+
+def _print_flight_recorder(result) -> None:
+    """Ledger head + critical-path attribution lines of a scenario result."""
+    if result.ledger is not None:
+        print(f"  ledger: {result.ledger['entries']} entries "
+              f"(epoch {result.ledger['epoch']}), "
+              f"head {result.ledger['hash'][:16]}…")
+    path = result.critical_path
+    if path is not None and path.get("dominant"):
+        dominant = path["dominant"]
+        print(f"  critical path (p{int(path['quantile'] * 100)} exemplar "
+              f"trace {path['trace']}, {path['latency_s']:.3f}s): "
+              f"{dominant['kind']} {dominant['name']} dominates "
+              f"({dominant['duration_s']:.3f}s, "
+              f"{dominant['share'] * 100:.0f}% of the causal chain)")
 
 
 def _maybe_profile(args, obs, group) -> None:
@@ -256,6 +310,13 @@ def cmd_upload(args) -> int:
         "encrypted": signed.encrypted,
     }
     save_state(root, state)
+    ledger = _deployment_ledger(root, state, sem.pk)
+    ledger.append("upload", {
+        "file": args.file_id.encode().hex(),
+        "member": args.member,
+        "blocks": len(signed.blocks),
+        "bytes": len(data),
+    })
     _write_obs_outputs(args, obs)
     _persist_last_run(root, "upload", obs)
     print(f"stored {args.file_id!r}: {len(data)} bytes as {len(signed.blocks)} blocks")
@@ -266,7 +327,7 @@ def cmd_upload(args) -> int:
 def cmd_audit(args) -> int:
     root = Path(args.state_dir)
     state = load_state(root)
-    params, _, cloud, verifier = build_runtime(state)
+    params, sem, cloud, verifier = build_runtime(state)
     signed = _load_stored(root, params, args.file_id)
     cloud.store(signed)
     obs = _make_obs()
@@ -274,23 +335,48 @@ def cmd_audit(args) -> int:
     pool = _make_pool(args, root, params, obs)
     cloud.pool = pool
     verifier.pool = pool
+    ledger = _deployment_ledger(root, state, sem.pk)
+    file_id = args.file_id.encode()
     try:
         with obs.tracer.span("audit"):
             with obs.tracer.span("challenge", n_blocks=len(signed.blocks)) as span:
                 challenge = verifier.generate_challenge(
-                    args.file_id.encode(), len(signed.blocks), sample_size=args.sample
+                    file_id, len(signed.blocks), sample_size=args.sample
                 )
                 span.set(challenged=len(challenge))
+            ledger.append("challenge", {
+                "verifier": "cli",
+                "file": file_id.hex(),
+                "blocks": len(challenge),
+                "indices": [int(i) for i in challenge.indices],
+            })
             with obs.tracer.span("proofgen", challenged=len(challenge)):
-                proof = cloud.generate_proof(args.file_id.encode(), challenge)
+                proof = cloud.generate_proof(file_id, challenge)
+            before = obs.counter.snapshot()
             with obs.tracer.span(
                 "proofverify", challenged=len(challenge), k=params.k
             ) as span:
                 ok = verifier.verify(challenge, proof)
                 span.set(ok=ok)
+            after = obs.counter.snapshot()
     finally:
         if pool is not None:
             pool.close()
+    from repro.obs import model_equivalent_exp
+
+    delta = {key: after.get(key, 0) - before.get(key, 0)
+             for key in set(after) | set(before)}
+    ledger.append("audit", {
+        "verifier": "cli",
+        "file": file_id.hex(),
+        "indices": [int(i) for i in challenge.indices],
+        "betas": [int(b) for b in challenge.betas],
+        "sigma": proof.sigma.to_bytes().hex(),
+        "alphas": [int(a) for a in proof.alphas],
+        "ok": ok,
+        "exp": model_equivalent_exp(delta),
+        "pair": delta.get("pairings", 0),
+    })
     _write_obs_outputs(args, obs)
     _persist_last_run(root, "audit", obs)
     scope = f"{len(challenge)} of {len(signed.blocks)} blocks"
@@ -370,8 +456,9 @@ def cmd_serve_sim(args) -> int:
         from repro.net.faults import FaultPlan
 
         chaos_plan = FaultPlan.from_file(args.chaos, seed=args.chaos_seed)
+    ledger = _make_ledger(args)
     runner = ScenarioRunner(scenario, obs=obs, journal=journal,
-                            chaos_plan=chaos_plan)
+                            chaos_plan=chaos_plan, ledger=ledger)
     compiled = runner.compile()
     injector = compiled.injector
     service = next(iter(compiled.services.values()))
@@ -383,6 +470,10 @@ def cmd_serve_sim(args) -> int:
             obs.registry, clock=lambda: compiled.sim.now,
             interval_s=args.watch_interval,
         )
+        dashboard.exemplar_source = lambda: [
+            pair for client in compiled.legacy_clients
+            for pair in client.exemplars
+        ]
         dashboard.attach(compiled.sim)
     result = runner.run()
     if dashboard is not None:
@@ -417,7 +508,13 @@ def cmd_serve_sim(args) -> int:
         print(f"  journal: {jsummary['accepted']} accepted, "
               f"{jsummary['completed']} completed, "
               f"{jsummary['pending']} pending, {runner.replayed} replayed")
-    _write_obs_outputs(args, obs)
+    _print_flight_recorder(result)
+    from repro.obs import trace_header
+
+    _write_obs_outputs(args, obs, header=trace_header(
+        scenario=scenario.name, seed=scenario.settings.seed,
+        digest=result.digest(),
+    ))
     return 0 if completed == expected else 1
 
 
@@ -442,7 +539,7 @@ def _run_scenario(args, scenario) -> int:
             settings=dataclasses.replace(scenario.settings, seed=seed_override),
         )
     obs = _make_obs()
-    runner = ScenarioRunner(scenario, obs=obs,
+    runner = ScenarioRunner(scenario, obs=obs, ledger=_make_ledger(args),
                             max_events=getattr(args, "max_events", None))
     result = runner.run()
     workload = scenario.workload
@@ -466,6 +563,7 @@ def _run_scenario(args, scenario) -> int:
     if result.fault_counts:
         fired = ", ".join(f"{k} {v}" for k, v in sorted(result.fault_counts.items()))
         print(f"  faults: {fired}")
+    _print_flight_recorder(result)
     print(f"  digest: {result.digest()}")
     if result.passed:
         checked = len(scenario.settings.envelope.checks)
@@ -481,7 +579,12 @@ def _run_scenario(args, scenario) -> int:
             json.dumps(result.to_report(), indent=2, sort_keys=True) + "\n"
         )
         print(f"  report: {report_out}")
-    _write_obs_outputs(args, obs)
+    from repro.obs import trace_header
+
+    _write_obs_outputs(args, obs, header=trace_header(
+        scenario=scenario.name, seed=scenario.settings.seed,
+        digest=result.digest(),
+    ))
     return 0 if result.passed else 1
 
 
@@ -658,6 +761,72 @@ def cmd_bench(args) -> int:
         raise CliError(str(exc)) from None
 
 
+# ---------------------------------------------------------------------------
+# Ledger commands
+# ---------------------------------------------------------------------------
+
+def cmd_ledger_verify(args) -> int:
+    """Re-walk a ledger chain offline; exit 1 on any tamper evidence."""
+    from repro.obs import verify_ledger
+
+    report = verify_ledger(args.path, expect_head=args.expect_head,
+                           recheck=not args.no_recheck)
+    verdict = "PASS" if report.ok else "FAIL"
+    print(f"ledger verify {args.path}: {verdict}")
+    print(f"  {report.entries} entries, head {report.head[:16]}…")
+    kinds = ", ".join(f"{kind} {count}"
+                      for kind, count in sorted(report.counts.items()))
+    if kinds:
+        print(f"  kinds: {kinds}")
+    if not args.no_recheck:
+        print(f"  audits rechecked offline: {report.audits_rechecked} "
+              f"({report.audit_mismatches} mismatch(es))")
+    if report.torn_tail:
+        print("  torn tail: final line truncated mid-append (tolerated)")
+    for error in report.errors:
+        print(f"  error: {error}")
+    return 0 if report.ok else 1
+
+
+def cmd_ledger_show(args) -> int:
+    """Print ledger entries (filter by ``--kind``, trim with ``--tail``)."""
+    from repro.obs import LedgerError, read_ledger
+
+    try:
+        entries, torn = read_ledger(args.path)
+    except (OSError, LedgerError) as exc:
+        raise CliError(str(exc)) from None
+    if args.kind:
+        entries = [e for e in entries if e.get("kind") == args.kind]
+    if args.tail:
+        entries = entries[-args.tail:]
+    for entry in entries:
+        body = json.dumps(entry.get("body", {}), sort_keys=True)
+        print(f"{entry.get('seq', '?'):>6}  t={entry.get('t', 0):<12} "
+              f"{entry.get('kind', '?'):<16} {body}")
+    if torn:
+        print("(torn tail: final line truncated mid-append)", file=sys.stderr)
+    return 0
+
+
+def cmd_ledger_head(args) -> int:
+    """Print the chain head hash alone (script-friendly: pin it out-of-band)."""
+    from repro.obs import LedgerError, ledger_head
+
+    try:
+        head = ledger_head(args.path)
+    except (OSError, LedgerError) as exc:
+        raise CliError(str(exc)) from None
+    if head is None:
+        raise CliError(f"empty ledger {args.path}")
+    print(head["hash"])
+    return 0
+
+
+def cmd_ledger(args) -> int:
+    return args.ledger_fn(args)
+
+
 def cmd_info(args) -> int:
     root = Path(args.state_dir)
     state = load_state(root)
@@ -678,6 +847,19 @@ def cmd_info(args) -> int:
             )
             print(f"  {name}: x{entry['count']}, {entry['duration_s']:.4f}s"
                   + (f" ({phase_ops})" if phase_ops else ""))
+    ledger_path = root / OBS_DIR / LEDGER_FILE
+    if ledger_path.exists():
+        from repro.obs import LedgerError, ledger_head
+
+        try:
+            head = ledger_head(ledger_path)
+        except (OSError, LedgerError) as exc:
+            print(f"ledger: UNREADABLE — {exc}")
+        else:
+            if head is not None:
+                print(f"ledger: {head['entries']} entries "
+                      f"(epoch {head['epoch']}), head {head['hash'][:16]}… "
+                      f"— verify with `repro-pdp ledger verify {ledger_path}`")
     return 0
 
 
@@ -770,6 +952,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render a live dashboard frame on an interval of virtual time")
     p.add_argument("--watch-interval", type=float, default=0.05, metavar="S",
                    help="virtual seconds between dashboard frames")
+    p.add_argument("--ledger", metavar="PATH", default=None,
+                   help="append a tamper-evident hash-chained ledger of every "
+                        "protocol decision to PATH (audit offline with "
+                        "`repro-pdp ledger verify`)")
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve_sim)
 
@@ -795,6 +981,10 @@ def build_parser() -> argparse.ArgumentParser:
                     help="write the machine-readable verdict report to PATH")
     sp.add_argument("--max-events", type=int, default=None, metavar="N",
                     help="hard cap on simulator events (runaway guard)")
+    sp.add_argument("--ledger", metavar="PATH", default=None,
+                    help="append a tamper-evident hash-chained ledger of every "
+                         "protocol decision to PATH (audit offline with "
+                         "`repro-pdp ledger verify`)")
     _add_obs_flags(sp)
     sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_run)
 
@@ -804,6 +994,37 @@ def build_parser() -> argparse.ArgumentParser:
     sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_list)
 
     p = sub.add_parser(
+        "ledger", help="tamper-evident flight recorder (verify / show / head)"
+    )
+    ledger_sub = p.add_subparsers(dest="ledger_command", required=True)
+
+    lp = ledger_sub.add_parser(
+        "verify", help="re-walk the hash chain and re-check Eq. 6 verdicts offline"
+    )
+    lp.add_argument("path", metavar="FILE")
+    lp.add_argument("--expect-head", default=None, metavar="HASH",
+                    help="fail unless the chain head matches HASH (catches "
+                         "whole-suffix truncation and total re-chain forgery)")
+    lp.add_argument("--no-recheck", action="store_true",
+                    help="chain integrity only; skip the offline Eq. 6 "
+                         "re-evaluation of recorded audit verdicts")
+    lp.set_defaults(fn=cmd_ledger, ledger_fn=cmd_ledger_verify)
+
+    lp = ledger_sub.add_parser("show", help="print ledger entries")
+    lp.add_argument("path", metavar="FILE")
+    lp.add_argument("--kind", default=None, metavar="K",
+                    help="only entries of this kind (audit, round, quarantine, …)")
+    lp.add_argument("--tail", type=int, default=None, metavar="N",
+                    help="only the last N entries (after --kind filtering)")
+    lp.set_defaults(fn=cmd_ledger, ledger_fn=cmd_ledger_show)
+
+    lp = ledger_sub.add_parser(
+        "head", help="print the chain head hash (pin it out-of-band)"
+    )
+    lp.add_argument("path", metavar="FILE")
+    lp.set_defaults(fn=cmd_ledger, ledger_fn=cmd_ledger_head)
+
+    p = sub.add_parser(
         "bench", help="continuous performance tracking (run / compare / baseline)"
     )
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -811,7 +1032,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
                         help="suite name or 'all' (table1, audit, service, "
-                             "chaos, msm, scenario)")
+                             "chaos, msm, scenario, ledger)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

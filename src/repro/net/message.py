@@ -62,6 +62,24 @@ def payload_size(payload, scalar_bytes: int = _SCALAR_FALLBACK_BYTES) -> int:
 _message_counter = itertools.count()
 
 
+@dataclass(frozen=True)
+class TraceContext:
+    """Causal trace header carried on a message (the flight recorder).
+
+    A ``trace_id`` names one end-to-end request tree; each message hop
+    gets its own ``span_id`` whose ``parent_span_id`` points at the hop
+    that caused it, and ``hop`` counts the depth.  The header travels as
+    simulator metadata — it is excluded from ``payload_size`` byte
+    accounting, exactly like a real deployment would carry trace ids in
+    transport headers rather than the signed payload.
+    """
+
+    trace_id: int
+    span_id: int
+    parent_span_id: int | None = None
+    hop: int = 0
+
+
 @dataclass
 class Message:
     """One protocol message: who, to whom, what, and how big."""
@@ -73,6 +91,7 @@ class Message:
     size_bytes: int = field(default=-1)
     msg_id: int = field(default_factory=lambda: next(_message_counter))
     reply_to: int | None = None
+    trace: TraceContext | None = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if self.size_bytes < 0:

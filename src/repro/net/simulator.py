@@ -13,7 +13,7 @@ import random
 from dataclasses import dataclass, field
 
 from repro.net.channel import Channel
-from repro.net.message import Message
+from repro.net.message import Message, TraceContext
 from repro.net.node import Node
 
 
@@ -24,6 +24,7 @@ class _Event:
     message: Message | None = field(compare=False, default=None)
     callback: object = field(compare=False, default=None)
     timer_id: int = field(compare=False, default=-1)
+    ctx: TraceContext | None = field(compare=False, default=None)
 
 
 class Simulator:
@@ -45,6 +46,61 @@ class Simulator:
         # Chaos hook: a FaultInjector (repro.net.faults) consulted on every
         # send; None means no fault injection (the common, fast path).
         self.faults = None
+        # Flight-recorder hook: a Tracer (repro.obs.tracer) that records one
+        # span per message delivery; None/disabled means no causal tracing.
+        self.tracer = None
+        self._trace_ids = itertools.count(1)
+        self._span_ids = itertools.count(1)
+        self._current_ctx: TraceContext | None = None
+
+    # -- causal tracing ------------------------------------------------------
+    def _tracing(self) -> bool:
+        return self.tracer is not None and getattr(self.tracer, "enabled", True)
+
+    def root_context(self) -> TraceContext:
+        """A fresh trace root: the first hop of a new causal tree."""
+        return TraceContext(trace_id=next(self._trace_ids),
+                           span_id=next(self._span_ids))
+
+    def child_context(self, parent: TraceContext | None) -> TraceContext:
+        """The next hop under ``parent`` (a new root when parent is None)."""
+        if parent is None:
+            return self.root_context()
+        return TraceContext(trace_id=parent.trace_id,
+                            span_id=next(self._span_ids),
+                            parent_span_id=parent.span_id,
+                            hop=parent.hop + 1)
+
+    def start_trace(self, message: Message) -> Message:
+        """Explicitly root a new causal tree at ``message``.
+
+        Workload generators call this when a *new* request originates
+        inside the handler of a previous response — without it the
+        ambient context would chain successive independent requests into
+        one ever-deeper tree.
+        """
+        if self._tracing() and message.trace is None:
+            message.trace = self.root_context()
+        return message
+
+    def _record_span(self, message: Message, start: float, end: float,
+                     copy: int = 0, dropped: bool = False) -> None:
+        ctx = message.trace
+        if ctx is None or not self._tracing():
+            return
+        attrs = {
+            "trace": ctx.trace_id,
+            "span": ctx.span_id,
+            "parent_span": ctx.parent_span_id,
+            "hop": ctx.hop,
+            "src": message.sender,
+            "dst": message.recipient,
+        }
+        if copy:
+            attrs["copy"] = copy
+        if dropped:
+            attrs["dropped"] = True
+        self.tracer.record(f"msg.{message.msg_type}", start, end, **attrs)
 
     # -- topology -----------------------------------------------------------
     def add_node(self, node: Node) -> Node:
@@ -72,6 +128,9 @@ class Simulator:
                 seq=next(self._seq),
                 callback=callback,
                 timer_id=timer_id,
+                # Timers keep the causal context of the turn that armed
+                # them, so retries/flushes stay in the originating trace.
+                ctx=self._current_ctx,
             ),
         )
         return timer_id
@@ -144,11 +203,14 @@ class Simulator:
         """
         if message.recipient not in self.nodes:
             raise KeyError(f"unknown recipient {message.recipient!r}")
+        if self._tracing() and message.trace is None:
+            message.trace = self.child_context(self._current_ctx)
         channel = self.channel(message.sender, message.recipient)
         channel.record(message)
         if channel.should_drop():
             self.dropped += 1
             channel.record_drop()
+            self._record_span(message, self.now, self.now, dropped=True)
             return
         base = self.now if at is None else at
         deliveries = [(0.0, message)]
@@ -157,12 +219,14 @@ class Simulator:
             if not deliveries:
                 self.dropped += 1
                 channel.record_drop()
+                self._record_span(message, self.now, self.now, dropped=True)
                 return
-        for extra_delay, delivered in deliveries:
+        for copy, (extra_delay, delivered) in enumerate(deliveries):
             when = base + channel.delay_for(delivered) + extra_delay
             heapq.heappush(
                 self._queue, _Event(time=when, seq=next(self._seq), message=delivered)
             )
+            self._record_span(delivered, base, when, copy=copy)
 
     def run(self, until: float | None = None, max_events: int | None = None) -> float:
         """Process events in time order; returns the final virtual time."""
@@ -184,17 +248,19 @@ class Simulator:
             if event.callback is not None:
                 self._pending_timers.discard(event.timer_id)
                 self.timers_fired += 1
+                self._current_ctx = event.ctx
                 replies = event.callback()
             else:
                 node = self.nodes[event.message.recipient]
+                self._current_ctx = event.message.trace
                 replies = node.receive(event.message)
                 self.delivered += 1
-            if replies is None:
-                continue
-            if isinstance(replies, Message):
-                replies = [replies]
-            for reply in replies:
-                self.send(reply)
+            if replies is not None:
+                if isinstance(replies, Message):
+                    replies = [replies]
+                for reply in replies:
+                    self.send(reply)
+            self._current_ctx = None
         return self.now
 
     # -- accounting --------------------------------------------------------------

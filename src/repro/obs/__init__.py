@@ -29,9 +29,11 @@ from dataclasses import dataclass, field
 from repro.obs.adapters import (
     bind_failover_health,
     bind_fault_injector,
+    bind_ledger,
     bind_operation_counter,
     bind_service_metrics,
     bind_simulator,
+    bind_tracer_spans,
 )
 from repro.obs.bench import (
     BenchSchemaError,
@@ -48,6 +50,17 @@ from repro.obs.bench import (
     validate_run,
     write_run_file,
 )
+from repro.obs.causal import (
+    CriticalPath,
+    TraceStreamError,
+    critical_path,
+    critical_path_report,
+    exemplar_buckets,
+    load_trace,
+    quantile_exemplar,
+    spans_from_tracer,
+    trace_trees,
+)
 from repro.obs.dashboard import Dashboard
 from repro.obs.exporters import (
     PHASE_PROOF_GEN,
@@ -58,9 +71,18 @@ from repro.obs.exporters import (
     phase_cost_rows,
     prometheus_text,
     span_to_dict,
+    trace_header,
     trace_to_jsonl,
     write_metrics_text,
     write_trace_jsonl,
+)
+from repro.obs.ledger import (
+    Ledger,
+    LedgerError,
+    LedgerVerification,
+    ledger_head,
+    read_ledger,
+    verify_ledger,
 )
 from repro.obs.profiler import (
     PrimitiveCosts,
@@ -103,6 +125,7 @@ class Observability:
             counter=counter,
         )
         bind_operation_counter(obs.registry, counter)
+        bind_tracer_spans(obs.registry, obs.tracer)
         return obs
 
     @property
@@ -131,9 +154,13 @@ NULL_OBS = _NullObservability()
 __all__ = [
     "BenchSchemaError",
     "Counter",
+    "CriticalPath",
     "Dashboard",
     "Gauge",
     "Histogram",
+    "Ledger",
+    "LedgerError",
+    "LedgerVerification",
     "MetricError",
     "MetricsRegistry",
     "NULL_OBS",
@@ -150,19 +177,27 @@ __all__ = [
     "SCHEMA_VERSION",
     "Sample",
     "Span",
+    "TraceStreamError",
     "Tracer",
     "append_run",
     "baseline_of",
     "bind_failover_health",
     "bind_fault_injector",
+    "bind_ledger",
     "bind_operation_counter",
     "bind_service_metrics",
     "bind_simulator",
+    "bind_tracer_spans",
     "build_profile",
     "calibrate_primitive_costs",
     "compare_runs",
     "cost_table",
+    "critical_path",
+    "critical_path_report",
     "environment_fingerprint",
+    "exemplar_buckets",
+    "ledger_head",
+    "load_trace",
     "load_trajectory",
     "make_phase",
     "make_run",
@@ -170,12 +205,18 @@ __all__ = [
     "model_equivalent_exp",
     "phase_cost_rows",
     "prometheus_text",
+    "quantile_exemplar",
+    "read_ledger",
     "render_profile",
     "run_suite",
     "span_to_dict",
+    "spans_from_tracer",
+    "trace_header",
     "trace_to_jsonl",
+    "trace_trees",
     "trajectory_path",
     "validate_run",
+    "verify_ledger",
     "write_metrics_text",
     "write_run_file",
 ]

@@ -143,6 +143,37 @@ def bind_fault_injector(registry: MetricsRegistry, injector) -> None:
     registry.register_collector(collect)
 
 
+def bind_tracer_spans(registry: MetricsRegistry, tracer) -> None:
+    """Mirror a :class:`~repro.obs.tracer.Tracer` as ``trace_spans_total``
+    — the finished-span count, so a metrics snapshot records how much of
+    the flight recorder's causal stream exists."""
+    total = registry.counter(
+        "trace_spans_total", help="Finished tracer spans recorded"
+    )
+
+    def collect() -> None:
+        total.set(float(len(tracer.spans)))
+
+    registry.register_collector(collect)
+
+
+def bind_ledger(registry: MetricsRegistry, ledger) -> None:
+    """Mirror a :class:`~repro.obs.ledger.Ledger` as
+    ``ledger_entries_total{kind=...}`` — appended chain entries by kind,
+    so the metrics plane and the tamper-evident plane cross-check."""
+    family = registry.counter(
+        "ledger_entries_total",
+        help="Tamper-evident ledger entries appended, by kind",
+        labels=("kind",),
+    )
+
+    def collect() -> None:
+        for kind, value in ledger.counts.items():
+            family.labels(kind=kind).set(float(value))
+
+    registry.register_collector(collect)
+
+
 def bind_failover_health(registry: MetricsRegistry, health) -> None:
     """Mirror a :class:`~repro.service.failover.HealthScoreboard` as
     ``failover_health_<key>`` gauges (rounds, quarantined, trips, probes,

@@ -521,6 +521,58 @@ def _suite_scenario(repeats: int, options: dict) -> tuple[list[dict], dict]:
                     "shapes": sorted(_SCENARIO_SUITE_DOCS)}
 
 
+def _suite_ledger(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """Flight-recorder overhead: the same scenario with the recorder off/on.
+
+    ``recorder.off`` runs the open-loop Poisson shape bare;
+    ``recorder.on`` repeats it with causal tracing plus an in-memory
+    tamper-evident ledger attached.  The ``overhead_x`` scalar is the
+    wall-clock ratio and ``delta_exp``/``delta_pair`` pin the recorder's
+    group-operation footprint, which must be exactly zero — recording
+    copies integers and hashes JSON, it never touches the curve.  (The
+    ≤5% wall-overhead gate lives in ``benchmarks/test_ledger_overhead.py``;
+    the trajectory only tracks the trend, so a noisy shared runner cannot
+    flake the suite.)
+    """
+    from repro.obs import Ledger, Observability
+    from repro.scenarios import ScenarioRunner, scenario_from_dict
+
+    doc = _SCENARIO_SUITE_DOCS["open.poisson"]
+
+    def run_once(recorder: bool):
+        obs = Observability.create() if recorder else None
+        ledger = Ledger() if recorder else None
+        runner = ScenarioRunner(scenario_from_dict(doc), obs=obs, ledger=ledger)
+        return runner.run(), ledger
+
+    result_off, _ = run_once(False)
+    wall_off = result_off.wall_s
+    for _ in range(repeats - 1):
+        wall_off = min(wall_off, run_once(False)[0].wall_s)
+    result_on, ledger = run_once(True)
+    wall_on = result_on.wall_s
+    for _ in range(repeats - 1):
+        wall_on = min(wall_on, run_once(True)[0].wall_s)
+    ops_off, ops_on = result_off.ops, result_on.ops
+    phases = [
+        make_phase("recorder.off", wall_off, ops_off, repeats=repeats,
+                   scalars={"issued": result_off.issued,
+                            "completed": result_off.completed}),
+        make_phase("recorder.on", wall_on, ops_on, repeats=repeats,
+                   scalars={
+                       "issued": result_on.issued,
+                       "completed": result_on.completed,
+                       "overhead_x": wall_on / wall_off if wall_off else 1.0,
+                       "delta_exp": (model_equivalent_exp(ops_on)
+                                     - model_equivalent_exp(ops_off)),
+                       "delta_pair": (ops_on.get("pairings", 0)
+                                      - ops_off.get("pairings", 0)),
+                       "ledger_entries": ledger.head()["entries"],
+                   }),
+    ]
+    return phases, {"param_set": "toy-64", "k": 4, "shape": "open.poisson"}
+
+
 #: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
@@ -529,6 +581,7 @@ SUITES = {
     "chaos": _suite_chaos,
     "msm": _suite_msm,
     "scenario": _suite_scenario,
+    "ledger": _suite_ledger,
 }
 
 

@@ -1,0 +1,251 @@
+"""Causal trace assembly: span trees, critical paths, exemplars.
+
+The simulator records one span per message delivery (name
+``msg.<type>``, attributes ``trace``/``span``/``parent_span``/``hop``/
+``src``/``dst``).  This module reconstructs per-request causal trees from
+those spans — straight off a live :class:`~repro.obs.tracer.Tracer` or
+from an exported JSONL trace file — and answers the two questions the
+dashboard and the scenario verdict ask:
+
+* **critical path** — walking parent links from the last delivery back to
+  the root alternates *wire* segments (a message in flight) with *node*
+  segments (a hop holding the request: batching delay, SEM round trips,
+  queueing), so the dominating segment names which hop p99 latency hides
+  in;
+* **exemplars** — each latency-histogram bucket is linked to the trace id
+  of a real request that landed in it, so a percentile is one click away
+  from the concrete causal tree that produced it.
+
+File loading is run-header aware: ``trace-header`` records (written by
+``write_trace_jsonl(header=...)``) fence off runs, and mixing spans from
+two different headers raises :class:`TraceStreamError` with the byte
+offset of the offending header instead of silently stitching two runs
+into nonsense trees.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+
+from repro.obs.registry import DEFAULT_BUCKETS
+
+
+class TraceStreamError(Exception):
+    """A trace file mixes runs or contains an unreadable record."""
+
+
+# ---------------------------------------------------------------------------
+# Loading
+# ---------------------------------------------------------------------------
+
+def spans_from_tracer(tracer) -> list[dict]:
+    """Live-tracer spans in the exported dict schema (message spans only
+    carry causal attributes; others pass through harmlessly)."""
+    from repro.obs.exporters import span_to_dict
+
+    return [span_to_dict(span) for span in tracer.spans]
+
+
+def load_trace(path, expect_header: dict | None = None) -> list[dict]:
+    """Span dicts from a JSONL trace file, enforcing run-header fencing.
+
+    ``expect_header`` narrows acceptance to one specific run: every
+    header record in the file must carry the same key/values (extra keys
+    in the file's header are ignored).  Without it, the file may contain
+    at most one distinct header — a second, different header means two
+    runs were appended to one file, and the error names its byte offset.
+    """
+    spans: list[dict] = []
+    seen_header: dict | None = None
+    offset = 0
+    with open(path, "rb") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.decode("utf-8", errors="replace").strip()
+            here = offset
+            offset += len(raw)
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceStreamError(
+                    f"{path}: unreadable trace record at line {lineno} "
+                    f"(byte offset {here}): {exc}")
+            if record.get("rec") == "trace-header":
+                if expect_header is not None:
+                    mismatched = {
+                        k: record.get(k) for k in expect_header
+                        if record.get(k) != expect_header[k]
+                    }
+                    if mismatched:
+                        raise TraceStreamError(
+                            f"{path}: trace header at line {lineno} (byte "
+                            f"offset {here}) does not match the expected run: "
+                            f"{mismatched!r} vs expected {expect_header!r}")
+                elif seen_header is not None and record != seen_header:
+                    raise TraceStreamError(
+                        f"{path}: second run header at line {lineno} (byte "
+                        f"offset {here}) — file stitches two different runs; "
+                        "pass expect_header to select one")
+                seen_header = record
+                continue
+            spans.append(record)
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# Tree assembly
+# ---------------------------------------------------------------------------
+
+def trace_trees(spans: list[dict]) -> dict[int, list[dict]]:
+    """Message spans grouped by trace id (spans without one are skipped)."""
+    trees: dict[int, list[dict]] = {}
+    for span in spans:
+        attrs = span.get("attrs") or {}
+        if "trace" in attrs and "span" in attrs:
+            trees.setdefault(attrs["trace"], []).append(span)
+    return trees
+
+
+@dataclass
+class PathSegment:
+    """One hop of a critical path: a wire flight or a node's hold time."""
+
+    kind: str          # "wire" | "node"
+    name: str          # "src→dst msg.<type>" for wire, the node name for node
+    duration_s: float
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "name": self.name,
+                "duration_s": round(self.duration_s, 9)}
+
+
+@dataclass
+class CriticalPath:
+    """The root→terminal chain of one causal tree, segmented."""
+
+    trace_id: int
+    total_s: float = 0.0
+    segments: list[PathSegment] = field(default_factory=list)
+
+    @property
+    def dominant(self) -> PathSegment | None:
+        return max(self.segments, key=lambda s: s.duration_s, default=None)
+
+    def to_dict(self) -> dict:
+        dominant = self.dominant
+        share = (dominant.duration_s / self.total_s
+                 if dominant is not None and self.total_s > 0 else 0.0)
+        return {
+            "trace": self.trace_id,
+            "total_s": round(self.total_s, 9),
+            "segments": [s.to_dict() for s in self.segments],
+            "dominant": None if dominant is None else {
+                **dominant.to_dict(), "share": round(share, 6),
+            },
+        }
+
+
+def critical_path(tree_spans: list[dict]) -> CriticalPath | None:
+    """Extract the critical path of one trace's spans.
+
+    The terminal hop is the delivery that finished last (the request's
+    completion under virtual time); walking its ``parent_span`` links back
+    to the root yields the unique causal chain that bounded the request's
+    latency.  Dropped duplicates and side branches (cloud uploads racing
+    the response) fall away naturally.
+    """
+    if not tree_spans:
+        return None
+    by_span = {s["attrs"]["span"]: s for s in tree_spans}
+    terminal = max(tree_spans, key=lambda s: (s["end"], s["attrs"]["span"]))
+    chain = [terminal]
+    seen = {terminal["attrs"]["span"]}
+    cursor = terminal
+    while True:
+        parent = cursor["attrs"].get("parent_span")
+        if parent is None or parent not in by_span or parent in seen:
+            break
+        cursor = by_span[parent]
+        seen.add(cursor["attrs"]["span"])
+        chain.append(cursor)
+    chain.reverse()
+    path = CriticalPath(trace_id=terminal["attrs"]["trace"])
+    previous = None
+    for span in chain:
+        attrs = span["attrs"]
+        if previous is not None:
+            # Time the causing hop's recipient held the request before
+            # emitting this message: batching, SEM rounds, queueing.
+            hold = max(0.0, span["start"] - previous["end"])
+            path.segments.append(
+                PathSegment("node", previous["attrs"]["dst"], hold))
+        wire = max(0.0, span["end"] - span["start"])
+        path.segments.append(
+            PathSegment("wire", f"{attrs['src']}→{attrs['dst']} {span['name']}",
+                        wire))
+        previous = span
+    path.total_s = sum(s.duration_s for s in path.segments)
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Exemplars
+# ---------------------------------------------------------------------------
+
+def exemplar_buckets(pairs: list[tuple[float, int]],
+                     buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> list[dict]:
+    """Link latency-histogram buckets to exemplar trace ids.
+
+    ``pairs`` is ``(latency_s, trace_id)`` per completed request.  Each
+    non-empty bucket reports its request count and the trace id of the
+    slowest request that landed in it — the exemplar a human drills into.
+    """
+    bounds = tuple(sorted(buckets)) + (math.inf,)
+    out: list[dict] = []
+    lower = -math.inf
+    for upper in bounds:
+        hits = [(lat, tid) for lat, tid in pairs if lower < lat <= upper]
+        if hits:
+            lat, tid = max(hits)
+            out.append({
+                "le": "+Inf" if upper is math.inf else upper,
+                "count": len(hits),
+                "exemplar_trace": tid,
+                "exemplar_latency_s": round(lat, 9),
+            })
+        lower = upper
+    return out
+
+
+def quantile_exemplar(pairs: list[tuple[float, int]],
+                      q: float = 0.99) -> tuple[float, int] | None:
+    """The (latency, trace id) pair closest above the q-th percentile."""
+    if not pairs:
+        return None
+    ranked = sorted(pairs)
+    index = min(len(ranked) - 1, math.ceil(q * len(ranked)) - 1)
+    return ranked[max(index, 0)]
+
+
+def critical_path_report(spans: list[dict], pairs: list[tuple[float, int]],
+                         q: float = 0.99) -> dict | None:
+    """The verdict-report block: the p-q exemplar's critical path.
+
+    Picks the request whose latency sits at the q-th percentile, finds its
+    causal tree among ``spans``, and attributes the latency hop by hop.
+    """
+    exemplar = quantile_exemplar(pairs, q)
+    if exemplar is None:
+        return None
+    latency, trace_id = exemplar
+    tree = trace_trees(spans).get(trace_id)
+    path = critical_path(tree) if tree else None
+    if path is None:
+        return None
+    report = path.to_dict()
+    report["quantile"] = q
+    report["latency_s"] = round(latency, 9)
+    return report

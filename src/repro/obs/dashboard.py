@@ -55,6 +55,10 @@ class Dashboard:
         self.latency_metric = latency_metric
         self.frames_rendered = 0
         self._timer: int | None = None
+        # Flight-recorder hook: a zero-argument callable returning the live
+        # (latency_s, trace_id) pairs, so frames can surface the exemplar
+        # trace id behind the slowest completion observed so far.
+        self.exemplar_source = None
 
     # -- data ----------------------------------------------------------------
     def _latency_quantiles(self) -> dict[float, float]:
@@ -133,6 +137,23 @@ class Dashboard:
             lines.append(f"  sign latency  {rendered}")
         else:
             lines.append("  sign latency  (no completions yet)")
+        if self.exemplar_source is not None:
+            pairs = list(self.exemplar_source())
+            if pairs:
+                latency, trace_id = max(pairs)
+                lines.append(
+                    f"  exemplar      trace {trace_id} ({latency:.3f}s, "
+                    "slowest completion)"
+                )
+        ledger_entries = int(sum(
+            value for key, value in snap.items()
+            if key.startswith("ledger_entries_total{")
+        ))
+        if ledger_entries:
+            lines.append(
+                f"  ledger        {ledger_entries} entries   "
+                f"spans {num('trace_spans_total')}"
+            )
         return "\n".join(lines)
 
     def tick(self):

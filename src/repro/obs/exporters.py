@@ -59,10 +59,30 @@ def trace_to_jsonl(tracer) -> str:
     )
 
 
-def write_trace_jsonl(tracer, path, append: bool = True) -> None:
+#: Record-type tag and schema version of the trace run-header line.
+TRACE_HEADER_REC = "trace-header"
+TRACE_HEADER_SCHEMA = 1
+
+
+def trace_header(**fields) -> dict:
+    """A run-header record (seed, scenario, digest, …) for a trace file.
+
+    Written ahead of a run's spans so :mod:`repro.obs.causal` can refuse
+    to stitch spans of two different runs appended to one file.
+    """
+    return {"rec": TRACE_HEADER_REC, "schema": TRACE_HEADER_SCHEMA,
+            **dict(sorted(fields.items()))}
+
+
+def write_trace_jsonl(tracer, path, append: bool = True,
+                      header: dict | None = None) -> None:
     """Dump the trace to ``path``; append by default so one trace file can
-    accumulate a whole init → upload → audit run across CLI invocations."""
+    accumulate a whole init → upload → audit run across CLI invocations.
+    When ``header`` is given (see :func:`trace_header`) it is written as
+    its own line ahead of the spans."""
     with open(path, "a" if append else "w") as fh:
+        if header is not None:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
         fh.write(trace_to_jsonl(tracer))
 
 

@@ -1,0 +1,385 @@
+"""Tamper-evident audit ledger: append-only hash-chained JSONL.
+
+The flight recorder's accountability layer.  Every protocol decision that
+a mutually-distrusting party might later dispute — challenges issued,
+proofs returned, Eq. 6 verdicts (with their Exp/Pair deltas), sign
+request/response ids, failover round outcomes, quarantine trips,
+signing-journal segment digests — is appended as one JSONL entry whose
+``hash`` is SHA-256 over the canonical serialization of the entry
+*including* the previous entry's hash.  Any single-bit flip, deletion, or
+reorder anywhere in the chain breaks a link; truncation beyond the torn
+tail is caught by comparing against a separately-communicated head digest
+(``verify_ledger(expect_head=...)``).
+
+Beyond chain integrity, ``verify_ledger`` re-checks the *semantics* of
+recorded audits offline: a ``genesis`` entry pins (param_set, k, setup
+seed), ``verifier_key`` entries pin each verifier's public key, and every
+``audit`` entry carries the full challenge (file id + indices + betas) and
+proof (sigma + alphas), so Eq. 6 can be re-evaluated from the ledger alone
+— a forged verdict with a consistently re-chained hash tail still fails.
+
+Crash semantics follow the signing journal's discipline
+(:mod:`repro.service.journal`): appends are flushed line-writes, a torn
+final line (the write that was racing the crash) is truncated away on
+reopen, and anything torn *before* the final line is corruption and
+raises.  Epoch ``checkpoint`` entries every N appends pin (epoch, entry
+count, head-so-far) so an auditor can spot-check long chains.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass, field
+
+#: Ledger schema identifier recorded in every genesis entry.
+LEDGER_SCHEMA = "repro-ledger-v1"
+
+#: The previous-hash link of a chain's very first entry.
+GENESIS_PREV = "0" * 64
+
+#: Default epoch length: one checkpoint entry per this many appends.
+DEFAULT_EPOCH_LEN = 256
+
+
+class LedgerError(Exception):
+    """Corrupt, unreadable, or tampered ledger."""
+
+
+def _canonical(record: dict) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode()
+
+
+def entry_hash(entry: dict) -> str:
+    """SHA-256 over the canonical entry with its own ``hash`` removed."""
+    unsealed = {k: v for k, v in entry.items() if k != "hash"}
+    return hashlib.sha256(_canonical(unsealed)).hexdigest()
+
+
+class Ledger:
+    """Append-only hash-chained event log (file-backed or in-memory).
+
+    Args:
+        path: JSONL file to append to; ``None`` keeps the chain in memory
+            only (tests, benches).  Reopening an existing file resumes the
+            chain from its head — after truncating a torn final line, the
+            same recovery the signing journal performs.
+        clock: zero-argument callable stamping each entry's virtual time
+            (``lambda: sim.now`` under the simulator; defaults to 0.0 so
+            CLI-side entries stay deterministic).
+        epoch_len: appends per epoch checkpoint entry.
+        fsync: fsync after every append (crash drills; slow).
+    """
+
+    def __init__(self, path=None, clock=None, epoch_len: int = DEFAULT_EPOCH_LEN,
+                 fsync: bool = False):
+        if epoch_len < 2:
+            raise LedgerError("epoch_len must be at least 2")
+        self.path = os.fspath(path) if path is not None else None
+        self.clock = clock if clock is not None else (lambda: 0.0)
+        self.epoch_len = epoch_len
+        self.fsync = fsync
+        self.entries: list[dict] = []      # in-memory mode only
+        self.counts: dict[str, int] = {}
+        self._seq = 0
+        self._prev = GENESIS_PREV
+        self.torn_tail = False
+        if self.path is not None and os.path.exists(self.path):
+            self._resume()
+
+    # -- recovery ------------------------------------------------------------
+    def _resume(self) -> None:
+        entries, torn = read_ledger(self.path)
+        self.torn_tail = torn
+        if torn:
+            # Drop the torn tail so the next append re-extends a clean chain.
+            with open(self.path, "r+b") as handle:
+                data = handle.read()
+                keep = data.rfind(b"\n") + 1
+                handle.truncate(keep)
+        for entry in entries:
+            if entry_hash(entry) != entry["hash"]:
+                raise LedgerError(
+                    f"corrupt ledger entry at seq {entry.get('seq')}: hash mismatch"
+                )
+            if entry["prev"] != self._prev:
+                raise LedgerError(
+                    f"broken hash chain at seq {entry.get('seq')}"
+                )
+            self._prev = entry["hash"]
+            self._seq = entry["seq"] + 1
+            self.counts[entry["kind"]] = self.counts.get(entry["kind"], 0) + 1
+            if entry["kind"] == "genesis" and "epoch_len" in entry["body"]:
+                # Resume with the chain's own epoch cadence, not ours.
+                self.epoch_len = int(entry["body"]["epoch_len"])
+
+    # -- appending -----------------------------------------------------------
+    def append(self, kind: str, body: dict) -> dict:
+        """Seal one entry onto the chain and persist it."""
+        entry = {
+            "seq": self._seq,
+            "t": round(float(self.clock()), 9),
+            "kind": kind,
+            "body": body,
+            "prev": self._prev,
+        }
+        entry["hash"] = entry_hash(entry)
+        self._seq += 1
+        self._prev = entry["hash"]
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+        if self.path is None:
+            self.entries.append(entry)
+        else:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True,
+                                        separators=(",", ":")) + "\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        if self._seq % self.epoch_len == 0 and kind != "checkpoint":
+            self.append("checkpoint", {
+                "epoch": self._seq // self.epoch_len,
+                "entries": self._seq,
+                "head": entry["hash"],
+            })
+        return entry
+
+    def ensure_genesis(self, meta: dict) -> bool:
+        """Append a genesis entry unless the chain already starts with this
+        exact metadata; returns True when a new genesis was written."""
+        if self._seq == 0 or self._latest_genesis_meta() != meta:
+            self.append("genesis", {"schema": LEDGER_SCHEMA,
+                                    "epoch_len": self.epoch_len, **meta})
+            return True
+        return False
+
+    def _latest_genesis_meta(self) -> dict | None:
+        if self.path is None:
+            source = self.entries
+        else:
+            source, _ = read_ledger(self.path)
+        for entry in reversed(source):
+            if entry["kind"] == "genesis":
+                body = dict(entry["body"])
+                body.pop("schema", None)
+                body.pop("epoch_len", None)
+                return body
+        return None
+
+    # -- heads ---------------------------------------------------------------
+    def head(self) -> dict:
+        """The chain head: entry count, epoch, and head hash."""
+        return {
+            "entries": self._seq,
+            "epoch": self._seq // self.epoch_len,
+            "hash": self._prev,
+        }
+
+
+# -- offline reading ---------------------------------------------------------
+
+def read_ledger(path) -> tuple[list[dict], bool]:
+    """Parse a ledger file; returns (entries, torn_tail).
+
+    A torn final line (crash mid-append) is tolerated and reported; a
+    malformed line anywhere else raises :class:`LedgerError` — the chain
+    behind it is unusable.
+    """
+    entries: list[dict] = []
+    with open(path, "rb") as handle:
+        lines = handle.read().splitlines()
+    for lineno, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            entries.append(json.loads(raw.decode("utf-8")))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # A flipped bit can break UTF-8 just as easily as JSON; both
+            # are tamper unless it is the torn final line of a crash.
+            if lineno == len(lines) - 1:
+                return entries, True
+            raise LedgerError(f"corrupt ledger record at line {lineno + 1}")
+    return entries, False
+
+
+def ledger_head(path) -> dict | None:
+    """The head of a ledger file (None when empty), without verification."""
+    entries, _ = read_ledger(path)
+    if not entries:
+        return None
+    last = entries[-1]
+    epoch_len = DEFAULT_EPOCH_LEN
+    for entry in entries:
+        if entry.get("kind") == "genesis":
+            epoch_len = int(entry["body"].get("epoch_len", DEFAULT_EPOCH_LEN))
+            break
+    count = last["seq"] + 1
+    return {"entries": count, "epoch": count // epoch_len, "hash": last["hash"]}
+
+
+# -- offline verification -----------------------------------------------------
+
+@dataclass
+class LedgerVerification:
+    """The full result of one offline ``ledger verify`` walk."""
+
+    path: str
+    entries: int = 0
+    torn_tail: bool = False
+    head: str = GENESIS_PREV
+    errors: list[str] = field(default_factory=list)
+    audits_rechecked: int = 0
+    audit_mismatches: int = 0
+    counts: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+
+class _AuditRuntime:
+    """Crypto context rebuilt from genesis/verifier_key entries, lazily."""
+
+    def __init__(self):
+        self.params = None
+        self.pks: dict[str, object] = {}
+        self.failure: str | None = None
+
+    def load_genesis(self, body: dict) -> None:
+        from repro.core.params import setup
+        from repro.pairing import TYPE_A_PARAM_SETS, TypeAPairingGroup
+
+        self.pks = {}
+        self.failure = None
+        if not {"param_set", "k", "setup_seed"} <= set(body):
+            # A chain-only genesis (no crypto pins): rechecking is simply
+            # unavailable, not an error.
+            self.params = None
+            return
+        try:
+            group = TypeAPairingGroup.from_params(
+                TYPE_A_PARAM_SETS[body["param_set"]])
+            self.params = setup(group, int(body["k"]),
+                                seed=bytes.fromhex(body["setup_seed"]))
+        except Exception as exc:  # unknown param set, bad seed, …
+            self.params = None
+            self.failure = f"cannot rebuild parameters: {exc}"
+
+    def load_key(self, body: dict) -> None:
+        from repro.pairing.interface import GroupElement
+
+        if self.params is None:
+            return
+        group = self.params.group
+        element = group.deserialize_g1(bytes.fromhex(body["pk"]))
+        # Type A is symmetric: G1 and G2 share the serialization, so the
+        # G2 public key round-trips through deserialize_g1 plus a rewrap.
+        self.pks[body["verifier"]] = GroupElement(group, element.point, "g2")
+
+    def recheck(self, body: dict) -> bool | None:
+        """Re-evaluate Eq. 6 for one audit entry; None when impossible."""
+        from repro.core.blocks import make_block_id
+        from repro.core.challenge import Challenge, ProofResponse
+        from repro.core.verifier import PublicVerifier
+
+        if self.params is None:
+            return None
+        pk = self.pks.get(body.get("verifier"))
+        if pk is None:
+            return None
+        file_id = bytes.fromhex(body["file"])
+        indices = tuple(int(i) for i in body["indices"])
+        challenge = Challenge(
+            indices=indices,
+            block_ids=tuple(make_block_id(file_id, i) for i in indices),
+            betas=tuple(int(b) for b in body["betas"]),
+        )
+        sigma = self.params.group.deserialize_g1(bytes.fromhex(body["sigma"]))
+        response = ProofResponse(
+            sigma=sigma, alphas=tuple(int(a) for a in body["alphas"])
+        )
+        return PublicVerifier(self.params, pk).verify(challenge, response)
+
+
+def verify_ledger(path, expect_head: str | None = None,
+                  recheck: bool = True) -> LedgerVerification:
+    """Re-walk a ledger chain offline and fail loudly on any tamper.
+
+    Checks, in order: every line parses (torn tail tolerated), every
+    entry's hash seals its canonical serialization, every ``prev`` links
+    the preceding hash, ``seq`` is gapless from 0, checkpoint entries pin
+    the head they claim, and — when ``recheck`` is on and the genesis
+    metadata allows rebuilding the crypto context — every recorded audit
+    verdict matches a fresh Eq. 6 evaluation of its recorded proof.
+    ``expect_head`` defends against whole-suffix truncation and total
+    re-chain forgery, which no chain-internal check can see.
+    """
+    report = LedgerVerification(path=os.fspath(path))
+    try:
+        entries, torn = read_ledger(path)
+    except (OSError, LedgerError) as exc:
+        report.errors.append(str(exc))
+        return report
+    report.torn_tail = torn
+    runtime = _AuditRuntime() if recheck else None
+    prev = GENESIS_PREV
+    for position, entry in enumerate(entries):
+        label = f"entry {position}"
+        try:
+            seq, kind = entry["seq"], entry["kind"]
+        except (TypeError, KeyError):
+            report.errors.append(f"{label}: missing seq/kind fields")
+            return report
+        if seq != position:
+            report.errors.append(
+                f"{label}: seq {seq} out of order (expected {position}) — "
+                "entry deleted, inserted, or reordered")
+            return report
+        if entry.get("prev") != prev:
+            report.errors.append(f"{label} (kind {kind}): prev-hash link broken")
+            return report
+        if entry_hash(entry) != entry.get("hash"):
+            report.errors.append(
+                f"{label} (kind {kind}): hash does not seal the entry — "
+                "contents tampered")
+            return report
+        prev = entry["hash"]
+        report.entries += 1
+        report.counts[kind] = report.counts.get(kind, 0) + 1
+        if kind == "checkpoint":
+            body = entry["body"]
+            if body.get("entries") != seq or entries[seq - 1]["hash"] != body.get("head"):
+                report.errors.append(f"{label}: checkpoint does not pin the chain head")
+                return report
+        if runtime is not None:
+            if kind == "genesis":
+                runtime.load_genesis(entry["body"])
+                if runtime.failure:
+                    report.errors.append(f"{label}: {runtime.failure}")
+            elif kind == "verifier_key":
+                try:
+                    runtime.load_key(entry["body"])
+                except Exception as exc:
+                    report.errors.append(f"{label}: bad verifier key: {exc}")
+            elif kind == "audit":
+                try:
+                    verdict = runtime.recheck(entry["body"])
+                except Exception as exc:
+                    report.errors.append(f"{label}: audit recheck failed: {exc}")
+                    report.audit_mismatches += 1
+                    continue
+                if verdict is None:
+                    continue
+                report.audits_rechecked += 1
+                if verdict != entry["body"].get("ok"):
+                    report.audit_mismatches += 1
+                    report.errors.append(
+                        f"{label}: recorded verdict ok={entry['body'].get('ok')} "
+                        f"but Eq. 6 re-evaluates to {verdict} — forged verdict")
+    report.head = prev
+    if expect_head is not None and prev != expect_head:
+        report.errors.append(
+            f"head hash {prev[:16]}… does not match expected "
+            f"{expect_head[:16]}… — chain truncated or wholly replaced")
+    return report

@@ -102,6 +102,10 @@ class NullTracer:
     def span(self, name: str, **attributes):
         return _NULL_CONTEXT
 
+    def record(self, name: str, start: float, end: float | None = None,
+               **attributes):
+        return _NULL_SPAN
+
     def phase_totals(self) -> dict:
         return {}
 
@@ -145,6 +149,22 @@ class Tracer:
                     if delta:
                         span.attributes[key] = span.attributes.get(key, 0) + delta
             self.spans.append(span)
+
+    def record(self, name: str, start: float, end: float | None = None,
+               **attributes) -> Span:
+        """Append an already-timed span directly (no stack, no counter).
+
+        The simulator's message-delivery recording uses this: a wire hop's
+        start and end times are both known at enqueue time, so there is
+        nothing to nest or snapshot.  The span is parentless at the tracer
+        level — causal structure lives in the ``trace``/``span``/
+        ``parent_span`` attributes that :mod:`repro.obs.causal` assembles.
+        """
+        span = Span(name, next(self._ids), None, start)
+        span.end = start if end is None else end
+        span.attributes.update(attributes)
+        self.spans.append(span)
+        return span
 
     # -- aggregation ---------------------------------------------------------
     def find(self, name: str) -> list[Span]:

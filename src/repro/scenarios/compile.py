@@ -106,6 +106,7 @@ class CohortNode(Node):
         self.completed: list[int] = []
         self.failed: list[int] = []
         self.latencies: list[float] = []
+        self.exemplars: list[tuple[float, int]] = []  # (latency, trace id)
         self.uploads_acked = 0
         self._sent_at: dict[int, float] = {}
         self._pending_blocks: dict[int, tuple] = {}
@@ -173,7 +174,13 @@ class CohortNode(Node):
         self._sent_at[request.request_id] = self.sim.now if self.sim else 0.0
         if self.clouds:
             self._pending_blocks[request.request_id] = (file_id, blocks)
-        return self.make_message(self.service_name, "svc_sign_request", request)
+        message = self.make_message(self.service_name, "svc_sign_request", request)
+        if self.sim is not None:
+            # Root a fresh causal tree per request: closed-loop requests
+            # fire from inside the previous response's handler, and the
+            # ambient context would chain them into one ever-deeper trace.
+            self.sim.start_trace(message)
+        return message
 
     # -- responses -----------------------------------------------------------
     def _handle_response(self, message: Message):
@@ -181,6 +188,8 @@ class CohortNode(Node):
         sent = self._sent_at.pop(response.request_id, None)
         if sent is not None:
             self.latencies.append(self.sim.now - sent)
+            if message.trace is not None:
+                self.exemplars.append((self.sim.now - sent, message.trace.trace_id))
         out = []
         if response.ok:
             self.completed.append(response.request_id)
@@ -237,13 +246,15 @@ class TPANode(Node):
     """
 
     def __init__(self, name: str, verifier: PublicVerifier, cloud_name: str,
-                 period_s: float, sample_size: int | None, horizon_s: float):
+                 period_s: float, sample_size: int | None, horizon_s: float,
+                 ledger=None):
         super().__init__(name)
         self.verifier = verifier
         self.cloud_name = cloud_name
         self.period_s = period_s
         self.sample_size = sample_size
         self.horizon_s = horizon_s
+        self.ledger = ledger
         self.watched: dict[bytes, int] = {}
         self.audits_passed = 0
         self.audits_failed = 0
@@ -264,6 +275,13 @@ class TPANode(Node):
             challenge = self.verifier.generate_challenge(
                 file_id, n_blocks, sample_size=self.sample_size
             )
+            if self.ledger is not None:
+                self.ledger.append("challenge", {
+                    "verifier": self.name,
+                    "file": file_id.hex(),
+                    "blocks": len(challenge.indices),
+                    "indices": [int(i) for i in challenge.indices],
+                })
             out.append(
                 self.make_message(self.cloud_name, "challenge", (file_id, challenge))
             )
@@ -271,10 +289,36 @@ class TPANode(Node):
 
     def _handle_proof(self, message: Message):
         file_id, challenge, response = message.payload
-        if self.verifier.verify(challenge, response):
+        counter = getattr(self.verifier.group, "counter", None)
+        before = (counter.snapshot()
+                  if self.ledger is not None and counter is not None else None)
+        ok = self.verifier.verify(challenge, response)
+        if ok:
             self.audits_passed += 1
         else:
             self.audits_failed += 1
+        if self.ledger is not None:
+            # The full challenge + proof go on the chain so `ledger verify`
+            # can re-evaluate Eq. 6 offline (block ids re-derive from the
+            # file id and indices; the pk comes from the verifier_key entry).
+            body = {
+                "verifier": self.name,
+                "file": file_id.hex(),
+                "indices": [int(i) for i in challenge.indices],
+                "betas": [int(b) for b in challenge.betas],
+                "sigma": response.sigma.to_bytes().hex(),
+                "alphas": [int(a) for a in response.alphas],
+                "ok": ok,
+            }
+            if before is not None:
+                from repro.obs.exporters import model_equivalent_exp
+
+                after = counter.snapshot()
+                delta = {k: after.get(k, 0) - before.get(k, 0)
+                         for k in set(after) | set(before)}
+                body["exp"] = model_equivalent_exp(delta)
+                body["pair"] = delta.get("pairings", 0)
+            self.ledger.append("audit", body)
         return None
 
 
@@ -347,7 +391,8 @@ def _connect(sim: Simulator, scenario: Scenario, seed: int,
                 bidirectional=False)
 
 
-def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
+def compile_scenario(scenario: Scenario, obs=None,
+                     ledger=None) -> CompiledScenario:
     """Build the simulator network for a (non-legacy) scenario."""
     settings = scenario.settings
     seed = settings.seed
@@ -362,6 +407,23 @@ def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
     sim = Simulator()
     if obs is not None and obs.enabled:
         obs.tracer.clock = lambda: sim.now
+        sim.tracer = obs.tracer  # message deliveries become causal spans
+    if ledger is not None:
+        ledger.clock = lambda: sim.now
+        # Genesis pins everything `ledger verify` needs to rebuild the
+        # crypto context offline: the parameter universe is a pure
+        # function of (param_set, k, setup seed).
+        ledger.ensure_genesis({
+            "scenario": scenario.name,
+            "seed": seed,
+            "param_set": settings.param_set,
+            "k": settings.k,
+            "setup_seed": params.seed.hex(),
+        })
+        if obs is not None and obs.enabled:
+            from repro.obs import bind_ledger
+
+            bind_ledger(obs.registry, ledger)
     compiled = CompiledScenario(scenario=scenario, sim=sim, params=params,
                                 counter=counter)
     batch_config = BatchConfig(max_batch=settings.batch.max_batch,
@@ -401,6 +463,7 @@ def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
             failover_config=failover_config,
             rng=derive_rng(seed, "service", spec.name),
             obs=obs,
+            ledger=ledger,
         )
         sim.add_node(service)
         compiled.services[spec.name] = service
@@ -433,8 +496,13 @@ def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
                                next(iter(group_pks.values())))
         verifier = PublicVerifier(params, org_pk,
                                   rng=derive_rng(seed, "tpa", spec.name))
+        if ledger is not None:
+            ledger.append("verifier_key", {
+                "verifier": spec.name,
+                "pk": org_pk.to_bytes().hex(),
+            })
         node = TPANode(spec.name, verifier, spec.audits, spec.period_s,
-                       spec.sample_size, settings.duration_s)
+                       spec.sample_size, settings.duration_s, ledger=ledger)
         sim.add_node(node)
         compiled.verifiers[spec.name] = node
         compiled.clouds[spec.audits].watchers.append(node)
@@ -475,7 +543,8 @@ def compile_scenario(scenario: Scenario, obs=None) -> CompiledScenario:
 
 
 def compile_legacy(scenario: Scenario, obs, journal=None,
-                   chaos_plan: FaultPlan | None = None) -> CompiledScenario:
+                   chaos_plan: FaultPlan | None = None,
+                   ledger=None) -> CompiledScenario:
     """Replicate the historical ``serve-sim`` wiring for the flag shim.
 
     Byte-for-byte compatible with the pre-scenario code path: one root
@@ -491,6 +560,16 @@ def compile_legacy(scenario: Scenario, obs, journal=None,
     cohort = scenario.workload.cohorts[0]
     group = TypeAPairingGroup.from_params(TYPE_A_PARAM_SETS[settings.param_set])
     params = setup(group, settings.k)
+    if ledger is not None:
+        # build_service_network re-clocks the ledger to virtual time and
+        # binds its registry counters; genesis is written here, first.
+        ledger.ensure_genesis({
+            "scenario": scenario.name,
+            "seed": settings.seed,
+            "param_set": settings.param_set,
+            "k": settings.k,
+            "setup_seed": params.seed.hex(),
+        })
     rng = random.Random(settings.seed)
     threshold = spec.t if spec.t > 1 else None
     link = scenario.topology.default_link
@@ -511,6 +590,7 @@ def compile_legacy(scenario: Scenario, obs, journal=None,
         service_sem_channel=channel,
         journal=journal,
         obs=obs,
+        ledger=ledger,
     )
     compiled = CompiledScenario(
         scenario=scenario, sim=sim, params=params,

@@ -80,6 +80,10 @@ class ScenarioResult:
     services: dict[str, dict] = field(default_factory=dict)
     fault_counts: dict[str, int] = field(default_factory=dict)
     violations: list[EnvelopeViolation] = field(default_factory=list)
+    # Flight recorder (populated only when a ledger / enabled obs ran):
+    ledger: dict | None = None               # chain head: entries/epoch/hash
+    critical_path: dict | None = None        # p99 exemplar's hop attribution
+    exemplars: list | None = None            # latency buckets → trace ids
 
     @property
     def lost(self) -> int:
@@ -117,7 +121,7 @@ class ScenarioResult:
     # -- determinism ---------------------------------------------------------
     def deterministic_view(self) -> dict:
         """The digest's input: every metric that must replay identically."""
-        return {
+        view = {
             "scenario": self.scenario.name,
             "seed": self.scenario.settings.seed,
             "issued": self.issued,
@@ -135,6 +139,12 @@ class ScenarioResult:
             "verifiers": {k: self.verifiers[k] for k in sorted(self.verifiers)},
             "fault_counts": dict(sorted(self.fault_counts.items())),
         }
+        if self.ledger is not None:
+            # The chain head joins the deterministic plane: a double run
+            # must reproduce the ledger bit-for-bit, hash and all.
+            # (Conditional, so ledger-less digests stay stable.)
+            view["ledger"] = self.ledger
+        return view
 
     def digest(self) -> str:
         canonical = json.dumps(self.deterministic_view(), sort_keys=True,
@@ -178,6 +188,11 @@ class ScenarioResult:
             "verifiers": {k: self.verifiers[k] for k in sorted(self.verifiers)},
             "services": {k: self.services[k] for k in sorted(self.services)},
             "fault_counts": dict(sorted(self.fault_counts.items())),
+            "flight_recorder": {
+                "ledger": self.ledger,
+                "critical_path": self.critical_path,
+                "exemplars": self.exemplars,
+            },
         }
 
 
@@ -215,12 +230,14 @@ class ScenarioRunner:
     """
 
     def __init__(self, scenario: Scenario, obs=None, journal=None,
-                 chaos_plan=None, max_events: int | None = None):
+                 chaos_plan=None, max_events: int | None = None,
+                 ledger=None):
         self.scenario = scenario
         self.obs = obs
         self.journal = journal
         self.chaos_plan = chaos_plan
         self.max_events = max_events
+        self.ledger = ledger
         self.compiled: CompiledScenario | None = None
         self.replayed = 0
 
@@ -229,10 +246,11 @@ class ScenarioRunner:
             if self.scenario.legacy:
                 self.compiled = compile_legacy(
                     self.scenario, self.obs, journal=self.journal,
-                    chaos_plan=self.chaos_plan,
+                    chaos_plan=self.chaos_plan, ledger=self.ledger,
                 )
             else:
-                self.compiled = compile_scenario(self.scenario, obs=self.obs)
+                self.compiled = compile_scenario(self.scenario, obs=self.obs,
+                                                 ledger=self.ledger)
         return self.compiled
 
     def run(self) -> ScenarioResult:
@@ -244,10 +262,38 @@ class ScenarioRunner:
             compiled.start_workload()
         virtual_end = compiled.sim.run(max_events=self.max_events)
         result = self._collect(compiled, virtual_end)
+        if self.ledger is not None:
+            self._seal_ledger(result)
         result.wall_s = time.perf_counter() - started
         result.violations = check_envelope(result,
                                            self.scenario.settings.envelope)
         return result
+
+    def _seal_ledger(self, result: ScenarioResult) -> None:
+        """End-of-run ledger entries, then expose the head to the digest."""
+        import hashlib as _hashlib
+        import os as _os
+
+        if self.journal is not None and getattr(self.journal, "path", None):
+            path = self.journal.path
+            if _os.path.exists(path):
+                with open(path, "rb") as handle:
+                    digest = _hashlib.sha256(handle.read()).hexdigest()
+                self.ledger.append("journal_segment", {
+                    "sha256": digest,
+                    "bytes": _os.path.getsize(path),
+                })
+        # Raw counts only — the scenario digest covers the ledger head, so
+        # the summary must not itself depend on the digest (no cycles).
+        self.ledger.append("run_summary", {
+            "scenario": self.scenario.name,
+            "seed": self.scenario.settings.seed,
+            "issued": result.issued,
+            "completed": result.completed,
+            "failed": result.failed,
+            "virtual_duration_s": round(result.virtual_duration_s, 9),
+        })
+        result.ledger = self.ledger.head()
 
     # -- legacy drive --------------------------------------------------------
     def _drive_legacy(self, compiled: CompiledScenario) -> None:
@@ -324,7 +370,30 @@ class ScenarioRunner:
             }
         if compiled.injector is not None:
             result.fault_counts = dict(compiled.injector.counts)
+        self._attribute_latency(compiled, result)
         return result
+
+    def _attribute_latency(self, compiled: CompiledScenario,
+                           result: ScenarioResult) -> None:
+        """Critical-path + exemplar analysis off the live causal stream."""
+        if self.obs is None or not self.obs.enabled:
+            return
+        from repro.obs.causal import (
+            critical_path_report,
+            exemplar_buckets,
+            spans_from_tracer,
+        )
+
+        sources = (compiled.legacy_clients if self.scenario.legacy
+                   else compiled.cohorts.values())
+        pairs: list[tuple[float, int]] = []
+        for node in sources:
+            pairs.extend(getattr(node, "exemplars", ()))
+        if not pairs:
+            return
+        spans = spans_from_tracer(self.obs.tracer)
+        result.exemplars = exemplar_buckets(pairs)
+        result.critical_path = critical_path_report(spans, pairs, q=0.99)
 
 
 def run_scenario(scenario: Scenario, obs=None,

@@ -163,6 +163,10 @@ class HealthScoreboard:
         self.records = [_HealthRecord() for _ in range(n_endpoints)]
         self.trips = 0  # breaker activations (quarantine entries)
         self.probes = 0  # half-open re-admissions after a lapsed window
+        # Flight-recorder hooks: ``callback(index, round, streak)`` fired on
+        # every invalid batch / quarantine trip (the ledger subscribes).
+        self.on_invalid: list = []
+        self.on_trip: list = []
 
     @classmethod
     def from_config(cls, n_endpoints: int, config: FailoverConfig) -> "HealthScoreboard":
@@ -212,9 +216,13 @@ class HealthScoreboard:
         record = self.records[index]
         record.invalid_streak += 1
         record.invalid_total += 1
+        for observer in self.on_invalid:
+            observer(index, self.round, record.invalid_streak)
         if record.invalid_streak >= self.threshold and not self.is_quarantined(index):
             record.quarantined_until = self.round + self.quarantine_rounds
             self.trips += 1
+            for observer in self.on_trip:
+                observer(index, self.round, record.invalid_streak)
 
     def record_timeout(self, index: int) -> None:
         self.records[index].timeouts += 1

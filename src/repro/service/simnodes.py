@@ -81,6 +81,7 @@ class SEMServiceNode(Node):
         use_fixed_base: bool = True,
         journal=None,
         obs=None,
+        ledger=None,
     ):
         super().__init__(name)
         self.params = params
@@ -93,6 +94,12 @@ class SEMServiceNode(Node):
         # Round-spanning endpoint health: byzantine SEMs get quarantined
         # instead of being re-contacted (and re-rejected) every round.
         self.health = HealthScoreboard.from_config(len(endpoints), self.failover_config)
+        # Flight recorder: admission, round outcomes, and quarantine
+        # decisions become hash-chained ledger entries.
+        self.ledger = ledger
+        if ledger is not None:
+            self.health.on_invalid.append(self._ledger_invalid)
+            self.health.on_trip.append(self._ledger_quarantine)
         # The pipeline's transport is replaced per round by the message
         # fan-out below; it still does aggregation/blinding/unblinding.
         self._pipeline = SigningPipeline(
@@ -118,6 +125,7 @@ class SEMServiceNode(Node):
         self._round_ids = iter(range(1, 1 << 62))
         self._inflight: dict[int, tuple[int, int]] = {}  # msg_id -> (round, endpoint)
         self._requesters: dict[int, str] = {}  # request_id -> client node name
+        self._trace_ctx: dict = {}  # request_id -> inbound TraceContext
         self._flush_timer: int | None = None
         self.on("svc_sign_request", self._handle_request)
         self.on("sign_response", self._handle_share_response)
@@ -126,9 +134,20 @@ class SEMServiceNode(Node):
     def _handle_request(self, message: Message):
         request: SignRequest = message.payload
         immediate = self.service.submit(request)
+        if self.ledger is not None:
+            self.ledger.append("sign_request", {
+                "id": request.request_id,
+                "owner": request.owner,
+                "blocks": len(request.blocks) if request.blocks else 0,
+                "accepted": immediate is None,
+            })
         if immediate is not None:  # rejected / overloaded at the door
             return self.make_message(message.sender, "svc_sign_response", immediate)
         self._requesters[request.request_id] = message.sender
+        if message.trace is not None:
+            # Batched replies must rejoin *this* request's causal tree, not
+            # whichever request triggered the flush.
+            self._trace_ctx[request.request_id] = message.trace
         out = []
         if self.service.queue.depth >= self.service.config.max_batch:
             out.extend(self._start_round() or [])
@@ -252,6 +271,17 @@ class SEMServiceNode(Node):
         if machine.used_failover and machine.result is not None:
             self.metrics.failovers += 1
         now = self.sim.now if self.sim else 0.0
+        if self.ledger is not None:
+            outcome = {
+                "round": round_.round_id,
+                "batch": round_.batch_size,
+                "ok": machine.result is not None,
+                "retries": machine.retries,
+                "failover": bool(machine.used_failover),
+            }
+            if machine.result is None and machine.failed_reason:
+                outcome["error"] = machine.failed_reason
+            self.ledger.append("round", outcome)
         replies: list[Message] = []
         if machine.result is not None:
             results = self._pipeline.finish_batch(round_.prepared, machine.result)
@@ -304,8 +334,35 @@ class SEMServiceNode(Node):
         if self.service.journal is not None:
             self.service.journal.record_terminal(response)
             self.service._inflight_ids.discard(response.request_id)
+        if self.ledger is not None:
+            self.ledger.append("sign_response", {
+                "id": response.request_id,
+                "ok": response.ok,
+                "status": response.status.value,
+                "batch": response.batch_size,
+            })
         requester = self._requesters.pop(envelope.request.request_id, envelope.request.owner)
-        return self.make_message(requester, "svc_sign_response", response)
+        message = self.make_message(requester, "svc_sign_response", response)
+        ctx = self._trace_ctx.pop(envelope.request.request_id, None)
+        if ctx is not None and self.sim is not None:
+            message.trace = self.sim.child_context(ctx)
+        return message
+
+    # -- flight recorder -----------------------------------------------------
+    def _ledger_invalid(self, index: int, round_no: int, streak: int) -> None:
+        self.ledger.append("share_invalid", {
+            "endpoint": self.endpoints[index].name,
+            "round": round_no,
+            "streak": streak,
+        })
+
+    def _ledger_quarantine(self, index: int, round_no: int, streak: int) -> None:
+        self.ledger.append("quarantine", {
+            "endpoint": self.endpoints[index].name,
+            "round": round_no,
+            "streak": streak,
+            "until_round": round_no + self.health.quarantine_rounds,
+        })
 
     # -- crash recovery -------------------------------------------------------
     def recover(self) -> int:
@@ -342,6 +399,7 @@ class ServiceClientNode(Node):
         self.completed: list[int] = []
         self.failed: list[int] = []
         self.latencies: list[float] = []
+        self.exemplars: list[tuple[float, int]] = []  # (latency, trace id)
         self._sent_at: dict[int, float] = {}
         self.on("svc_sign_response", self._handle_response)
 
@@ -358,7 +416,10 @@ class ServiceClientNode(Node):
             submitted_at=self.sim.now if self.sim else 0.0,
         )
         self._sent_at[request.request_id] = self.sim.now if self.sim else 0.0
-        return self.make_message(self.service_name, "svc_sign_request", request)
+        message = self.make_message(self.service_name, "svc_sign_request", request)
+        if self.sim is not None:
+            self.sim.start_trace(message)  # each request roots its own tree
+        return message
 
     def _handle_response(self, message: Message):
         response: SignResponse = message.payload
@@ -370,6 +431,8 @@ class ServiceClientNode(Node):
         sent = self._sent_at.pop(response.request_id, None)
         if sent is not None and self.sim is not None:
             self.latencies.append(self.sim.now - sent)
+            if message.trace is not None:
+                self.exemplars.append((self.sim.now - sent, message.trace.trace_id))
         return None
 
 
@@ -384,6 +447,7 @@ def build_service_network(
     service_sem_channel: Channel | None = None,
     journal=None,
     obs=None,
+    ledger=None,
 ) -> tuple[Simulator, SEMServiceNode, list[ServiceClientNode]]:
     """Wire clients → service → SEM(s) into a fresh simulator.
 
@@ -401,11 +465,14 @@ def build_service_network(
     group = params.group
     rng = rng or random.Random(0)
     sim = Simulator()
+    if ledger is not None:
+        ledger.clock = lambda: sim.now
     if obs is not None and obs.enabled:
         from repro.obs import bind_service_metrics, bind_simulator
 
         obs.observe_group(group)
         obs.tracer.clock = lambda: sim.now
+        sim.tracer = obs.tracer  # message deliveries become causal spans
         bind_simulator(obs.registry, sim)
     if threshold is None:
         sk = group.random_nonzero_scalar(rng)
@@ -439,6 +506,7 @@ def build_service_network(
         rng=rng,
         journal=journal,
         obs=obs,
+        ledger=ledger,
     )
     sim.add_node(service)
     if obs is not None and obs.enabled:
@@ -446,6 +514,10 @@ def build_service_network(
 
         bind_service_metrics(obs.registry, service.metrics)
         bind_failover_health(obs.registry, service.health)
+        if ledger is not None:
+            from repro.obs import bind_ledger
+
+            bind_ledger(obs.registry, ledger)
     clients = []
     for i in range(n_clients):
         client = ServiceClientNode(f"client-{i}", params, "service")

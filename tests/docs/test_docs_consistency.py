@@ -94,6 +94,20 @@ def test_docs_document_the_scenario_engine():
         )
 
 
+def test_docs_document_the_ledger_commands():
+    """The flight-recorder verification workflow must be documented: at
+    least one parseable invocation per ledger subcommand."""
+    ledger_lines = [c for _, c in DOCUMENTED if c.startswith("repro-pdp ledger")]
+    for sub in ("verify", "show", "head"):
+        assert any(f"ledger {sub}" in line for line in ledger_lines), (
+            f"no doc shows `repro-pdp ledger {sub} ...`: {ledger_lines}"
+        )
+    # The recorder itself must be shown attached to a run.
+    assert any("--ledger" in c for _, c in DOCUMENTED), (
+        "no doc shows a run with --ledger PATH"
+    )
+
+
 def test_docs_referenced_scenarios_exist_and_validate():
     """Every ``scenarios/*.yaml`` path the docs mention is a real,
     schema-valid document in the committed corpus."""

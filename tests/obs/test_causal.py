@@ -1,0 +1,219 @@
+"""Causal assembly: trees, critical paths, exemplars, run-header fencing."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    Observability,
+    TraceStreamError,
+    critical_path,
+    critical_path_report,
+    exemplar_buckets,
+    load_trace,
+    quantile_exemplar,
+    spans_from_tracer,
+    trace_header,
+    trace_trees,
+    write_trace_jsonl,
+)
+
+
+def _span(trace, span, parent, src, dst, start, end, name="msg.req"):
+    return {
+        "span_id": span, "parent_id": None, "name": name,
+        "start": start, "end": end, "duration": end - start,
+        "attrs": {"trace": trace, "span": span, "parent_span": parent,
+                  "hop": 0, "src": src, "dst": dst},
+    }
+
+
+#: client → service (5 ms wire), service holds 30 ms, service → client.
+CHAIN = [
+    _span(1, 10, None, "client", "service", 0.000, 0.005, "msg.request"),
+    _span(1, 11, 10, "service", "client", 0.035, 0.040, "msg.response"),
+]
+
+
+class TestTreesAndPaths:
+    def test_trees_group_by_trace_and_skip_unattributed(self):
+        spans = CHAIN + [_span(2, 20, None, "a", "b", 0, 1)]
+        spans.append({"name": "sign", "start": 0, "end": 1, "attrs": {}})
+        trees = trace_trees(spans)
+        assert set(trees) == {1, 2}
+        assert len(trees[1]) == 2
+
+    def test_critical_path_alternates_wire_and_node_segments(self):
+        path = critical_path(CHAIN)
+        assert path.trace_id == 1
+        kinds = [s.kind for s in path.segments]
+        assert kinds == ["wire", "node", "wire"]
+        dominant = path.dominant
+        assert dominant.kind == "node" and dominant.name == "service"
+        assert dominant.duration_s == pytest.approx(0.030)
+        assert path.total_s == pytest.approx(0.040)
+
+    def test_dominant_share_in_report_dict(self):
+        report = critical_path(CHAIN).to_dict()
+        assert report["dominant"]["share"] == pytest.approx(0.75)
+        assert report["trace"] == 1
+
+    def test_node_hold_clamped_at_zero(self):
+        # Response enqueued before the request's recorded end (batching
+        # artifacts under virtual time) must not yield a negative hold.
+        spans = [
+            _span(1, 1, None, "a", "b", 0.0, 0.010),
+            _span(1, 2, 1, "b", "c", 0.005, 0.015),
+        ]
+        path = critical_path(spans)
+        hold = [s for s in path.segments if s.kind == "node"][0]
+        assert hold.duration_s == 0.0
+
+    def test_terminal_is_last_delivery_not_first(self):
+        # A side branch (cloud upload) that ends later than the response
+        # becomes the terminal — the full causal tree is attributed.
+        spans = CHAIN + [_span(1, 12, 11, "client", "cloud", 0.040, 0.060,
+                               "msg.upload")]
+        path = critical_path(spans)
+        assert path.segments[-1].name.endswith("msg.upload")
+
+    def test_empty_tree_has_no_path(self):
+        assert critical_path([]) is None
+
+
+class TestExemplars:
+    def test_buckets_link_counts_to_slowest_trace(self):
+        pairs = [(0.004, 1), (0.003, 2), (0.04, 3), (2.0, 4), (20.0, 5)]
+        buckets = exemplar_buckets(pairs)
+        by_le = {b["le"]: b for b in buckets}
+        assert by_le[0.005]["count"] == 2
+        assert by_le[0.005]["exemplar_trace"] == 1  # slowest in bucket
+        assert by_le[0.05]["exemplar_trace"] == 3
+        assert by_le["+Inf"]["exemplar_trace"] == 5
+
+    def test_zero_latency_lands_in_the_first_bucket(self):
+        buckets = exemplar_buckets([(0.0, 7)])
+        assert buckets[0]["count"] == 1
+        assert buckets[0]["exemplar_trace"] == 7
+
+    def test_quantile_exemplar_picks_the_p99_request(self):
+        pairs = [(i / 1000, i) for i in range(1, 101)]
+        latency, trace = quantile_exemplar(pairs, q=0.99)
+        assert trace == 99
+        assert quantile_exemplar([], q=0.99) is None
+
+    def test_report_names_the_dominating_hop(self):
+        report = critical_path_report(CHAIN, [(0.040, 1)], q=0.99)
+        assert report["dominant"]["name"] == "service"
+        assert report["quantile"] == 0.99
+        assert report["latency_s"] == pytest.approx(0.040)
+
+    def test_report_none_without_matching_tree(self):
+        assert critical_path_report([], [(0.1, 9)], q=0.99) is None
+        assert critical_path_report(CHAIN, [], q=0.99) is None
+
+
+class TestHeaderFencing:
+    def _write(self, path, header, spans):
+        with open(path, "a") as fh:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+            for span in spans:
+                fh.write(json.dumps(span, sort_keys=True) + "\n")
+
+    def test_single_run_loads_clean(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, trace_header(seed=1, scenario="a"), CHAIN)
+        spans = load_trace(path)
+        assert len(spans) == 2
+        spans = load_trace(path, expect_header={"seed": 1, "scenario": "a"})
+        assert len(spans) == 2
+
+    def test_mismatched_expect_header_names_the_offset(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, trace_header(seed=1, scenario="a"), CHAIN)
+        with pytest.raises(TraceStreamError, match="byte offset 0"):
+            load_trace(path, expect_header={"seed": 2})
+
+    def test_two_different_runs_refuse_to_stitch(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, trace_header(seed=1, scenario="a"), CHAIN)
+        self._write(path, trace_header(seed=2, scenario="a"), CHAIN)
+        with pytest.raises(TraceStreamError, match="stitches two different runs"):
+            load_trace(path)
+        # Narrowing to one run's header is the documented escape hatch.
+        with pytest.raises(TraceStreamError, match="does not match"):
+            load_trace(path, expect_header={"seed": 1})
+
+    def test_identical_reheader_is_not_a_second_run(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        self._write(path, trace_header(seed=1), CHAIN)
+        self._write(path, trace_header(seed=1), CHAIN)
+        assert len(load_trace(path)) == 4
+
+    def test_unreadable_record_names_line_and_offset(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"ok": 1}\n{broken\n')
+        with pytest.raises(TraceStreamError, match="line 2 .byte offset 10."):
+            load_trace(path)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def run(self):
+        from repro.scenarios import ScenarioRunner, scenario_from_dict
+
+        doc = {
+            "name": "causal-e2e",
+            "workload": {"cohorts": [{
+                "name": "writers", "members": 3, "target": "org",
+                "arrival": {"kind": "poisson", "rate_rps": 50.0},
+                "file_sizes": {"kind": "fixed", "bytes": 48, "max_bytes": 48},
+                "upload_to": ["cloud"],
+            }]},
+            "topology": {
+                "sem_groups": [{"name": "org", "w": 1, "t": 1}],
+                "clouds": [{"name": "cloud"}],
+                "verifiers": [{"name": "tpa", "audits": "cloud",
+                               "period_s": 0.1}],
+            },
+            "settings": {"duration_s": 0.3, "seed": 9, "max_requests": 6},
+        }
+        obs = Observability.create()
+        runner = ScenarioRunner(scenario_from_dict(doc), obs=obs)
+        return runner.run(), obs
+
+    def test_every_completion_has_an_exemplar_trace(self, run):
+        result, obs = run
+        assert result.exemplars
+        trees = trace_trees(spans_from_tracer(obs.tracer))
+        for bucket in result.exemplars:
+            assert bucket["exemplar_trace"] in trees
+
+    def test_critical_path_attributes_the_p99_exemplar(self, run):
+        result, _ = run
+        path = result.critical_path
+        assert path is not None
+        assert path["dominant"]["name"]
+        assert 0 < path["dominant"]["share"] <= 1
+        assert path["segments"]
+
+    def test_requests_root_separate_traces(self, run):
+        """Closed-loop request chains must not share one causal tree."""
+        result, obs = run
+        trees = trace_trees(spans_from_tracer(obs.tracer))
+        roots = {t for t, spans in trees.items()
+                 if any(s["attrs"]["parent_span"] is None for s in spans)}
+        assert len(roots) == len(trees)
+        assert len(trees) >= result.completed
+
+    def test_file_roundtrip_reproduces_the_live_analysis(self, run, tmp_path):
+        result, obs = run
+        path = tmp_path / "trace.jsonl"
+        header = trace_header(scenario="causal-e2e", seed=9)
+        write_trace_jsonl(obs.tracer, path, header=header)
+        loaded = load_trace(path, expect_header={"scenario": "causal-e2e"})
+        pairs = [(b["exemplar_latency_s"], b["exemplar_trace"])
+                 for b in result.exemplars]
+        assert (critical_path_report(loaded, pairs, q=0.99)
+                == critical_path_report(spans_from_tracer(obs.tracer),
+                                        pairs, q=0.99))

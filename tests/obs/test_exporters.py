@@ -4,7 +4,9 @@ import json
 from pathlib import Path
 
 from repro.obs import (
+    Ledger,
     Observability,
+    bind_ledger,
     cost_table,
     model_equivalent_exp,
     phase_cost_rows,
@@ -53,6 +55,12 @@ def build_scenario() -> Observability:
     )
     for s in obs.tracer.spans:
         obs.registry._metrics["phase_duration_seconds"].observe(s.duration)
+    # A tiny flight-recorder chain so ledger_entries_total{kind} lands in
+    # the golden Prometheus exposition alongside trace_spans_total.
+    ledger = Ledger()
+    ledger.ensure_genesis({"scenario": "golden", "seed": 0})
+    ledger.append("audit", {"verifier": "tpa", "ok": True})
+    bind_ledger(obs.registry, ledger)
     return obs
 
 

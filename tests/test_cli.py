@@ -112,7 +112,9 @@ class TestObservabilityFlags:
         metrics = tmp_path / "sim.txt"
         assert main(["serve-sim", "--clients", "1", "--requests", "1",
                      "--trace-out", str(trace), "--metrics-out", str(metrics)]) == 0
-        names = {json.loads(l)["name"] for l in trace.read_text().splitlines()}
+        records = [json.loads(l) for l in trace.read_text().splitlines()]
+        assert records[0]["rec"] == "trace-header"  # run fencing (causal.py)
+        names = {r["name"] for r in records if "name" in r}
         assert "batch.prepare" in names and "batch.finish" in names
         assert "sim_delivered" in metrics.read_text()
 
@@ -264,3 +266,90 @@ class TestBench:
         assert main(["bench", "run", "--suite", "bogus",
                      "--trajectory-dir", str(tmp_path),
                      "--results-dir", str(tmp_path / "results")]) == 2
+
+
+class TestLedgerCommands:
+    def _serve(self, ledger_path, *extra) -> int:
+        return main(["serve-sim", "--clients", "1", "--requests", "2",
+                     "--ledger", str(ledger_path), *extra])
+
+    def test_serve_sim_ledger_verifies_offline(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert self._serve(path) == 0
+        out = capsys.readouterr().out
+        assert "ledger:" in out and "critical path" in out
+        assert main(["ledger", "verify", str(path)]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_head_pins_the_chain_out_of_band(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert self._serve(path) == 0
+        capsys.readouterr()
+        assert main(["ledger", "head", str(path)]) == 0
+        head = capsys.readouterr().out.strip()
+        assert len(head) == 64 and int(head, 16) >= 0
+        assert main(["ledger", "verify", str(path),
+                     "--expect-head", head]) == 0
+        capsys.readouterr()
+        assert main(["ledger", "verify", str(path),
+                     "--expect-head", "0" * 64]) == 1
+        assert "truncated or wholly replaced" in capsys.readouterr().out
+
+    def test_verify_detects_a_corrupted_copy(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert self._serve(path) == 0
+        data = bytearray(path.read_bytes())
+        data[len(data) // 3] ^= 0x04
+        corrupt = tmp_path / "corrupt.jsonl"
+        corrupt.write_bytes(bytes(data))
+        capsys.readouterr()
+        assert main(["ledger", "verify", str(corrupt)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_show_filters_by_kind_and_tail(self, tmp_path, capsys):
+        path = tmp_path / "ledger.jsonl"
+        assert self._serve(path) == 0
+        capsys.readouterr()
+        assert main(["ledger", "show", str(path), "--kind", "sign_request",
+                     "--tail", "1"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and "sign_request" in lines[0]
+
+    def test_head_of_missing_ledger_is_a_usage_error(self, tmp_path):
+        assert main(["ledger", "head", str(tmp_path / "absent.jsonl")]) == 2
+
+    def test_trace_out_carries_the_run_header(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        assert self._serve(tmp_path / "ledger.jsonl",
+                           "--trace-out", str(trace)) == 0
+        first = json.loads(trace.read_text().splitlines()[0])
+        assert first["rec"] == "trace-header"
+        assert {"scenario", "seed", "digest"} <= set(first)
+
+    def test_deployment_ledger_records_upload_and_audit(
+        self, deployment, capsys
+    ):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        _run(state, "audit", "d/1")
+        ledger_path = state / "obs" / "ledger.jsonl"
+        assert ledger_path.exists()
+        capsys.readouterr()
+        assert main(["ledger", "verify", str(ledger_path)]) == 0
+        out = capsys.readouterr().out
+        assert "audits rechecked offline: 1 (0 mismatch(es))" in out
+        assert _run(state, "info") == 0
+        assert "ledger:" in capsys.readouterr().out
+
+    def test_failed_audit_verdict_is_on_the_chain(self, deployment, capsys):
+        state, doc = deployment
+        _run(state, "upload", "alice", str(doc), "--file-id", "d/1")
+        _run(state, "tamper", "d/1", "--block", "0")
+        assert _run(state, "audit", "d/1") == 1
+        ledger_path = state / "obs" / "ledger.jsonl"
+        capsys.readouterr()
+        assert main(["ledger", "show", str(ledger_path),
+                     "--kind", "audit"]) == 0
+        assert '"ok": false' in capsys.readouterr().out
+        # The recorded FAIL re-evaluates to FAIL offline: chain verifies.
+        assert main(["ledger", "verify", str(ledger_path)]) == 0
