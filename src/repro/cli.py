@@ -39,6 +39,7 @@ CLOUD_DIR = "cloud"
 OBS_DIR = "obs"
 PRECOMPUTE_DIR = "precompute"
 LAST_RUN_FILE = "last_run.json"
+LAST_SLO_FILE = "last_slo.json"
 LEDGER_FILE = "ledger.jsonl"
 
 
@@ -190,6 +191,54 @@ def _print_flight_recorder(result) -> None:
               f"{dominant['kind']} {dominant['name']} dominates "
               f"({dominant['duration_s']:.3f}s, "
               f"{dominant['share'] * 100:.0f}% of the causal chain)")
+
+
+def _print_slo_summary(result) -> None:
+    """Alerts + error-budget lines of an SLO-enabled scenario result."""
+    if result.fired_alerts is None:
+        return
+    fired = ", ".join(result.fired_alerts) or "none"
+    print(f"  alerts fired: {fired}")
+    if result.expected_alerts:
+        print(f"  alerts expected: {', '.join(result.expected_alerts)}")
+    for row in result.error_budgets or []:
+        print(f"    budget {row['objective']} ({row['signal']}): "
+              f"{row['budget_remaining'] * 100:.1f}% remaining "
+              f"(spent {row['budget_spent'] * 100:.1f}%)")
+    if result.metering:
+        scopes = sorted({r["scope"] for r in result.metering})
+        print(f"  metering: {len(result.metering)} record(s) across "
+              f"{len(scopes)} scope(s): {', '.join(scopes)}")
+
+
+def _write_alerts_out(args, result) -> None:
+    """``--alerts-out PATH``: the alert timeline as JSONL."""
+    path = getattr(args, "alerts_out", None)
+    if not path or result.alerts is None:
+        return
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("".join(
+        json.dumps(event, sort_keys=True) + "\n" for event in result.alerts
+    ))
+    print(f"  alert timeline: {path}")
+
+
+def _persist_last_slo(args, scenario, result) -> None:
+    """Record the SLO verdict for ``repro-pdp info`` (SLO runs only)."""
+    if result.fired_alerts is None:
+        return
+    payload = {
+        "scenario": scenario.name,
+        "fired": result.fired_alerts,
+        "expected": list(result.expected_alerts or []),
+        "error_budgets": result.error_budgets,
+    }
+    obs_dir = Path(args.state_dir) / OBS_DIR
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    (obs_dir / LAST_SLO_FILE).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
 
 
 def _maybe_profile(args, obs, group) -> None:
@@ -445,6 +494,12 @@ def cmd_serve_sim(args) -> int:
         scenario = scenario_from_legacy_args(args)
     except ScenarioError as exc:
         raise CliError(str(exc)) from None
+    if getattr(args, "slo", False):
+        import dataclasses
+
+        from repro.scenarios.slo_wiring import default_slo_spec
+
+        scenario = dataclasses.replace(scenario, slos=default_slo_spec())
     obs = _make_obs()
     journal = None
     if args.journal:
@@ -474,6 +529,8 @@ def cmd_serve_sim(args) -> int:
             pair for client in compiled.legacy_clients
             for pair in client.exemplars
         ]
+        if runner.slo is not None:
+            dashboard.slo_source = runner.slo.engine.panel
         dashboard.attach(compiled.sim)
     result = runner.run()
     if dashboard is not None:
@@ -509,6 +566,9 @@ def cmd_serve_sim(args) -> int:
               f"{jsummary['completed']} completed, "
               f"{jsummary['pending']} pending, {runner.replayed} replayed")
     _print_flight_recorder(result)
+    _print_slo_summary(result)
+    _write_alerts_out(args, result)
+    _persist_last_slo(args, scenario, result)
     from repro.obs import trace_header
 
     _write_obs_outputs(args, obs, header=trace_header(
@@ -538,10 +598,33 @@ def _run_scenario(args, scenario) -> int:
             scenario,
             settings=dataclasses.replace(scenario.settings, seed=seed_override),
         )
+    if getattr(args, "slo", False) and scenario.slos is None:
+        raise CliError(
+            f"--slo: scenario '{scenario.name}' declares no slos: component"
+        )
     obs = _make_obs()
     runner = ScenarioRunner(scenario, obs=obs, ledger=_make_ledger(args),
                             max_events=getattr(args, "max_events", None))
+    dashboard = None
+    if getattr(args, "watch", False):
+        from repro.obs import Dashboard
+
+        compiled = runner.compile()
+        dashboard = Dashboard(
+            runner.obs.registry, clock=lambda: compiled.sim.now,
+            interval_s=getattr(args, "watch_interval", 0.05),
+        )
+        sources = (compiled.legacy_clients if scenario.legacy
+                   else list(compiled.cohorts.values()))
+        dashboard.exemplar_source = lambda: [
+            pair for node in sources for pair in node.exemplars
+        ]
+        if runner.slo is not None:
+            dashboard.slo_source = runner.slo.engine.panel
+        dashboard.attach(compiled.sim)
     result = runner.run()
+    if dashboard is not None:
+        dashboard.tick()  # final frame: the run's end state
     workload = scenario.workload
     print(f"scenario '{scenario.name}': {scenario.settings.param_set}, "
           f"k={scenario.settings.k}, seed {scenario.settings.seed}, "
@@ -564,6 +647,7 @@ def _run_scenario(args, scenario) -> int:
         fired = ", ".join(f"{k} {v}" for k, v in sorted(result.fault_counts.items()))
         print(f"  faults: {fired}")
     _print_flight_recorder(result)
+    _print_slo_summary(result)
     print(f"  digest: {result.digest()}")
     if result.passed:
         checked = len(scenario.settings.envelope.checks)
@@ -579,9 +663,11 @@ def _run_scenario(args, scenario) -> int:
             json.dumps(result.to_report(), indent=2, sort_keys=True) + "\n"
         )
         print(f"  report: {report_out}")
+    _write_alerts_out(args, result)
+    _persist_last_slo(args, scenario, result)
     from repro.obs import trace_header
 
-    _write_obs_outputs(args, obs, header=trace_header(
+    _write_obs_outputs(args, runner.obs, header=trace_header(
         scenario=scenario.name, seed=scenario.settings.seed,
         digest=result.digest(),
     ))
@@ -827,6 +913,91 @@ def cmd_ledger(args) -> int:
     return args.ledger_fn(args)
 
 
+# ---------------------------------------------------------------------------
+# SLO commands (offline: they read a recorded verdict report)
+# ---------------------------------------------------------------------------
+
+def _load_slo_block(path) -> tuple[dict, dict]:
+    """(report, slo block) of a recorded verdict report; CliError if absent."""
+    try:
+        report = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        raise CliError(f"{path}: {exc}") from None
+    slo = report.get("slo")
+    if not isinstance(slo, dict):
+        raise CliError(
+            f"{path}: no 'slo' block — record the run from a scenario "
+            "that declares an slos: component (scenario run --report-out)"
+        )
+    return report, slo
+
+
+def cmd_slo_check(args) -> int:
+    """Re-evaluate a recorded run's SLO verdicts offline; exit 1 on mismatch.
+
+    Independently re-checks the alert state machine's transition legality,
+    recomputes the fired set from the timeline, re-derives the error-budget
+    arithmetic, and enforces expected-alerts exactness — all without
+    re-running the scenario.
+    """
+    from repro.obs.slo import check_slo_report
+
+    report, slo = _load_slo_block(args.path)
+    problems = check_slo_report(slo)
+    verdict = "PASS" if not problems else "FAIL"
+    print(f"slo check {args.path}: {verdict}")
+    print(f"  scenario '{report.get('scenario', '?')}', "
+          f"{len(slo.get('alerts') or [])} transition(s), "
+          f"{len(slo.get('fired') or [])} alert(s) fired, "
+          f"{len(slo.get('error_budgets') or [])} objective(s)")
+    for problem in problems:
+        print(f"  problem: {problem}")
+    return 0 if not problems else 1
+
+
+def cmd_slo_report(args) -> int:
+    """Print a recorded run's alert timeline, budgets, and metering."""
+    report, slo = _load_slo_block(args.path)
+    print(f"slo report for scenario '{report.get('scenario', '?')}' "
+          f"(seed {report.get('seed', '?')})")
+    objectives = slo.get("objectives") or []
+    for obj in objectives:
+        print(f"  objective {obj['name']}: {obj['signal']}, "
+              f"target {obj['target']}")
+    fired = ", ".join(slo.get("fired") or []) or "none"
+    expected = ", ".join(slo.get("expected_alerts") or []) or "none"
+    print(f"  alerts fired: {fired} (expected: {expected})")
+    for event in slo.get("alerts") or []:
+        print(f"    t={event['t']:<12} {event['alert']:<24} "
+              f"{event['state']:<9} burn long x{event['burn_long']:.2f} "
+              f"short x{event['burn_short']:.2f} "
+              f"(threshold x{event['burn_threshold']})")
+    for row in slo.get("error_budgets") or []:
+        print(f"  budget {row['objective']} ({row['signal']}): "
+              f"bad ratio {row['bad_ratio']:.6f}, "
+              f"spent {row['budget_spent'] * 100:.1f}%, "
+              f"remaining {row['budget_remaining'] * 100:.1f}%")
+    metering = slo.get("metering") or []
+    if metering:
+        print(f"  metering ({len(metering)} record(s)):")
+        for record in metering:
+            delta = ", ".join(f"{k}={v}" for k, v in
+                              sorted(record["delta"].items()) if v)
+            print(f"    epoch {record['epoch']:<3} {record['scope']:<20} "
+                  f"{delta or 'idle'}")
+    close = slo.get("metering_close")
+    if close:
+        for scope, totals in sorted(close.get("totals", {}).items()):
+            rendered = ", ".join(f"{k}={v}" for k, v in
+                                 sorted(totals.items()) if v)
+            print(f"  metered total {scope:<20} {rendered}")
+    return 0
+
+
+def cmd_slo(args) -> int:
+    return args.slo_fn(args)
+
+
 def cmd_info(args) -> int:
     root = Path(args.state_dir)
     state = load_state(root)
@@ -847,6 +1018,15 @@ def cmd_info(args) -> int:
             )
             print(f"  {name}: x{entry['count']}, {entry['duration_s']:.4f}s"
                   + (f" ({phase_ops})" if phase_ops else ""))
+    last_slo_path = root / OBS_DIR / LAST_SLO_FILE
+    if last_slo_path.exists():
+        last = json.loads(last_slo_path.read_text())
+        fired = ", ".join(last.get("fired") or []) or "none"
+        print(f"last slo run ('{last.get('scenario', '?')}'): "
+              f"alerts fired: {fired}")
+        for row in last.get("error_budgets") or []:
+            print(f"  budget {row['objective']} ({row['signal']}): "
+                  f"{row['budget_remaining'] * 100:.1f}% remaining")
     ledger_path = root / OBS_DIR / LEDGER_FILE
     if ledger_path.exists():
         from repro.obs import LedgerError, ledger_head
@@ -956,6 +1136,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="append a tamper-evident hash-chained ledger of every "
                         "protocol decision to PATH (audit offline with "
                         "`repro-pdp ledger verify`)")
+    p.add_argument("--slo", action="store_true",
+                   help="attach the stock SLO objectives to a legacy run "
+                        "(burn-rate alerting + per-scope metering); with "
+                        "--scenario, require the document to declare slos:")
+    p.add_argument("--alerts-out", metavar="PATH", default=None,
+                   help="write the alert-transition timeline to PATH as JSONL")
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve_sim)
 
@@ -985,6 +1171,11 @@ def build_parser() -> argparse.ArgumentParser:
                     help="append a tamper-evident hash-chained ledger of every "
                          "protocol decision to PATH (audit offline with "
                          "`repro-pdp ledger verify`)")
+    sp.add_argument("--slo", action="store_true",
+                    help="require the document to declare an slos: component "
+                         "(it is evaluated whenever declared)")
+    sp.add_argument("--alerts-out", metavar="PATH", default=None,
+                    help="write the alert-transition timeline to PATH as JSONL")
     _add_obs_flags(sp)
     sp.set_defaults(fn=cmd_scenario, scenario_fn=cmd_scenario_run)
 
@@ -1025,6 +1216,25 @@ def build_parser() -> argparse.ArgumentParser:
     lp.set_defaults(fn=cmd_ledger, ledger_fn=cmd_ledger_head)
 
     p = sub.add_parser(
+        "slo", help="offline SLO verdicts of a recorded run (check / report)"
+    )
+    slo_sub = p.add_subparsers(dest="slo_command", required=True)
+
+    xp = slo_sub.add_parser(
+        "check", help="re-evaluate a recorded run's alerts and budgets offline"
+    )
+    xp.add_argument("path", metavar="REPORT.json",
+                    help="verdict report written by `scenario run --report-out`")
+    xp.set_defaults(fn=cmd_slo, slo_fn=cmd_slo_check)
+
+    xp = slo_sub.add_parser(
+        "report", help="print the alert timeline, budgets, and metering"
+    )
+    xp.add_argument("path", metavar="REPORT.json",
+                    help="verdict report written by `scenario run --report-out`")
+    xp.set_defaults(fn=cmd_slo, slo_fn=cmd_slo_report)
+
+    p = sub.add_parser(
         "bench", help="continuous performance tracking (run / compare / baseline)"
     )
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -1032,7 +1242,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
                         help="suite name or 'all' (table1, audit, service, "
-                             "chaos, msm, scenario, ledger)")
+                             "chaos, msm, scenario, ledger, slo)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

@@ -39,6 +39,7 @@ class Simulator:
         self._timer_ids = itertools.count()
         self._pending_timers: set[int] = set()
         self._cancelled_timers: set[int] = set()
+        self._daemon_timers: set[int] = set()
         self.now = 0.0
         self.delivered = 0
         self.dropped = 0
@@ -49,6 +50,10 @@ class Simulator:
         # Flight-recorder hook: a Tracer (repro.obs.tracer) that records one
         # span per message delivery; None/disabled means no causal tracing.
         self.tracer = None
+        # Metering hook: a Meter (repro.obs.meter) bracketing every event
+        # with begin/commit so operation-counter deltas are attributed to
+        # the node that processed the event; None means no metering.
+        self.meter = None
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._current_ctx: TraceContext | None = None
@@ -111,16 +116,24 @@ class Simulator:
         return node
 
     # -- timers ----------------------------------------------------------------
-    def schedule(self, delay_s: float, callback) -> int:
+    def schedule(self, delay_s: float, callback, daemon: bool = False) -> int:
         """Fire ``callback()`` after ``delay_s`` virtual seconds.
 
         The callback may return a Message or a list of Messages to send.
         Returns a timer id usable with :meth:`cancel_timer`.
+
+        A ``daemon`` timer is housekeeping (telemetry samplers, metering
+        epochs): it fires normally while real work remains but does not
+        count as a pending event, and :meth:`run` stops once only daemon
+        timers are left — so several self-rescheduling observers can
+        coexist without keeping each other (and the run) alive forever.
         """
         if delay_s < 0:
             raise ValueError("delay must be non-negative")
         timer_id = next(self._timer_ids)
         self._pending_timers.add(timer_id)
+        if daemon:
+            self._daemon_timers.add(timer_id)
         heapq.heappush(
             self._queue,
             _Event(
@@ -147,9 +160,11 @@ class Simulator:
         rescheduling themselves once they are the only event source left —
         otherwise :meth:`run` would never drain the queue.  Cancelled
         timers still sit in the heap until popped, but they will neither
-        fire nor advance the clock, so they do not count as pending.
+        fire nor advance the clock, so they do not count as pending;
+        daemon timers are housekeeping and do not count either.
         """
-        return len(self._queue) - len(self._cancelled_timers)
+        live_daemons = len(self._daemon_timers - self._cancelled_timers)
+        return len(self._queue) - len(self._cancelled_timers) - live_daemons
 
     @staticmethod
     def _clone_channel(template: Channel) -> Channel:
@@ -236,25 +251,40 @@ class Simulator:
                 break
             if until is not None and self._queue[0].time > until:
                 break
+            if self._daemon_timers and self.pending_events() <= 0:
+                # Only daemon housekeeping (and cancelled timers) remain:
+                # the run is drained.  Unfired daemon timers stay queued
+                # but will never fire or advance the clock.
+                break
             event = heapq.heappop(self._queue)
             if event.callback is not None and event.timer_id in self._cancelled_timers:
                 # Cancelled timers neither fire nor advance the clock — a
                 # run's final virtual time reflects only events that happened.
                 self._cancelled_timers.discard(event.timer_id)
                 self._pending_timers.discard(event.timer_id)
+                self._daemon_timers.discard(event.timer_id)
                 continue
             self.now = max(self.now, event.time)
             processed += 1
+            meter = self.meter
             if event.callback is not None:
                 self._pending_timers.discard(event.timer_id)
+                self._daemon_timers.discard(event.timer_id)
                 self.timers_fired += 1
                 self._current_ctx = event.ctx
+                if meter is not None:
+                    owner = getattr(event.callback, "__self__", None)
+                    meter.begin(getattr(owner, "name", None))
                 replies = event.callback()
             else:
                 node = self.nodes[event.message.recipient]
                 self._current_ctx = event.message.trace
+                if meter is not None:
+                    meter.begin(event.message.recipient)
                 replies = node.receive(event.message)
                 self.delivered += 1
+            if meter is not None:
+                meter.commit()
             if replies is not None:
                 if isinstance(replies, Message):
                     replies = [replies]

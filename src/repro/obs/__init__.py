@@ -84,6 +84,17 @@ from repro.obs.ledger import (
     read_ledger,
     verify_ledger,
 )
+from repro.obs.meter import Meter
+from repro.obs.slo import (
+    AlertEngine,
+    BurnRateWindow,
+    LatencyTap,
+    SLOObjective,
+    bind_sli_sources,
+    compile_rules,
+    default_windows,
+    error_budget_report,
+)
 from repro.obs.profiler import (
     PrimitiveCosts,
     build_profile,
@@ -97,12 +108,14 @@ from repro.obs.registry import (
     MetricError,
     MetricsRegistry,
     Sample,
+    bucket_quantile,
 )
 from repro.obs.regress import (
     RegressionConfig,
     RegressionReport,
     compare_runs,
 )
+from repro.obs.timeseries import SeriesRing, TimeSeriesStore, fraction_over
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 from repro.pairing.interface import OperationCounter
 
@@ -152,15 +165,19 @@ class _NullObservability:
 NULL_OBS = _NullObservability()
 
 __all__ = [
+    "AlertEngine",
     "BenchSchemaError",
+    "BurnRateWindow",
     "Counter",
     "CriticalPath",
     "Dashboard",
     "Gauge",
     "Histogram",
+    "LatencyTap",
     "Ledger",
     "LedgerError",
     "LedgerVerification",
+    "Meter",
     "MetricError",
     "MetricsRegistry",
     "NULL_OBS",
@@ -175,8 +192,11 @@ __all__ = [
     "RegressionConfig",
     "RegressionReport",
     "SCHEMA_VERSION",
+    "SLOObjective",
     "Sample",
+    "SeriesRing",
     "Span",
+    "TimeSeriesStore",
     "TraceStreamError",
     "Tracer",
     "append_run",
@@ -187,15 +207,21 @@ __all__ = [
     "bind_operation_counter",
     "bind_service_metrics",
     "bind_simulator",
+    "bind_sli_sources",
     "bind_tracer_spans",
+    "bucket_quantile",
     "build_profile",
     "calibrate_primitive_costs",
     "compare_runs",
+    "compile_rules",
     "cost_table",
     "critical_path",
     "critical_path_report",
+    "default_windows",
     "environment_fingerprint",
+    "error_budget_report",
     "exemplar_buckets",
+    "fraction_over",
     "ledger_head",
     "load_trace",
     "load_trajectory",

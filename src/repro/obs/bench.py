@@ -573,6 +573,73 @@ def _suite_ledger(repeats: int, options: dict) -> tuple[list[dict], dict]:
     return phases, {"param_set": "toy-64", "k": 4, "shape": "open.poisson"}
 
 
+#: The slos: block the slo suite grafts onto the open-loop Poisson shape —
+#: one objective per signal family so sampling, burn-rate evaluation, and
+#: metering all sit on the measured path.
+_SLO_SUITE_BLOCK = {
+    "objectives": [
+        {"name": "availability", "signal": "availability", "target": 0.95},
+        {"name": "drops", "signal": "drop_rate", "target": 0.75},
+        {"name": "latency-p90", "signal": "latency", "target": 0.90,
+         "threshold_s": 1.0},
+        {"name": "sign-cost", "signal": "op_budget", "op": "exp",
+         "target": 0.99, "budget_per_request": 500.0},
+    ],
+    "expected_alerts": [],
+}
+
+
+def _suite_slo(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """SLO-engine overhead: the same scenario with the harness off/on.
+
+    ``slo.off`` runs the open-loop Poisson shape bare; ``slo.on`` repeats
+    it with four objectives attached — the virtual-time sampler, the
+    multi-window burn-rate evaluation, and per-scope metering all armed.
+    ``delta_exp``/``delta_pair`` pin the harness's group-operation
+    footprint, which must be exactly zero — sampling copies integers,
+    alert evaluation divides them, metering diffs counter snapshots; none
+    of it touches the curve.  (The ≤5% wall-overhead gate lives in
+    ``benchmarks/test_slo_overhead.py``; the trajectory only tracks the
+    trend.)
+    """
+    from repro.scenarios import ScenarioRunner, scenario_from_dict
+
+    doc_off = _SCENARIO_SUITE_DOCS["open.poisson"]
+    doc_on = dict(doc_off, slos=_SLO_SUITE_BLOCK)
+
+    def run_once(doc):
+        return ScenarioRunner(scenario_from_dict(doc)).run()
+
+    result_off = run_once(doc_off)
+    wall_off = result_off.wall_s
+    for _ in range(repeats - 1):
+        wall_off = min(wall_off, run_once(doc_off).wall_s)
+    result_on = run_once(doc_on)
+    wall_on = result_on.wall_s
+    for _ in range(repeats - 1):
+        wall_on = min(wall_on, run_once(doc_on).wall_s)
+    ops_off, ops_on = result_off.ops, result_on.ops
+    phases = [
+        make_phase("slo.off", wall_off, ops_off, repeats=repeats,
+                   scalars={"issued": result_off.issued,
+                            "completed": result_off.completed}),
+        make_phase("slo.on", wall_on, ops_on, repeats=repeats,
+                   scalars={
+                       "issued": result_on.issued,
+                       "completed": result_on.completed,
+                       "overhead_x": wall_on / wall_off if wall_off else 1.0,
+                       "delta_exp": (model_equivalent_exp(ops_on)
+                                     - model_equivalent_exp(ops_off)),
+                       "delta_pair": (ops_on.get("pairings", 0)
+                                      - ops_off.get("pairings", 0)),
+                       "alert_transitions": len(result_on.alerts or []),
+                       "metering_records": len(result_on.metering or []),
+                   }),
+    ]
+    return phases, {"param_set": "toy-64", "k": 4, "shape": "open.poisson",
+                    "objectives": len(_SLO_SUITE_BLOCK["objectives"])}
+
+
 #: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
@@ -582,6 +649,7 @@ SUITES = {
     "msm": _suite_msm,
     "scenario": _suite_scenario,
     "ledger": _suite_ledger,
+    "slo": _suite_slo,
 }
 
 

@@ -59,6 +59,10 @@ class Dashboard:
         # (latency_s, trace_id) pairs, so frames can surface the exemplar
         # trace id behind the slowest completion observed so far.
         self.exemplar_source = None
+        # SLO hook: a zero-argument callable returning an alert-engine
+        # panel dict ({"firing": [...], "burn": {objective: rate}}), so
+        # frames can surface firing alerts and the worst burn rates.
+        self.slo_source = None
 
     # -- data ----------------------------------------------------------------
     def _latency_quantiles(self) -> dict[float, float]:
@@ -145,6 +149,19 @@ class Dashboard:
                     f"  exemplar      trace {trace_id} ({latency:.3f}s, "
                     "slowest completion)"
                 )
+        if self.slo_source is not None:
+            panel = self.slo_source()
+            firing = panel.get("firing", [])
+            lines.append(
+                f"  alerts        "
+                + (", ".join(firing) if firing else "none firing")
+            )
+            burns = sorted(panel.get("burn", {}).items(),
+                           key=lambda kv: -kv[1])[:3]
+            if burns:
+                rendered = "  ".join(f"{name} x{rate:.1f}"
+                                     for name, rate in burns)
+                lines.append(f"  burn rate     {rendered}")
         ledger_entries = int(sum(
             value for key, value in snap.items()
             if key.startswith("ledger_entries_total{")

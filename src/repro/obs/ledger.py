@@ -231,6 +231,7 @@ class LedgerVerification:
     errors: list[str] = field(default_factory=list)
     audits_rechecked: int = 0
     audit_mismatches: int = 0
+    meterings_checked: int = 0
     counts: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -302,6 +303,54 @@ class _AuditRuntime:
         return PublicVerifier(self.params, pk).verify(challenge, response)
 
 
+class _MeterAudit:
+    """Re-adds metering deltas offline; totals must match the records.
+
+    A forged delta (or total) in any ``metering`` entry desynchronises
+    the running sum from the recorded cumulative total; a consistently
+    forged suffix is still caught by the ``metering_close`` grand totals
+    (and, failing that, by the pinned head).  Epoch numbers must be
+    strictly increasing — a replayed or dropped epoch breaks billing.
+    """
+
+    def __init__(self):
+        self.totals: dict[str, dict[str, float]] = {}
+        self.last_epoch = 0
+
+    def check_record(self, body: dict) -> list[str]:
+        problems = []
+        epoch = body.get("epoch")
+        scope = body.get("scope")
+        delta = body.get("delta") or {}
+        total = body.get("total") or {}
+        if not isinstance(epoch, int) or epoch <= self.last_epoch:
+            problems.append(
+                f"epoch {epoch!r} not strictly increasing "
+                f"(last was {self.last_epoch})")
+        else:
+            self.last_epoch = epoch
+        running = self.totals.setdefault(str(scope), {})
+        for key in sorted(set(delta) | set(total)):
+            running[key] = running.get(key, 0) + delta.get(key, 0)
+            if running[key] != total.get(key):
+                problems.append(
+                    f"scope {scope}: cumulative {key}={total.get(key)} does "
+                    f"not match the recorded deltas (expected {running[key]})"
+                    " — forged metering record")
+        return problems
+
+    def check_close(self, body: dict) -> list[str]:
+        problems = []
+        claimed = body.get("totals") or {}
+        for scope in sorted(set(claimed) | set(self.totals)):
+            if claimed.get(scope) != self.totals.get(scope):
+                problems.append(
+                    f"closing totals for scope {scope} "
+                    f"({claimed.get(scope)}) do not match the metering "
+                    f"records ({self.totals.get(scope)})")
+        return problems
+
+
 def verify_ledger(path, expect_head: str | None = None,
                   recheck: bool = True) -> LedgerVerification:
     """Re-walk a ledger chain offline and fail loudly on any tamper.
@@ -309,9 +358,11 @@ def verify_ledger(path, expect_head: str | None = None,
     Checks, in order: every line parses (torn tail tolerated), every
     entry's hash seals its canonical serialization, every ``prev`` links
     the preceding hash, ``seq`` is gapless from 0, checkpoint entries pin
-    the head they claim, and — when ``recheck`` is on and the genesis
-    metadata allows rebuilding the crypto context — every recorded audit
-    verdict matches a fresh Eq. 6 evaluation of its recorded proof.
+    the head they claim, every ``metering`` entry's cumulative totals
+    re-add from the recorded deltas (and the ``metering_close`` grand
+    totals match), and — when ``recheck`` is on and the genesis metadata
+    allows rebuilding the crypto context — every recorded audit verdict
+    matches a fresh Eq. 6 evaluation of its recorded proof.
     ``expect_head`` defends against whole-suffix truncation and total
     re-chain forgery, which no chain-internal check can see.
     """
@@ -323,6 +374,7 @@ def verify_ledger(path, expect_head: str | None = None,
         return report
     report.torn_tail = torn
     runtime = _AuditRuntime() if recheck else None
+    metering = _MeterAudit()
     prev = GENESIS_PREV
     for position, entry in enumerate(entries):
         label = f"entry {position}"
@@ -352,6 +404,13 @@ def verify_ledger(path, expect_head: str | None = None,
             if body.get("entries") != seq or entries[seq - 1]["hash"] != body.get("head"):
                 report.errors.append(f"{label}: checkpoint does not pin the chain head")
                 return report
+        elif kind == "metering":
+            report.meterings_checked += 1
+            for problem in metering.check_record(entry["body"]):
+                report.errors.append(f"{label}: {problem}")
+        elif kind == "metering_close":
+            for problem in metering.check_close(entry["body"]):
+                report.errors.append(f"{label}: {problem}")
         if runtime is not None:
             if kind == "genesis":
                 runtime.load_genesis(entry["body"])

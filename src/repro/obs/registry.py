@@ -32,6 +32,44 @@ class MetricError(Exception):
     """Invalid metric name, label set, or conflicting re-registration."""
 
 
+def bucket_quantile(
+    buckets: tuple[float, ...], counts, count: int, q: float
+) -> float:
+    """Estimate the q-th quantile from cumulative bucket counts.
+
+    Linear interpolation within the covering bucket, Prometheus
+    ``histogram_quantile`` style: observed values are assumed
+    non-negative and uniformly spread inside each bucket, so the
+    estimate for a rank landing in bucket (lo, hi] is
+    ``lo + (hi - lo) * (rank - below) / in_bucket``.  Ranks beyond the
+    last finite bound clamp to that bound (the +Inf bucket has no
+    width to interpolate over).  Empty histograms return NaN.
+
+    This is the single interpolation routine shared by live histogram
+    children (and through them the serve-sim dashboard) and the
+    windowed operators in :mod:`repro.obs.timeseries`.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise MetricError(f"quantile must be in [0, 1], got {q}")
+    if count == 0:
+        return math.nan
+    rank = q * count
+    below = 0
+    lower = 0.0
+    for bound, cumulative in zip(buckets, counts):
+        if cumulative >= rank:
+            in_bucket = cumulative - below
+            if bound == math.inf or in_bucket == 0:
+                # +Inf has no width; an empty bucket only covers q = 0.
+                return lower
+            frac = (rank - below) / in_bucket
+            return lower + (bound - lower) * frac
+        below = cumulative
+        lower = bound
+    # Rank falls in the implicit +Inf bucket: clamp to the last bound.
+    return buckets[-1]
+
+
 @dataclass(frozen=True)
 class Sample:
     """One exposition line: ``name{labels} value``."""
@@ -210,33 +248,10 @@ class _HistogramChild:
     def quantile(self, q: float) -> float:
         """Estimate the q-th quantile (0 <= q <= 1) from the buckets.
 
-        Linear interpolation within the covering bucket, Prometheus
-        ``histogram_quantile`` style: observed values are assumed
-        non-negative and uniformly spread inside each bucket, so the
-        estimate for a rank landing in bucket (lo, hi] is
-        ``lo + (hi - lo) * (rank - below) / in_bucket``.  Ranks beyond the
-        last finite bound clamp to that bound (the +Inf bucket has no
-        width to interpolate over).  Empty histograms return NaN.
+        Delegates to :func:`bucket_quantile`, the interpolation shared
+        with the windowed operators in :mod:`repro.obs.timeseries`.
         """
-        if not 0.0 <= q <= 1.0:
-            raise MetricError(f"quantile must be in [0, 1], got {q}")
-        if self.count == 0:
-            return math.nan
-        rank = q * self.count
-        below = 0
-        lower = 0.0
-        for bound, cumulative in zip(self.buckets, self.counts):
-            if cumulative >= rank:
-                in_bucket = cumulative - below
-                if bound == math.inf or in_bucket == 0:
-                    # +Inf has no width; an empty bucket only covers q = 0.
-                    return lower
-                frac = (rank - below) / in_bucket
-                return lower + (bound - lower) * frac
-            below = cumulative
-            lower = bound
-        # Rank falls in the implicit +Inf bucket: clamp to the last bound.
-        return self.buckets[-1]
+        return bucket_quantile(self.buckets, self.counts, self.count, q)
 
 
 class Histogram(_Metric):

@@ -42,17 +42,20 @@ from repro.scenarios.runner import (
 from repro.scenarios.schema import (
     ArrivalSpec,
     BatchSpec,
+    BurnWindowSpec,
     CloudSpec,
     CohortSpec,
     EnvelopeSpec,
     FailoverSpec,
     LinkParams,
     LinkSpec,
+    ObjectiveSpec,
     RunSettings,
     Scenario,
     ScenarioError,
     SEMGroupSpec,
     SizeSpec,
+    SLOSpec,
     TopologySpec,
     VerifierSpec,
     WorkloadSpec,
@@ -62,6 +65,7 @@ __all__ = [
     "ArrivalProcess",
     "ArrivalSpec",
     "BatchSpec",
+    "BurnWindowSpec",
     "CloudSpec",
     "CohortSpec",
     "CompiledScenario",
@@ -72,6 +76,7 @@ __all__ = [
     "LinkParams",
     "LinkSpec",
     "MMPPProcess",
+    "ObjectiveSpec",
     "ParetoProcess",
     "PoissonProcess",
     "Population",
@@ -82,6 +87,7 @@ __all__ = [
     "ScenarioRunner",
     "SEMGroupSpec",
     "SizeSpec",
+    "SLOSpec",
     "TopologySpec",
     "VERDICT_SCHEMA",
     "VerifierSpec",

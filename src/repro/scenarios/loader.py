@@ -17,17 +17,20 @@ from pathlib import Path
 from repro.scenarios.schema import (
     ArrivalSpec,
     BatchSpec,
+    BurnWindowSpec,
     CloudSpec,
     CohortSpec,
     EnvelopeSpec,
     FailoverSpec,
     LinkParams,
     LinkSpec,
+    ObjectiveSpec,
     RunSettings,
     Scenario,
     ScenarioError,
     SEMGroupSpec,
     SizeSpec,
+    SLOSpec,
     TopologySpec,
     VerifierSpec,
     WorkloadSpec,
@@ -242,10 +245,58 @@ def _settings(raw: dict, path: str) -> RunSettings:
     )
 
 
+def _slo_objective(raw: dict, path: str) -> ObjectiveSpec:
+    _check_keys(raw, {"name", "signal", "target", "threshold_s", "op",
+                      "budget_per_request", "windows"}, path)
+    windows_raw = raw.get("windows", [])
+    if not isinstance(windows_raw, list):
+        raise ScenarioError(f"{path}.windows", "expected a list of window pairs")
+    windows = []
+    for i, entry in enumerate(windows_raw):
+        wpath = f"{path}.windows[{i}]"
+        _check_keys(entry, {"long_s", "short_s", "burn_rate", "severity"}, wpath)
+        windows.append(BurnWindowSpec(
+            long_s=_float(entry, "long_s", 0.0, wpath),
+            short_s=_float(entry, "short_s", 0.0, wpath),
+            burn_rate=_float(entry, "burn_rate", 0.0, wpath),
+            severity=str(entry.get("severity", "page")),
+        ))
+    return ObjectiveSpec(
+        name=str(raw.get("name", "")),
+        signal=str(raw.get("signal", "")),
+        target=_float(raw, "target", 0.99, path),
+        threshold_s=_opt_float(raw, "threshold_s", path),
+        op=str(raw.get("op", "exp")),
+        budget_per_request=_opt_float(raw, "budget_per_request", path),
+        windows=tuple(windows),
+    )
+
+
+def _slos(raw: dict, path: str) -> SLOSpec:
+    _check_keys(raw, {"objectives", "sample_interval_s", "epoch_s",
+                      "expected_alerts"}, path)
+    objectives_raw = raw.get("objectives", [])
+    if not isinstance(objectives_raw, list):
+        raise ScenarioError(f"{path}.objectives", "expected a list of objectives")
+    expected = raw.get("expected_alerts", [])
+    if not isinstance(expected, (list, tuple)):
+        raise ScenarioError(f"{path}.expected_alerts",
+                            "expected a list of alert names")
+    return SLOSpec(
+        objectives=tuple(
+            _slo_objective(entry, f"{path}.objectives[{i}]")
+            for i, entry in enumerate(objectives_raw)
+        ),
+        sample_interval_s=_opt_float(raw, "sample_interval_s", path),
+        epoch_s=_opt_float(raw, "epoch_s", path),
+        expected_alerts=tuple(str(e) for e in expected),
+    )
+
+
 def scenario_from_dict(raw: dict) -> Scenario:
     """Build and fully validate a scenario from a parsed document."""
     _check_keys(raw, {"name", "description", "workload", "topology",
-                      "settings"}, "scenario")
+                      "settings", "slos"}, "scenario")
     workload_raw = raw.get("workload", {})
     _check_keys(workload_raw, {"cohorts"}, "workload")
     cohorts_raw = workload_raw.get("cohorts", [])
@@ -255,12 +306,14 @@ def scenario_from_dict(raw: dict) -> Scenario:
         _cohort(entry, f"workload.cohorts[{i}]")
         for i, entry in enumerate(cohorts_raw)
     ))
+    slos_raw = raw.get("slos")
     return Scenario(
         name=str(raw.get("name", "")),
         description=str(raw.get("description", "")),
         workload=workload,
         topology=_topology(raw.get("topology", {}), "topology"),
         settings=_settings(raw.get("settings", {}), "settings"),
+        slos=None if slos_raw is None else _slos(slos_raw, "slos"),
     )
 
 

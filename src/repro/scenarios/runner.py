@@ -54,9 +54,13 @@ class EnvelopeViolation:
     check: str
     limit: float
     observed: float
+    detail: str = ""
 
     def render(self) -> str:
-        return f"{self.check}: observed {self.observed:.6g} vs limit {self.limit:.6g}"
+        rendered = f"{self.check}: observed {self.observed:.6g} vs limit {self.limit:.6g}"
+        if self.detail:
+            rendered += f" ({self.detail})"
+        return rendered
 
 
 @dataclass
@@ -84,6 +88,13 @@ class ScenarioResult:
     ledger: dict | None = None               # chain head: entries/epoch/hash
     critical_path: dict | None = None        # p99 exemplar's hop attribution
     exemplars: list | None = None            # latency buckets → trace ids
+    # SLO engine (populated only when the scenario declares slos:):
+    alerts: list | None = None               # alert state-machine timeline
+    fired_alerts: list | None = None         # deduplicated objective:severity
+    expected_alerts: list | None = None      # what the document declared
+    error_budgets: list | None = None        # per-objective budget rows
+    metering: list | None = None             # epoch metering records
+    metering_close: dict | None = None       # closing grand totals per scope
 
     @property
     def lost(self) -> int:
@@ -144,6 +155,16 @@ class ScenarioResult:
             # must reproduce the ledger bit-for-bit, hash and all.
             # (Conditional, so ledger-less digests stay stable.)
             view["ledger"] = self.ledger
+        if self.alerts is not None:
+            # The alert timeline and metering records join the plane the
+            # same way: a double run must replay them bit-identically.
+            view["slo"] = {
+                "alerts": self.alerts,
+                "fired": self.fired_alerts,
+                "error_budgets": self.error_budgets,
+                "metering": self.metering,
+                "metering_close": self.metering_close,
+            }
         return view
 
     def digest(self) -> str:
@@ -162,7 +183,8 @@ class ScenarioResult:
             "verdict": "pass" if self.passed else "fail",
             "checks": self.scenario.settings.envelope.checks,
             "violations": [
-                {"check": v.check, "limit": v.limit, "observed": v.observed}
+                {"check": v.check, "limit": v.limit, "observed": v.observed,
+                 **({"detail": v.detail} if v.detail else {})}
                 for v in self.violations
             ],
             "digest": self.digest(),
@@ -193,6 +215,19 @@ class ScenarioResult:
                 "critical_path": self.critical_path,
                 "exemplars": self.exemplars,
             },
+            **({"slo": {
+                "objectives": [
+                    {"name": o.name, "signal": o.signal, "target": o.target}
+                    for o in self.scenario.slos.objectives
+                ],
+                "expected_alerts": self.expected_alerts,
+                "fired": self.fired_alerts,
+                "error_budgets": self.error_budgets,
+                "alerts": self.alerts,
+                "metering": self.metering,
+                "metering_close": self.metering_close,
+            }} if self.alerts is not None and self.scenario.slos is not None
+               else {}),
         }
 
 
@@ -239,10 +274,18 @@ class ScenarioRunner:
         self.max_events = max_events
         self.ledger = ledger
         self.compiled: CompiledScenario | None = None
+        self.slo = None                      # SLOHarness when slos: declared
         self.replayed = 0
 
     def compile(self) -> CompiledScenario:
         if self.compiled is None:
+            if self.scenario.slos is not None and (
+                    self.obs is None or not self.obs.enabled):
+                # The SLO engine samples the run's registry; a scenario
+                # that declares objectives implies observability.
+                from repro.obs import Observability
+
+                self.obs = Observability.create()
             if self.scenario.legacy:
                 self.compiled = compile_legacy(
                     self.scenario, self.obs, journal=self.journal,
@@ -251,6 +294,11 @@ class ScenarioRunner:
             else:
                 self.compiled = compile_scenario(self.scenario, obs=self.obs,
                                                  ledger=self.ledger)
+            if self.scenario.slos is not None:
+                from repro.scenarios.slo_wiring import SLOHarness
+
+                self.slo = SLOHarness(self.scenario, self.compiled,
+                                      self.obs.registry, ledger=self.ledger)
         return self.compiled
 
     def run(self) -> ScenarioResult:
@@ -261,13 +309,37 @@ class ScenarioRunner:
         else:
             compiled.start_workload()
         virtual_end = compiled.sim.run(max_events=self.max_events)
+        if self.slo is not None:
+            # Last evaluation + metering close happen before the ledger
+            # is sealed, so metering records precede the run_summary.
+            self.slo.finalize(virtual_end)
         result = self._collect(compiled, virtual_end)
         if self.ledger is not None:
             self._seal_ledger(result)
         result.wall_s = time.perf_counter() - started
         result.violations = check_envelope(result,
                                            self.scenario.settings.envelope)
+        if self.slo is not None:
+            result.violations.extend(self._check_expected_alerts(result))
         return result
+
+    def _check_expected_alerts(self,
+                               result: ScenarioResult) -> list[EnvelopeViolation]:
+        """Expected-alerts-exactly: the declared set must equal the fired
+        set — a silent alert is as much a failure as a spurious one."""
+        unexpected, missing = self.slo.check_expected(result.fired_alerts or [])
+        violations = []
+        if unexpected:
+            violations.append(EnvelopeViolation(
+                check="slo_unexpected_alerts", limit=0.0,
+                observed=float(len(unexpected)),
+                detail="fired but not expected: " + ", ".join(unexpected)))
+        if missing:
+            violations.append(EnvelopeViolation(
+                check="slo_missing_alerts", limit=0.0,
+                observed=float(len(missing)),
+                detail="expected but never fired: " + ", ".join(missing)))
+        return violations
 
     def _seal_ledger(self, result: ScenarioResult) -> None:
         """End-of-run ledger entries, then expose the head to the digest."""
@@ -370,6 +442,13 @@ class ScenarioRunner:
             }
         if compiled.injector is not None:
             result.fault_counts = dict(compiled.injector.counts)
+        if self.slo is not None:
+            result.alerts = list(self.slo.engine.timeline)
+            result.fired_alerts = self.slo.engine.fired()
+            result.expected_alerts = list(self.slo.expected_alerts())
+            result.error_budgets = list(self.slo.budget_rows)
+            result.metering = list(self.slo.meter.records)
+            result.metering_close = dict(self.slo.meter.close_record)
         self._attribute_latency(compiled, result)
         return result
 

@@ -458,6 +458,119 @@ class RunSettings:
 
 
 # ---------------------------------------------------------------------------
+# SLOs (optional fourth component)
+# ---------------------------------------------------------------------------
+
+#: Signal kinds an SLO objective may declare (see repro.obs.slo).
+SLO_SIGNAL_KINDS = frozenset(
+    {"availability", "latency", "drop_rate", "op_budget", "quarantine"})
+ALERT_SEVERITY_KINDS = frozenset({"page", "ticket"})
+
+
+@dataclass(frozen=True)
+class BurnWindowSpec:
+    """One explicit burn-rate window pair (overrides the scaled defaults)."""
+
+    long_s: float
+    short_s: float
+    burn_rate: float
+    severity: str = "page"
+
+    def validate(self, path: str) -> None:
+        _require(self.short_s > 0, path, "short_s must be positive")
+        _require(self.long_s > self.short_s, path,
+                 f"long_s ({self.long_s}) must exceed short_s ({self.short_s})")
+        _require(self.burn_rate > 0, path, "burn_rate must be positive")
+        _require(self.severity in ALERT_SEVERITY_KINDS, path,
+                 f"unknown severity {self.severity!r}; "
+                 f"choose from {sorted(ALERT_SEVERITY_KINDS)}")
+
+
+@dataclass(frozen=True)
+class ObjectiveSpec:
+    """One declarative SLO objective over the run's virtual clock."""
+
+    name: str
+    signal: str
+    target: float = 0.99
+    threshold_s: float | None = None      # latency
+    op: str = "exp"                       # op_budget: "exp" | "pair"
+    budget_per_request: float | None = None  # op_budget
+    windows: tuple[BurnWindowSpec, ...] = ()
+
+    def validate(self, path: str) -> None:
+        _valid_name(self.name, path)
+        _require(self.signal in SLO_SIGNAL_KINDS, path,
+                 f"unknown SLO signal {self.signal!r}; "
+                 f"choose from {sorted(SLO_SIGNAL_KINDS)}")
+        _require(0.0 < self.target < 1.0, path,
+                 f"target must be in (0, 1), got {self.target}")
+        if self.signal == "latency":
+            _require(self.threshold_s is not None, path,
+                     "latency objective needs threshold_s")
+            _require(self.threshold_s > 0, path, "threshold_s must be positive")
+        else:
+            _require(self.threshold_s is None, path,
+                     f"threshold_s only applies to latency, not {self.signal}")
+        if self.signal == "op_budget":
+            _require(self.op in ("exp", "pair"), path,
+                     f"op must be 'exp' or 'pair', got {self.op!r}")
+            _require(self.budget_per_request is not None, path,
+                     "op_budget objective needs budget_per_request")
+            _require(self.budget_per_request > 0, path,
+                     "budget_per_request must be positive")
+        else:
+            _require(self.budget_per_request is None, path,
+                     f"budget_per_request only applies to op_budget, "
+                     f"not {self.signal}")
+        for i, window in enumerate(self.windows):
+            window.validate(f"{path}.windows[{i}]")
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """The optional ``slos:`` component: objectives + alert expectations.
+
+    ``expected_alerts`` entries are ``"<objective>"`` (any severity) or
+    ``"<objective>:<severity>"``; the runner fails the run unless exactly
+    the expected alerts fired.  ``sample_interval_s`` / ``epoch_s``
+    default to fractions of the run duration at compile time.
+    """
+
+    objectives: tuple[ObjectiveSpec, ...]
+    sample_interval_s: float | None = None
+    epoch_s: float | None = None
+    expected_alerts: tuple[str, ...] = ()
+
+    def validate(self, path: str = "slos") -> None:
+        _require(len(self.objectives) >= 1, path,
+                 "needs at least one objective")
+        seen: set[str] = set()
+        for i, objective in enumerate(self.objectives):
+            objective.validate(f"{path}.objectives[{i}]")
+            _require(objective.name not in seen, f"{path}.objectives[{i}]",
+                     f"duplicate objective name {objective.name!r}")
+            seen.add(objective.name)
+        if self.sample_interval_s is not None:
+            _require(self.sample_interval_s > 0, path,
+                     "sample_interval_s must be positive")
+        if self.epoch_s is not None:
+            _require(self.epoch_s > 0, path, "epoch_s must be positive")
+        for i, expected in enumerate(self.expected_alerts):
+            epath = f"{path}.expected_alerts[{i}]"
+            _require(isinstance(expected, str) and expected, epath,
+                     "expected alert must be a non-empty string")
+            name, _, severity = expected.partition(":")
+            _require(name in seen, epath,
+                     f"references unknown objective {name!r} "
+                     f"(declared: {', '.join(sorted(seen))})")
+            if severity:
+                _require(severity in ALERT_SEVERITY_KINDS, epath,
+                         f"unknown severity {severity!r}; "
+                         f"choose from {sorted(ALERT_SEVERITY_KINDS)}")
+
+
+# ---------------------------------------------------------------------------
 # The scenario
 # ---------------------------------------------------------------------------
 
@@ -470,6 +583,7 @@ class Scenario:
     topology: TopologySpec
     settings: RunSettings = field(default_factory=RunSettings)
     description: str = ""
+    slos: SLOSpec | None = None
     legacy: bool = field(default=False, compare=False)  # set by the CLI shim only
 
     def __post_init__(self):
@@ -498,6 +612,8 @@ class Scenario:
         self.workload.validate()
         self.topology.validate()
         self.settings.validate()
+        if self.slos is not None:
+            self.slos.validate()
         group_names = {g.name for g in self.topology.sem_groups}
         cloud_names = {c.name for c in self.topology.clouds}
         for i, cohort in enumerate(self.workload.cohorts):

@@ -1,0 +1,312 @@
+"""Wire a scenario's ``slos:`` component onto a compiled simulation.
+
+The schema (:class:`repro.scenarios.schema.SLOSpec`) stays declarative;
+this module is the compile-time bridge to the obs machinery: it binds
+the SLI counters into the run's registry, arms the virtual-time sampler
+(:class:`repro.obs.timeseries.TimeSeriesStore`) and the alert engine
+(:class:`repro.obs.slo.AlertEngine`) on the simulator timer wheel, and
+installs the per-scope :class:`repro.obs.meter.Meter` with its node →
+billing-scope map and usage sources.
+
+Everything is bound **only when the scenario declares SLOs**, so plain
+runs keep their golden metric expositions and digests byte-identical.
+"""
+
+from __future__ import annotations
+
+from repro.obs.meter import Meter, _exp_total
+from repro.obs.slo import (
+    SLI_BAD,
+    SLI_DROPPED,
+    SLI_EXP,
+    SLI_FINISHED,
+    SLI_INVALID,
+    SLI_MESSAGES,
+    SLI_PAIR,
+    SLI_REQUESTS,
+    AlertEngine,
+    BurnRateWindow,
+    LatencyTap,
+    SLOObjective,
+    bind_sli_sources,
+    compile_rules,
+    error_budget_report,
+)
+from repro.obs.timeseries import TimeSeriesStore
+from repro.scenarios.schema import BurnWindowSpec, ObjectiveSpec, Scenario, SLOSpec
+
+__all__ = ["SLOHarness", "default_slo_spec", "objectives_from_spec"]
+
+#: Default sampler cadence: this many windows across the run duration.
+SAMPLES_PER_RUN = 50
+#: Default metering cadence: epochs per run duration.
+EPOCHS_PER_RUN = 5
+
+
+def objectives_from_spec(spec: SLOSpec) -> list[SLOObjective]:
+    """Schema objectives → runtime objectives (windows carried through)."""
+    out = []
+    for o in spec.objectives:
+        windows = tuple(
+            BurnRateWindow(long_s=w.long_s, short_s=w.short_s,
+                           burn_rate=w.burn_rate, severity=w.severity)
+            for w in o.windows
+        )
+        out.append(SLOObjective(
+            name=o.name, signal=o.signal, target=o.target,
+            threshold_s=o.threshold_s, op=o.op,
+            budget_per_request=o.budget_per_request, windows=windows,
+        ))
+    return out
+
+
+def default_slo_spec() -> SLOSpec:
+    """The stock objectives ``serve-sim --slo`` attaches to a legacy run.
+
+    Legacy runs drain as fast as the protocol allows (their declared
+    duration is only a horizon), so the sampler and metering cadences are
+    pinned to the sub-second scale of the actual traffic instead of being
+    derived from the horizon.
+    """
+    return SLOSpec(
+        objectives=(
+            ObjectiveSpec(name="availability", signal="availability",
+                          target=0.95,
+                          windows=(BurnWindowSpec(long_s=0.2, short_s=0.05,
+                                                  burn_rate=4.0),)),
+            ObjectiveSpec(name="drops", signal="drop_rate", target=0.75,
+                          windows=(BurnWindowSpec(long_s=0.2, short_s=0.05,
+                                                  burn_rate=4.0),)),
+            ObjectiveSpec(name="latency-p90", signal="latency", target=0.90,
+                          threshold_s=1.0,
+                          windows=(BurnWindowSpec(long_s=0.2, short_s=0.05,
+                                                  burn_rate=4.0),)),
+        ),
+        sample_interval_s=0.02,
+        epoch_s=0.1,
+    )
+
+
+class SLOHarness:
+    """Everything SLO-shaped for one run, armed on the timer wheel.
+
+    Construction binds the SLI collectors, attaches the sampler + alert
+    engine, and installs the meter; :meth:`finalize` runs the last
+    evaluation at the end of virtual time, computes the error-budget
+    rows, and closes the metering epoch (before the runner seals the
+    ledger, so metering records precede the ``run_summary`` entry).
+    """
+
+    def __init__(self, scenario: Scenario, compiled, registry, ledger=None):
+        spec = scenario.slos
+        duration = scenario.settings.duration_s
+        self.spec = spec
+        self.objectives = objectives_from_spec(spec)
+        sim = compiled.sim
+        self._bind_slis(registry, compiled, scenario)
+        self.store = TimeSeriesStore(registry, clock=lambda: sim.now)
+        self.engine = AlertEngine(
+            compile_rules(self.objectives, duration), self.store
+        )
+        self.store.on_sample = self.engine.evaluate
+        interval = spec.sample_interval_s or duration / SAMPLES_PER_RUN
+        self._attach_sampler(sim, interval, duration)
+        self.meter = Meter(compiled.counter, self._scope_map(scenario, compiled),
+                           ledger=ledger)
+        self._add_usage_sources(scenario, compiled)
+        self.meter.install(sim)
+        epoch_s = spec.epoch_s or duration / EPOCHS_PER_RUN
+        self._attach_meter(sim, epoch_s, duration)
+        self.duration = duration
+        self.budget_rows: list[dict] = []
+        self._finalized = False
+
+    # -- timer wiring --------------------------------------------------------
+    def _attach_sampler(self, sim, interval_s: float, horizon_s: float) -> None:
+        """Like :meth:`TimeSeriesStore.attach`, but daemon + horizon-bounded.
+
+        Daemon timers don't count as pending events, so the sampler, the
+        metering epoch timer, and the dashboard can all re-arm themselves
+        without keeping each other (and the run) alive forever; the
+        horizon bound additionally stops sampling past the scenario's
+        declared duration.
+        """
+        store = self.store
+
+        def fire():
+            store.sample(sim.now)
+            if sim.now < horizon_s and sim.pending_events():
+                sim.schedule(interval_s, fire, daemon=True)
+
+        store.clock = lambda: sim.now
+        store.sample(sim.now)  # t=0 baseline for partial-window math
+        sim.schedule(interval_s, fire, daemon=True)
+
+    def _attach_meter(self, sim, epoch_s: float, horizon_s: float) -> None:
+        meter = self.meter
+
+        def fire():
+            meter.roll(sim.now)
+            if sim.now < horizon_s and sim.pending_events():
+                sim.schedule(epoch_s, fire, daemon=True)
+
+        sim.schedule(epoch_s, fire, daemon=True)
+
+    # -- SLI binding ---------------------------------------------------------
+    def _request_sources(self, scenario: Scenario, compiled):
+        if scenario.legacy:
+            clients = compiled.legacy_clients
+            issued = lambda: compiled.legacy_expected
+            completed = lambda: sum(len(c.completed) for c in clients)
+            failed = lambda: sum(len(c.failed) for c in clients)
+        else:
+            cohorts = list(compiled.cohorts.values())
+            issued = lambda: sum(c.issued for c in cohorts)
+            completed = lambda: sum(len(c.completed) for c in cohorts)
+            failed = lambda: sum(len(c.failed) for c in cohorts)
+        return issued, completed, failed
+
+    def _bind_slis(self, registry, compiled, scenario: Scenario) -> None:
+        sim = compiled.sim
+        counter = compiled.counter
+        services = list(compiled.services.values())
+        issued, completed, failed = self._request_sources(scenario, compiled)
+        bind_sli_sources(registry, {
+            SLI_REQUESTS: issued,
+            SLI_FINISHED: lambda: completed() + failed(),
+            SLI_BAD: failed,
+            SLI_MESSAGES: lambda: sim.delivered + sim.dropped,
+            SLI_DROPPED: lambda: sim.dropped,
+            SLI_EXP: lambda: _exp_total(counter),
+            SLI_PAIR: lambda: counter.pairings,
+            SLI_INVALID: lambda: sum(
+                s.health.summary()["invalid_total"] for s in services
+            ),
+        })
+        self.tap = LatencyTap(registry)
+        sources = (compiled.legacy_clients if scenario.legacy
+                   else compiled.cohorts.values())
+        for node in sources:
+            self.tap.add_source(node.latencies)
+
+    # -- metering scopes -----------------------------------------------------
+    def _scope_map(self, scenario: Scenario, compiled) -> dict[str, str]:
+        scope: dict[str, str] = {}
+        if scenario.legacy:
+            group = scenario.topology.sem_groups[0]
+            cohort = scenario.workload.cohorts[0]
+            for service in compiled.services.values():
+                scope[service.name] = f"group:{group.name}"
+                for endpoint in service.endpoints:
+                    scope[endpoint.name] = f"group:{group.name}"
+            for client in compiled.legacy_clients:
+                scope[client.name] = f"cohort:{cohort.name}"
+            return scope
+        for spec in scenario.topology.sem_groups:
+            scope[f"svc-{spec.name}"] = f"group:{spec.name}"
+            for j in range(spec.w):
+                scope[f"sem-{spec.name}-{j}"] = f"group:{spec.name}"
+        for cohort in scenario.workload.cohorts:
+            scope[f"c-{cohort.name}"] = f"cohort:{cohort.name}"
+        for cloud in scenario.topology.clouds:
+            scope[cloud.name] = f"cloud:{cloud.name}"
+        for verifier in scenario.topology.verifiers:
+            scope[verifier.name] = f"verifier:{verifier.name}"
+        return scope
+
+    def _add_usage_sources(self, scenario: Scenario, compiled) -> None:
+        sim = compiled.sim
+        scope_of = self.meter.scope_of
+
+        def bytes_sent_by(scope: str):
+            return sum(
+                ch.stats.bytes_total
+                for (src, _dst), ch in sim._channels.items()
+                if scope_of.get(src) == scope
+            )
+
+        def group_source(scope, service):
+            return lambda: {
+                "requests": service.metrics.submitted,
+                "signatures": service.metrics.signatures_produced,
+                "bytes": bytes_sent_by(scope),
+            }
+
+        def cohort_source(scope, issued, completed):
+            return lambda: {
+                "requests": issued(),
+                "signatures": completed(),
+                "bytes": bytes_sent_by(scope),
+            }
+
+        if scenario.legacy:
+            group = scenario.topology.sem_groups[0]
+            cohort = scenario.workload.cohorts[0]
+            for service in compiled.services.values():
+                scope = f"group:{group.name}"
+                self.meter.add_source(scope, group_source(scope, service))
+            clients = compiled.legacy_clients
+            scope = f"cohort:{cohort.name}"
+            self.meter.add_source(scope, cohort_source(
+                scope,
+                lambda: compiled.legacy_expected,
+                lambda: sum(len(c.completed) for c in clients),
+            ))
+            return
+        for gname, service in compiled.services.items():
+            scope = f"group:{gname}"
+            self.meter.add_source(scope, group_source(scope, service))
+        for cname, node in compiled.cohorts.items():
+            scope = f"cohort:{cname}"
+            self.meter.add_source(scope, cohort_source(
+                scope,
+                (lambda n: lambda: n.issued)(node),
+                (lambda n: lambda: len(n.completed))(node),
+            ))
+        for vname, node in compiled.verifiers.items():
+            scope = f"verifier:{vname}"
+            self.meter.add_source(scope, (lambda s, n: lambda: {
+                "requests": n.audits_passed + n.audits_failed,
+                "signatures": 0,
+                "bytes": bytes_sent_by(s),
+            })(scope, node))
+        for clname, node in compiled.clouds.items():
+            scope = f"cloud:{clname}"
+            self.meter.add_source(scope, (lambda s, n: lambda: {
+                "requests": n.server.stored_files,
+                "signatures": 0,
+                "bytes": bytes_sent_by(s),
+            })(scope, node))
+
+    # -- end of run ----------------------------------------------------------
+    def finalize(self, virtual_end: float) -> None:
+        if self._finalized:
+            return
+        self._finalized = True
+        self.store.sample(virtual_end)  # closes the last window + evaluates
+        self.budget_rows = error_budget_report(
+            self.objectives, self.store, self.duration, virtual_end
+        )
+        self.meter.close(virtual_end)
+
+    # -- expectations --------------------------------------------------------
+    def expected_alerts(self) -> tuple[str, ...]:
+        return self.spec.expected_alerts
+
+    def check_expected(self, fired: list[str]) -> tuple[list[str], list[str]]:
+        """(unexpected, missing) against the declared expectations.
+
+        An expectation ``"obj"`` covers any severity of that objective;
+        ``"obj:severity"`` is exact.  Exactness cuts both ways: every
+        fired alert must be expected and every expectation must fire.
+        """
+        expected = set(self.spec.expected_alerts)
+        unexpected = [
+            f for f in fired
+            if f not in expected and f.split(":")[0] not in expected
+        ]
+        missing = [
+            e for e in sorted(expected)
+            if not any(f == e or f.split(":")[0] == e for f in fired)
+        ]
+        return unexpected, missing

@@ -1,0 +1,185 @@
+"""Per-scope metering: event attribution, epoch records, offline verify.
+
+The forged-record tests mirror the ledger tamper catalogue: every edit
+to a metering record's deltas or totals — even with the whole hash chain
+re-sealed afterwards — must fail ``verify_ledger``, because the audit
+re-adds the deltas and checks them against the recorded cumulative
+totals and the ``metering_close`` grand totals.
+"""
+
+import json
+
+import pytest
+
+from repro.obs.ledger import (
+    Ledger,
+    entry_hash,
+    read_ledger,
+    verify_ledger,
+)
+from repro.obs.meter import METER_FIELDS, Meter
+
+
+class _FakeCounter:
+    """Stands in for the crypto OperationCounter: just the read fields."""
+
+    def __init__(self):
+        self.exp_g1 = 0
+        self.exp_g1_fixed_base = 0
+        self.exp_g1_msm = 0
+        self.exp_g1_skipped = 0
+        self.pairings = 0
+
+
+def _meter(ledger=None):
+    counter = _FakeCounter()
+    meter = Meter(counter, {"sem-0": "group:g", "c-0": "cohort:c"},
+                  ledger=ledger)
+    return counter, meter
+
+
+class TestAttribution:
+    def test_event_deltas_bill_to_the_owning_scope(self):
+        counter, meter = _meter()
+        meter.begin("sem-0")
+        counter.exp_g1 += 3
+        counter.pairings += 1
+        meter.commit()
+        meter.begin("c-0")
+        counter.exp_g1_msm += 2
+        meter.commit()
+        assert meter.ops == {"group:g": [3, 1], "cohort:c": [2, 0]}
+
+    def test_unknown_node_bills_to_other(self):
+        counter, meter = _meter()
+        meter.begin("mystery")
+        counter.exp_g1 += 1
+        meter.commit()
+        assert meter.ops == {"other": [1, 0]}
+
+    def test_zero_delta_events_allocate_nothing(self):
+        counter, meter = _meter()
+        for _ in range(100):
+            meter.begin("sem-0")
+            meter.commit()
+        assert meter.ops == {}
+
+
+class TestEpochRecords:
+    def test_roll_emits_delta_and_total_per_active_scope(self):
+        counter, meter = _meter()
+        meter.add_source("group:g", lambda: {"requests": 4, "signatures": 2,
+                                             "bytes": 100})
+        meter.begin("sem-0")
+        counter.exp_g1 += 10
+        meter.commit()
+        (record,) = meter.roll(1.0)
+        assert record["epoch"] == 1
+        assert record["scope"] == "group:g"
+        assert record["delta"] == {"requests": 4, "signatures": 2, "exp": 10,
+                                   "pair": 0, "bytes": 100}
+        assert record["total"] == record["delta"]
+        assert set(record["delta"]) == set(METER_FIELDS)
+
+    def test_idle_scope_emits_no_record(self):
+        counter, meter = _meter()
+        usage = {"requests": 0}
+        meter.add_source("cohort:c", lambda: dict(usage))
+        assert meter.roll(1.0) == []
+        usage["requests"] = 3
+        (record,) = meter.roll(2.0)
+        assert record["scope"] == "cohort:c"
+        assert meter.roll(3.0) == []  # no new activity: idle again
+        assert record["window"] == {"start": 1.0, "end": 2.0}
+
+    def test_close_pins_grand_totals_once(self):
+        counter, meter = _meter()
+        meter.add_source("group:g", lambda: {"requests": 7})
+        body = meter.close(5.0)
+        assert body["totals"]["group:g"]["requests"] == 7
+        assert meter.close(9.0) is not body or body == meter.close(9.0)
+        # Epoch numbering counts records, not rolls.
+        assert meter.epoch == len(meter.records) == 1
+
+
+@pytest.fixture()
+def metered_chain(tmp_path):
+    """A ledger with two metering epochs + close; returns (path, head)."""
+    path = tmp_path / "chain.jsonl"
+    ledger = Ledger(path)
+    ledger.ensure_genesis({"scenario": "meter-test", "seed": 1})
+    counter, meter = _meter(ledger=ledger)
+    usage = {"requests": 0, "signatures": 0, "bytes": 0}
+    meter.add_source("group:g", lambda: dict(usage))
+    for epoch in range(2):
+        meter.begin("sem-0")
+        counter.exp_g1 += 100
+        counter.pairings += 5
+        meter.commit()
+        usage["requests"] += 10
+        usage["bytes"] += 1000
+        meter.roll(float(epoch + 1))
+    meter.close(3.0)
+    return path, ledger.head()["hash"]
+
+
+def _reseal(path, mutate):
+    """Apply ``mutate(entries)`` then re-seal every hash and prev link."""
+    entries, _ = read_ledger(path)
+    mutate(entries)
+    prev = "0" * 64
+    with open(path, "w", encoding="utf-8") as fh:
+        for entry in entries:
+            entry["prev"] = prev
+            entry["hash"] = entry_hash(entry)
+            prev = entry["hash"]
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+
+
+class TestLedgerMeteringVerify:
+    def test_honest_metering_chain_verifies(self, metered_chain):
+        path, head = metered_chain
+        report = verify_ledger(path, expect_head=head)
+        assert report.ok, report.errors
+        assert report.meterings_checked == 2
+        assert report.counts["metering_close"] == 1
+
+    def test_forged_delta_breaks_even_a_resealed_chain(self, metered_chain):
+        path, _ = metered_chain
+
+        def shave(entries):
+            for entry in entries:
+                if entry["kind"] == "metering":
+                    entry["body"]["delta"]["exp"] -= 50  # under-bill
+                    break
+
+        _reseal(path, shave)
+        report = verify_ledger(path)  # no head pin: the audit alone catches it
+        assert not report.ok
+        assert any("forged metering record" in e for e in report.errors)
+
+    def test_forged_close_totals_are_caught(self, metered_chain):
+        path, _ = metered_chain
+
+        def inflate(entries):
+            for entry in entries:
+                if entry["kind"] == "metering_close":
+                    entry["body"]["totals"]["group:g"]["exp"] += 1
+
+        _reseal(path, inflate)
+        report = verify_ledger(path)
+        assert not report.ok
+        assert any("closing totals" in e for e in report.errors)
+
+    def test_replayed_epoch_number_is_caught(self, metered_chain):
+        path, _ = metered_chain
+
+        def replay(entries):
+            records = [e for e in entries if e["kind"] == "metering"]
+            records[1]["body"]["epoch"] = records[0]["body"]["epoch"]
+            # Keep the arithmetic self-consistent so only the epoch
+            # ordering check can object.
+
+        _reseal(path, replay)
+        report = verify_ledger(path)
+        assert not report.ok

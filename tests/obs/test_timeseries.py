@@ -1,0 +1,208 @@
+"""Virtual-time telemetry store: rings, windowed operators, sampling.
+
+The windowed operators are the foundation the burn-rate alerting stands
+on, so their edge cases get property treatment: empty windows, partial
+windows at run start (the baseline-point rule), counter resets
+mid-window, and histogram-delta quantiles against a brute-force oracle.
+Sampling runs on the simulator timer wheel, so there is no clock skew by
+construction — the tests pin that each point's timestamp is exactly the
+virtual time of its sampler tick.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.net.simulator import Simulator
+from repro.obs.registry import MetricsRegistry, bucket_quantile
+from repro.obs.timeseries import (
+    DEFAULT_CAPACITY,
+    SeriesRing,
+    TimeSeriesStore,
+    fraction_over,
+)
+
+
+class TestSeriesRing:
+    def test_append_requires_time_order(self):
+        ring = SeriesRing()
+        ring.append(1.0, 5.0)
+        with pytest.raises(ValueError):
+            ring.append(0.5, 6.0)
+
+    def test_capacity_trims_oldest(self):
+        ring = SeriesRing(capacity=4)
+        for i in range(10):
+            ring.append(float(i), float(i * i))
+        assert ring.latest() == (9.0, 81.0)
+        assert ring.at_or_before(5.0) == (6.0, 36.0) or \
+            ring.at_or_before(6.0) == (6.0, 36.0)
+        # Everything older than the window of 4 is gone.
+        assert ring.at_or_before(4.9) is None
+
+    def test_window_and_at_or_before(self):
+        ring = SeriesRing()
+        for i in range(5):
+            ring.append(float(i), 10.0 * i)
+        assert [t for t, _ in ring.window(1.0, 3.0)] == [1.0, 2.0, 3.0]
+        assert ring.at_or_before(2.5) == (2.0, 20.0)
+        assert ring.at_or_before(-1.0) is None
+
+
+def _store_with_counter(values):
+    """A store fed by a controllable counter; returns (store, setter)."""
+    registry = MetricsRegistry()
+    counter = registry.counter("events_total", "test counter")
+    state = {"v": 0.0, "last": 0.0}
+
+    def collect():
+        counter.set(state["v"], reset=state["v"] < state["last"])
+        state["last"] = state["v"]
+
+    registry.register_collector(collect)
+    store = TimeSeriesStore(registry)
+
+    def feed(t, v):
+        state["v"] = float(v)
+        store.sample(t)
+
+    for t, v in values:
+        feed(t, v)
+    return store, feed
+
+
+class TestWindowedOperators:
+    def test_empty_window_is_zero_increase_and_nan_quantile(self):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "c")
+        registry.histogram("lat_seconds", "h")
+        store = TimeSeriesStore(registry)
+        assert store.increase("events_total", 1.0, now=5.0) == 0.0
+        assert store.rate("events_total", 1.0, now=5.0) == 0.0
+        assert math.isnan(store.window_quantile("lat_seconds", 0.99, 1.0, 5.0))
+
+    def test_partial_window_at_run_start_uses_baseline(self):
+        # Only 0.3s of data exist; a 1.0s window must not dilute the rate
+        # by dividing through the un-lived 0.7s.
+        store, _ = _store_with_counter([(0.0, 0.0), (0.1, 10.0),
+                                        (0.2, 20.0), (0.3, 30.0)])
+        assert store.increase("events_total", 1.0, now=0.3) == 30.0
+        assert store.rate("events_total", 1.0, now=0.3) == pytest.approx(100.0)
+
+    def test_counter_reset_adds_post_reset_value(self):
+        # 0 -> 40, reset, 0 -> 15: the true increase over the window is 55.
+        store, _ = _store_with_counter([(0.0, 0.0), (1.0, 40.0),
+                                        (2.0, 5.0), (3.0, 15.0)])
+        assert store.increase("events_total", 10.0, now=3.0) == pytest.approx(55.0)
+
+    def test_increase_windows_are_consistent(self):
+        # Property: for a monotone counter, increase over [now-w, now]
+        # equals total minus the baseline value at window start.
+        rng = random.Random(7)
+        points, total = [], 0.0
+        for i in range(50):
+            total += rng.uniform(0, 10)
+            points.append((i * 0.1, total))
+        store, _ = _store_with_counter(points)
+        for w in (0.35, 1.0, 2.5, 100.0):
+            start = max(4.9 - w, 0.0)
+            baseline = max(v for t, v in points if t <= start)
+            expected = points[-1][1] - baseline
+            assert store.increase("events_total", w, now=4.9) == \
+                pytest.approx(expected)
+
+
+class TestHistogramWindows:
+    def test_window_quantile_matches_bucket_oracle(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "h", buckets=(0.1, 0.2, 0.5, 1.0))
+        store = TimeSeriesStore(registry)
+        store.sample(0.0)
+        rng = random.Random(3)
+        values = [rng.uniform(0.0, 1.0) for _ in range(200)]
+        for v in values:
+            hist.observe(v)
+        store.sample(1.0)
+        # The windowed quantile over the whole run equals the child's own
+        # bucket interpolation (same shared bucket_quantile code path).
+        child = registry._metrics["lat_seconds"]._children[()]
+        for q in (0.5, 0.9, 0.99):
+            assert store.window_quantile("lat_seconds", q, 10.0, 1.0) == \
+                pytest.approx(child.quantile(q))
+
+    def test_window_quantile_sees_only_the_window(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat_seconds", "h", buckets=(0.1, 0.5, 1.0))
+        store = TimeSeriesStore(registry)
+        store.sample(0.0)
+        for _ in range(100):
+            hist.observe(0.05)   # early, fast
+        store.sample(1.0)
+        for _ in range(100):
+            hist.observe(0.9)    # late, slow
+        store.sample(2.0)
+        early = store.window_quantile("lat_seconds", 0.5, 0.5, 1.0)
+        late = store.window_quantile("lat_seconds", 0.5, 0.5, 2.0)
+        assert early < 0.1 < late
+
+    def test_fraction_over_interpolates(self):
+        buckets = (0.1, 0.2, 0.4)
+        # Cumulative: 10 observations in (0.1, 0.2], 10 in (0.2, 0.4].
+        counts = [0, 10, 20]
+        assert fraction_over(buckets, counts, 20, 0.05) == 1.0
+        assert fraction_over(buckets, counts, 20, 0.2) == pytest.approx(0.5)
+        assert fraction_over(buckets, counts, 20, 0.3) == pytest.approx(0.25)
+        assert fraction_over(buckets, counts, 20, 0.4) == 0.0
+        assert fraction_over(buckets, counts, 0, 0.2) == 0.0
+
+    def test_fraction_over_is_dual_of_quantile(self):
+        buckets = (0.1, 0.2, 0.5, 1.0)
+        counts = [5, 25, 65, 80]  # cumulative
+        count = counts[-1]
+        for q in (0.2, 0.5, 0.8):
+            v = bucket_quantile(buckets, counts, count, q)
+            assert fraction_over(buckets, counts, count, v) == \
+                pytest.approx(1.0 - q, abs=1e-9)
+
+
+class TestTimerWheelSampling:
+    def test_points_land_exactly_on_virtual_ticks(self):
+        # No clock skew by construction: each sample's timestamp is the
+        # virtual time of its sampler tick, bit-exact.
+        sim = Simulator()
+        registry = MetricsRegistry()
+        counter = registry.counter("events_total", "c")
+        registry.register_collector(lambda: counter.set(sim.now * 100))
+        store = TimeSeriesStore(registry)
+        for i in range(1, 11):
+            sim.schedule(0.05 * i, lambda: None)
+        store.attach(sim, interval_s=0.1)
+        sim.run()
+        ring = store.series["events_total"]
+        times = [t for t, _ in ring._points]
+        assert times[0] == 0.0
+        for t in times[1:]:
+            assert t == pytest.approx(round(t / 0.1) * 0.1)
+        assert store.samples_taken == len(times)
+
+    def test_daemon_sampler_never_extends_the_run(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.counter("events_total", "c")
+        store = TimeSeriesStore(registry)
+        sim.schedule(0.12, lambda: None)
+        store.attach(sim, interval_s=0.05)
+        end = sim.run()
+        # The run drains at the last real event, not at a sampler tick —
+        # and two daemon observers must not sustain each other either.
+        assert end == pytest.approx(0.12)
+        store2 = TimeSeriesStore(registry)
+        store2.attach(sim, interval_s=0.03)
+        assert sim.run() == pytest.approx(0.12)
+
+    def test_capacity_default_bounds_memory(self):
+        ring = SeriesRing()
+        for i in range(3 * DEFAULT_CAPACITY):
+            ring.append(float(i), 0.0)
+        assert len(ring._points) <= DEFAULT_CAPACITY

@@ -84,6 +84,44 @@ class TestRunDeterminism:
         assert baseline.digest() != reseeded.digest()
 
 
+class TestSLODeterminism:
+    def test_double_run_alert_timeline_and_metering_bit_identical(self):
+        doc = copy.deepcopy(MILLION_USER_DOC)
+        doc["name"] = "determinism-slo"
+        doc["slos"] = {
+            "objectives": [
+                {"name": "availability", "signal": "availability",
+                 "target": 0.95},
+                {"name": "sign-cost", "signal": "op_budget", "op": "exp",
+                 "target": 0.99, "budget_per_request": 120.0},
+            ],
+            "expected_alerts": [],
+        }
+        first = run_scenario(scenario_from_dict(doc))
+        second = run_scenario(scenario_from_dict(doc))
+        # The whole SLO plane is deterministic: every alert transition,
+        # every metering record, every budget row — bit-identical.
+        assert first.alerts == second.alerts
+        assert first.fired_alerts == second.fired_alerts
+        assert first.error_budgets == second.error_budgets
+        assert first.metering == second.metering
+        assert first.metering_close == second.metering_close
+        assert first.digest() == second.digest()
+
+    def test_slo_block_participates_in_the_digest(self):
+        plain = run_scenario(scenario_from_dict(MILLION_USER_DOC))
+        doc = copy.deepcopy(MILLION_USER_DOC)
+        doc["slos"] = {
+            "objectives": [{"name": "availability",
+                            "signal": "availability", "target": 0.95}],
+            "expected_alerts": [],
+        }
+        with_slo = run_scenario(scenario_from_dict(doc))
+        assert with_slo.fired_alerts == []
+        assert with_slo.error_budgets  # budget rows present
+        assert plain.digest() != with_slo.digest()
+
+
 class TestStreamIndependence:
     def test_compiled_streams_are_distinct(self, doc):
         doc["topology"]["sem_groups"][0].update(w=3, t=2)
