@@ -867,6 +867,11 @@ def cmd_ledger_verify(args) -> int:
     if not args.no_recheck:
         print(f"  audits rechecked offline: {report.audits_rechecked} "
               f"({report.audit_mismatches} mismatch(es))")
+    if report.repairs_checked:
+        print(f"  repair records checked: {report.repairs_checked}")
+    if report.open_repairs:
+        print(f"  open repairs (crashed mid-repair, resumable): "
+              f"{', '.join(report.open_repairs)}")
     if report.torn_tail:
         print("  torn tail: final line truncated mid-append (tolerated)")
     for error in report.errors:
@@ -996,6 +1001,113 @@ def cmd_slo_report(args) -> int:
 
 def cmd_slo(args) -> int:
     return args.slo_fn(args)
+
+
+# ---------------------------------------------------------------------------
+# Fleet commands (ephemeral seeded demo of the erasure-coded cloud fleet)
+# ---------------------------------------------------------------------------
+
+def _build_cli_fleet(args):
+    """A seeded in-memory fleet with files stored and optional kills applied."""
+    from repro.erasure import build_demo_fleet
+    from repro.obs.ledger import Ledger
+
+    ledger = Ledger(path=args.ledger) if args.ledger else None
+    fleet = build_demo_fleet(
+        servers=args.servers, parity=args.parity, spares=args.spares,
+        seed=args.seed, param_set=args.fleet_param_set, k=args.k,
+        workers=args.workers, ledger=ledger,
+    )
+    import hashlib as _hashlib
+    import random as _random
+
+    rng = _random.Random(int.from_bytes(_hashlib.sha256(
+        b"repro-fleet-cli-payload" + str(args.seed).encode()).digest()[:8], "big"))
+    for i in range(args.files):
+        fleet.store(rng.randbytes(args.file_size), f"fleet-file-{i:04d}".encode())
+    for name in (args.kill or "").split(","):
+        name = name.strip()
+        if name:
+            if name not in fleet.handles:
+                raise CliError(f"unknown fleet server {name!r} "
+                               f"(servers: {', '.join(fleet.handles)})")
+            fleet.set_online(name, False)
+    return fleet
+
+
+def _print_audit_report(report) -> None:
+    agg = ("-" if report.aggregate_ok is None
+           else ("ok" if report.aggregate_ok else "FAILED"))
+    print(f"round {report.round}: {report.checks} slice checks, "
+          f"{report.failures} invalid, {report.timeouts} timeouts, "
+          f"aggregate {agg}"
+          + (f", skipped quarantined: {', '.join(report.skipped_servers)}"
+             if report.skipped_servers else ""))
+    for verdict in report.verdicts:
+        if verdict.status != "ok":
+            print(f"  {verdict.server}: slot {verdict.slot} of "
+                  f"{verdict.file_id.decode(errors='replace')} -> {verdict.status}")
+
+
+def cmd_fleet_audit(args) -> int:
+    fleet = _build_cli_fleet(args)
+    try:
+        failed = False
+        for _ in range(args.rounds):
+            report = fleet.audit_round(sample_size=args.sample_size)
+            _print_audit_report(report)
+            failed = failed or not report.passed
+        quarantined = fleet.scoreboard.quarantined_names()
+        if quarantined:
+            print(f"quarantined: {', '.join(quarantined)}")
+        return 1 if failed else 0
+    finally:
+        fleet.close()
+
+
+def cmd_fleet_repair(args) -> int:
+    fleet = _build_cli_fleet(args)
+    try:
+        report = fleet.audit_round(sample_size=args.sample_size)
+        _print_audit_report(report)
+        repair = fleet.repair()
+        print(f"repair: {len(repair.tasks)} task(s), "
+              f"{len(repair.completed)} completed, "
+              f"{len(repair.unrecoverable)} unrecoverable, "
+              f"{repair.slices_rebuilt} slices rebuilt, "
+              f"{repair.blocks_resigned} blocks re-signed, "
+              f"{repair.reaudits_passed} post-repair audits passed")
+        for task in repair.completed:
+            print(f"  {task.file_id.decode(errors='replace')} slot {task.slot}: "
+                  f"{task.source} -> {task.target}")
+        for task in repair.unrecoverable:
+            print(f"  {task.file_id.decode(errors='replace')} slot {task.slot}: "
+                  f"UNRECOVERABLE (lost {task.source})")
+        return 0 if repair.repaired else 1
+    finally:
+        fleet.close()
+
+
+def cmd_fleet_status(args) -> int:
+    fleet = _build_cli_fleet(args)
+    try:
+        fleet.audit_round(sample_size=args.sample_size)
+        print(json.dumps(fleet.status(), indent=2, sort_keys=True))
+        for file_id in fleet.placements.files():
+            placement = fleet.placements.get(file_id)
+            ok = fleet.reconstructible(file_id)
+            print(f"{file_id.decode(errors='replace')}: "
+                  f"RS({placement.width},{placement.data_shards}) x "
+                  f"{placement.stripes} stripes on "
+                  f"{', '.join(placement.servers)} — "
+                  f"{'reconstructible' if ok else 'UNRECOVERABLE'}")
+        return 0
+    finally:
+        fleet.close()
+
+
+def cmd_fleet(args) -> int:
+    return args.fleet_fn(args)
 
 
 def cmd_info(args) -> int:
@@ -1235,6 +1347,50 @@ def build_parser() -> argparse.ArgumentParser:
     xp.set_defaults(fn=cmd_slo, slo_fn=cmd_slo_report)
 
     p = sub.add_parser(
+        "fleet", help="erasure-coded multi-cloud fleet (audit / repair / status)"
+    )
+    fleet_sub = p.add_subparsers(dest="fleet_command", required=True)
+
+    def _add_fleet_common(fp) -> None:
+        fp.add_argument("--servers", type=int, default=5,
+                        help="active servers (one coded slot each)")
+        fp.add_argument("--parity", type=int, default=2,
+                        help="tolerated whole-server losses (RS parity)")
+        fp.add_argument("--spares", type=int, default=2,
+                        help="warm spare servers repairs re-home onto")
+        fp.add_argument("--files", type=int, default=2,
+                        help="seeded files to stripe across the fleet")
+        fp.add_argument("--file-size", type=int, default=512, metavar="BYTES")
+        fp.add_argument("--seed", type=int, default=0)
+        fp.add_argument("--fleet-param-set", default="toy-64", metavar="NAME")
+        fp.add_argument("-k", type=int, default=4, help="elements per block")
+        fp.add_argument("--sample-size", type=int, default=None, metavar="C",
+                        help="challenge size per slice (default: all stripes)")
+        fp.add_argument("--kill", default="", metavar="NAME[,NAME…]",
+                        help="take these servers offline before auditing")
+        fp.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker pool fan-out; op counts invariant under N")
+        fp.add_argument("--ledger", default=None, metavar="FILE",
+                        help="record audits/quarantines/repairs on this ledger")
+
+    fp = fleet_sub.add_parser(
+        "audit", help="concurrent per-server audit rounds with aggregation"
+    )
+    _add_fleet_common(fp)
+    fp.add_argument("--rounds", type=int, default=1)
+    fp.set_defaults(fn=cmd_fleet, fleet_fn=cmd_fleet_audit)
+
+    fp = fleet_sub.add_parser(
+        "repair", help="audit once, then reconstruct + re-sign lost slots"
+    )
+    _add_fleet_common(fp)
+    fp.set_defaults(fn=cmd_fleet, fleet_fn=cmd_fleet_repair)
+
+    fp = fleet_sub.add_parser("status", help="fleet health + placement map")
+    _add_fleet_common(fp)
+    fp.set_defaults(fn=cmd_fleet, fleet_fn=cmd_fleet_status)
+
+    p = sub.add_parser(
         "bench", help="continuous performance tracking (run / compare / baseline)"
     )
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
@@ -1242,7 +1398,7 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
                         help="suite name or 'all' (table1, audit, service, "
-                             "chaos, msm, scenario, ledger, slo)")
+                             "chaos, msm, scenario, ledger, slo, fleet)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

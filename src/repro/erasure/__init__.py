@@ -11,12 +11,44 @@ its properties:
   operating directly on block *elements*, so coded blocks are ordinary
   SEM-PDP blocks and get blind-signed like any other;
 * :mod:`repro.erasure.resilient` — a resilient store that encodes, signs,
-  and uploads; *localizes* corruption with per-block micro-audits (the
-  same Challenge/Response machinery with c = 1); and repairs the file from
-  any sufficiently large healthy subset.
+  and uploads; *localizes* corruption with deterministic binary-split
+  group testing (the same Challenge/Response machinery over ranges); and
+  repairs the file from any sufficiently large healthy subset;
+* :mod:`repro.erasure.placement` — the explicit slot → server map for
+  files striped across a fleet, including the derived per-slice SEM-PDP
+  file ids;
+* :mod:`repro.erasure.fleet` — the multi-cloud fleet store: stripes
+  coded slots across many servers, audits them concurrently with
+  cross-server proof aggregation, quarantines failing servers via the
+  :class:`~repro.service.cloud_health.CloudScoreboard`, and repairs lost
+  slots by reconstruct → re-sign → re-upload, ledger-recorded.
 """
 
+from repro.erasure.fleet import (
+    FleetAuditReport,
+    FleetRepairReport,
+    FleetStore,
+    RepairTask,
+    ServerHandle,
+    ServerUnavailable,
+    build_demo_fleet,
+)
+from repro.erasure.placement import PlacementMap, StripePlacement, slice_file_id
 from repro.erasure.reed_solomon import ReedSolomonCode
 from repro.erasure.resilient import ResilientStore, RepairReport
 
-__all__ = ["ReedSolomonCode", "ResilientStore", "RepairReport"]
+__all__ = [
+    "FleetAuditReport",
+    "FleetRepairReport",
+    "FleetStore",
+    "PlacementMap",
+    "ReedSolomonCode",
+    "RepairReport",
+    "RepairTask",
+    "ResilientStore",
+    "ServerHandle",
+    "ServerUnavailable",
+    "StripePlacement",
+    "build_demo_fleet",
+    "slice_file_id",
+]

@@ -640,6 +640,112 @@ def _suite_slo(repeats: int, options: dict) -> tuple[list[dict], dict]:
                     "objectives": len(_SLO_SUITE_BLOCK["objectives"])}
 
 
+def _suite_fleet(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """Erasure-coded fleet: audit rounds, repair cost vs stripe width.
+
+    Phases:
+
+    * ``audit.round`` — one concurrent audit round over a healthy RS(5,3)
+      fleet holding two files.  Every (file, slot) slice is challenged and
+      the per-server proofs aggregate through one batched verification, so
+      the op mix is exact and identical across repeats.
+    * ``repair.w{W}`` — kill one server of an RS(W, W-2) fleet, let one
+      audit round quarantine it, then time the repair alone: reconstruct
+      the lost slot from ``W - 2`` survivors, re-sign through the SEM
+      batch path, re-upload to the spare, re-audit.  A fresh fleet per
+      repeat keeps the measured state identical; the width sweep pins how
+      repair cost scales with the stripe geometry.
+    * ``audit.workers{N}`` — the ``audit.round`` phase again with proof
+      generation and verification fanned across ``N`` worker processes.
+      ``delta_exp``/``delta_pair`` against the serial round must be
+      exactly zero: the pool moves work, it never changes the protocol.
+
+    Options: ``workers`` (default 2), ``file_size`` (default 512 bytes).
+    """
+    import random
+
+    from repro.erasure.fleet import build_demo_fleet
+
+    # The invariance phase needs a real pool; --workers 1 is rounded up.
+    workers = max(2, int(options.get("workers") or 2))
+    file_size = int(options.get("file_size") or 512)
+
+    def fresh(servers, fan_out=1):
+        fleet = build_demo_fleet(servers=servers, parity=2, spares=1,
+                                 seed=0, workers=fan_out)
+        payload = random.Random(53)
+        for i in range(2):
+            fleet.store(payload.randbytes(file_size), f"bench-{i}".encode())
+        return fleet
+
+    fleet = fresh(5)
+
+    def round_ok():
+        assert fleet.audit_round().aggregate_ok, "fleet audit round failed"
+
+    wall_audit, ops_audit = measure_ops_and_wall(fleet.group, round_ok, repeats)
+    phases = [
+        make_phase("audit.round", wall_audit, ops_audit, repeats=repeats,
+                   scalars={"servers": 5, "files": 2}),
+    ]
+
+    widths = [4, 6]
+    for width in widths:
+        best, ops, stripes, rebuilt = None, None, 0, 0
+        for _ in range(repeats):
+            hurt = fresh(width)
+            lost = hurt.active_names[1]
+            hurt.set_online(lost, False)
+            hurt.audit_round()  # timeouts trip the quarantine breaker
+            counter = OperationCounter()
+            previous = hurt.group.counter
+            hurt.group.attach_counter(counter)
+            try:
+                before = counter.snapshot()
+                start = time.perf_counter()
+                report = hurt.repair()
+                wall = time.perf_counter() - start
+                if ops is None:
+                    ops = counter.diff(before)
+            finally:
+                hurt.group.counter = previous
+            assert report.repaired and not report.unrecoverable, (
+                f"width-{width} repair did not complete"
+            )
+            stripes = hurt.placements.get(b"bench-0").stripes
+            rebuilt = report.slices_rebuilt
+            best = wall if best is None else min(best, wall)
+        phases.append(make_phase(
+            f"repair.w{width}", best, ops, repeats=repeats,
+            scalars={"stripe_width": width, "stripes": stripes,
+                     "slices_rebuilt": rebuilt},
+        ))
+
+    pooled = fresh(5, fan_out=workers)
+    try:
+        pooled.audit_round()  # warm the workers outside the timed region
+
+        def pooled_ok():
+            assert pooled.audit_round().aggregate_ok, "pooled audit failed"
+
+        wall_w, ops_w = measure_ops_and_wall(pooled.group, pooled_ok, repeats)
+    finally:
+        pooled.close()
+    phases.append(make_phase(
+        f"audit.workers{workers}", wall_w, ops_w, repeats=repeats,
+        scalars={
+            "workers": workers,
+            "delta_exp": (model_equivalent_exp(ops_w)
+                          - model_equivalent_exp(ops_audit)),
+            "delta_pair": (ops_w.get("pairings", 0)
+                           - ops_audit.get("pairings", 0)),
+        },
+    ))
+    return phases, {"param_set": "toy-64", "k": 4, "servers": 5, "parity": 2,
+                    "files": 2, "file_size": file_size, "widths": widths,
+                    "workers": workers}
+
+
 #: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
@@ -650,6 +756,7 @@ SUITES = {
     "scenario": _suite_scenario,
     "ledger": _suite_ledger,
     "slo": _suite_slo,
+    "fleet": _suite_fleet,
 }
 
 

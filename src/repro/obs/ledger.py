@@ -232,6 +232,8 @@ class LedgerVerification:
     audits_rechecked: int = 0
     audit_mismatches: int = 0
     meterings_checked: int = 0
+    repairs_checked: int = 0
+    open_repairs: list[str] = field(default_factory=list)
     counts: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -351,6 +353,56 @@ class _MeterAudit:
         return problems
 
 
+class _RepairAudit:
+    """Structural verification of fleet repair lifecycles.
+
+    Every ``repair_slice`` / ``repair_complete`` / ``repair_failed``
+    entry must reference a ``repair_begin`` that is still open, and a
+    ``repair_complete`` must report the stripe count its begin promised.
+    Repairs still open at the chain tail are *not* an error — that is
+    exactly the crash-mid-repair state :meth:`FleetStore.resume_repairs`
+    recovers from — but they are surfaced so the operator can tell a
+    clean chain from an interrupted one.  The cryptographic half of the
+    repair verdict is the post-repair ``audit`` entry, which the regular
+    Eq. 6 recheck already covers.
+    """
+
+    def __init__(self):
+        self.open: dict[str, dict] = {}
+
+    def check(self, kind: str, body: dict) -> list[str]:
+        repair_id = body.get("repair")
+        if not isinstance(repair_id, str) or not repair_id:
+            return [f"{kind} entry without a repair id"]
+        if kind == "repair_begin":
+            if repair_id in self.open:
+                return [f"repair {repair_id} begun twice"]
+            if not {"file", "slot", "from", "to", "stripes"} <= set(body):
+                return [f"repair_begin {repair_id} missing placement fields"]
+            self.open[repair_id] = body
+            return []
+        begun = self.open.get(repair_id)
+        if begun is None:
+            return [f"{kind} references repair {repair_id} that was never "
+                    "begun (or already closed) — spliced repair record"]
+        problems = []
+        if kind == "repair_slice":
+            if body.get("stripes") != begun.get("stripes"):
+                problems.append(
+                    f"repair {repair_id}: slice carries {body.get('stripes')} "
+                    f"stripes but its begin promised {begun.get('stripes')}")
+        elif kind == "repair_complete":
+            if body.get("slices") != begun.get("stripes"):
+                problems.append(
+                    f"repair {repair_id}: completion reports "
+                    f"{body.get('slices')} slices but its begin promised "
+                    f"{begun.get('stripes')}")
+            self.open.pop(repair_id, None)
+        elif kind == "repair_failed":
+            self.open.pop(repair_id, None)
+        return problems
+
+
 def verify_ledger(path, expect_head: str | None = None,
                   recheck: bool = True) -> LedgerVerification:
     """Re-walk a ledger chain offline and fail loudly on any tamper.
@@ -360,7 +412,10 @@ def verify_ledger(path, expect_head: str | None = None,
     the preceding hash, ``seq`` is gapless from 0, checkpoint entries pin
     the head they claim, every ``metering`` entry's cumulative totals
     re-add from the recorded deltas (and the ``metering_close`` grand
-    totals match), and — when ``recheck`` is on and the genesis metadata
+    totals match), every fleet repair record references an open
+    ``repair_begin`` with consistent stripe counts (repairs still open at
+    the tail are reported, not failed — that is the crash-resume state),
+    and — when ``recheck`` is on and the genesis metadata
     allows rebuilding the crypto context — every recorded audit verdict
     matches a fresh Eq. 6 evaluation of its recorded proof.
     ``expect_head`` defends against whole-suffix truncation and total
@@ -375,6 +430,7 @@ def verify_ledger(path, expect_head: str | None = None,
     report.torn_tail = torn
     runtime = _AuditRuntime() if recheck else None
     metering = _MeterAudit()
+    repairs = _RepairAudit()
     prev = GENESIS_PREV
     for position, entry in enumerate(entries):
         label = f"entry {position}"
@@ -411,6 +467,11 @@ def verify_ledger(path, expect_head: str | None = None,
         elif kind == "metering_close":
             for problem in metering.check_close(entry["body"]):
                 report.errors.append(f"{label}: {problem}")
+        elif kind in ("repair_begin", "repair_slice", "repair_complete",
+                      "repair_failed"):
+            report.repairs_checked += 1
+            for problem in repairs.check(kind, entry["body"]):
+                report.errors.append(f"{label}: {problem}")
         if runtime is not None:
             if kind == "genesis":
                 runtime.load_genesis(entry["body"])
@@ -437,6 +498,7 @@ def verify_ledger(path, expect_head: str | None = None,
                         f"{label}: recorded verdict ok={entry['body'].get('ok')} "
                         f"but Eq. 6 re-evaluates to {verdict} — forged verdict")
     report.head = prev
+    report.open_repairs = sorted(repairs.open)
     if expect_head is not None and prev != expect_head:
         report.errors.append(
             f"head hash {prev[:16]}… does not match expected "

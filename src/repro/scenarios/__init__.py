@@ -47,6 +47,7 @@ from repro.scenarios.schema import (
     CohortSpec,
     EnvelopeSpec,
     FailoverSpec,
+    FleetSpec,
     LinkParams,
     LinkSpec,
     ObjectiveSpec,
@@ -73,6 +74,7 @@ __all__ = [
     "EnvelopeSpec",
     "EnvelopeViolation",
     "FailoverSpec",
+    "FleetSpec",
     "LinkParams",
     "LinkSpec",
     "MMPPProcess",

@@ -22,6 +22,7 @@ from repro.scenarios.schema import (
     CohortSpec,
     EnvelopeSpec,
     FailoverSpec,
+    FleetSpec,
     LinkParams,
     LinkSpec,
     ObjectiveSpec,
@@ -138,9 +139,31 @@ def _link_params(raw: dict, path: str) -> LinkParams:
     )
 
 
+def _fleet(raw: dict, path: str) -> FleetSpec:
+    _check_keys(raw, {"servers", "parity", "spares", "files", "file_size",
+                      "audit_period_s", "sample_size", "quarantine_threshold",
+                      "quarantine_rounds", "auto_repair", "name_prefix"}, path)
+    auto_repair = raw.get("auto_repair", True)
+    if not isinstance(auto_repair, bool):
+        raise ScenarioError(f"{path}.auto_repair", "expected a boolean")
+    return FleetSpec(
+        servers=_int(raw, "servers", 3, path),
+        parity=_int(raw, "parity", 1, path),
+        spares=_int(raw, "spares", 0, path),
+        files=_int(raw, "files", 2, path),
+        file_size=_int(raw, "file_size", 1024, path),
+        audit_period_s=_float(raw, "audit_period_s", 0.2, path),
+        sample_size=_opt_int(raw, "sample_size", path),
+        quarantine_threshold=_int(raw, "quarantine_threshold", 1, path),
+        quarantine_rounds=_int(raw, "quarantine_rounds", 2, path),
+        auto_repair=auto_repair,
+        name_prefix=str(raw.get("name_prefix", "fleet")),
+    )
+
+
 def _topology(raw: dict, path: str) -> TopologySpec:
     _check_keys(raw, {"sem_groups", "clouds", "verifiers", "links",
-                      "default_link"}, path)
+                      "default_link", "fleet"}, path)
     groups = []
     for i, entry in enumerate(raw.get("sem_groups", [])):
         gpath = f"{path}.sem_groups[{i}]"
@@ -179,6 +202,7 @@ def _topology(raw: dict, path: str) -> TopologySpec:
                 {k: v for k, v in entry.items() if k not in ("src", "dst")}, lpath
             ),
         ))
+    fleet_raw = raw.get("fleet")
     return TopologySpec(
         sem_groups=tuple(groups),
         clouds=tuple(clouds),
@@ -186,13 +210,18 @@ def _topology(raw: dict, path: str) -> TopologySpec:
         links=tuple(links),
         default_link=_link_params(raw.get("default_link", {}),
                                   f"{path}.default_link"),
+        fleet=(_fleet(fleet_raw, f"{path}.fleet")
+               if fleet_raw is not None else None),
     )
 
 
 def _envelope(raw: dict, path: str) -> EnvelopeSpec:
     _check_keys(raw, {"max_p99_latency_s", "max_p50_latency_s", "max_drop_rate",
                       "max_failed", "min_completed", "max_exp_per_request",
-                      "max_pair_per_request", "max_virtual_duration_s"}, path)
+                      "max_pair_per_request", "max_virtual_duration_s",
+                      "max_unrecoverable_files", "min_repaired_slices",
+                      "max_post_repair_audit_failures",
+                      "max_repair_duration_s"}, path)
     return EnvelopeSpec(
         max_p99_latency_s=_opt_float(raw, "max_p99_latency_s", path),
         max_p50_latency_s=_opt_float(raw, "max_p50_latency_s", path),
@@ -202,6 +231,11 @@ def _envelope(raw: dict, path: str) -> EnvelopeSpec:
         max_exp_per_request=_opt_float(raw, "max_exp_per_request", path),
         max_pair_per_request=_opt_float(raw, "max_pair_per_request", path),
         max_virtual_duration_s=_opt_float(raw, "max_virtual_duration_s", path),
+        max_unrecoverable_files=_opt_int(raw, "max_unrecoverable_files", path),
+        min_repaired_slices=_opt_int(raw, "min_repaired_slices", path),
+        max_post_repair_audit_failures=_opt_int(
+            raw, "max_post_repair_audit_failures", path),
+        max_repair_duration_s=_opt_float(raw, "max_repair_duration_s", path),
     )
 
 

@@ -88,6 +88,8 @@ class ScenarioResult:
     ledger: dict | None = None               # chain head: entries/epoch/hash
     critical_path: dict | None = None        # p99 exemplar's hop attribution
     exemplars: list | None = None            # latency buckets → trace ids
+    # Fleet drill (populated only when the scenario declares topology.fleet):
+    fleet: dict | None = None                # durability + repair accounting
     # SLO engine (populated only when the scenario declares slos:):
     alerts: list | None = None               # alert state-machine timeline
     fired_alerts: list | None = None         # deduplicated objective:severity
@@ -155,6 +157,10 @@ class ScenarioResult:
             # must reproduce the ledger bit-for-bit, hash and all.
             # (Conditional, so ledger-less digests stay stable.)
             view["ledger"] = self.ledger
+        if self.fleet is not None:
+            # The quarantine/repair timeline is a pure function of the
+            # scenario + seed, so the whole fleet block joins the plane.
+            view["fleet"] = self.fleet
         if self.alerts is not None:
             # The alert timeline and metering records join the plane the
             # same way: a double run must replay them bit-identically.
@@ -210,6 +216,7 @@ class ScenarioResult:
             "verifiers": {k: self.verifiers[k] for k in sorted(self.verifiers)},
             "services": {k: self.services[k] for k in sorted(self.services)},
             "fault_counts": dict(sorted(self.fault_counts.items())),
+            **({"fleet": self.fleet} if self.fleet is not None else {}),
             "flight_recorder": {
                 "ledger": self.ledger,
                 "critical_path": self.critical_path,
@@ -234,6 +241,7 @@ class ScenarioResult:
 def check_envelope(result: ScenarioResult,
                    envelope: EnvelopeSpec) -> list[EnvelopeViolation]:
     """Every envelope check that the finished run violates."""
+    fleet = result.fleet or {}
     observed = {
         "max_p99_latency_s": result.latency_p99_s,
         "max_p50_latency_s": result.latency_p50_s,
@@ -243,6 +251,13 @@ def check_envelope(result: ScenarioResult,
         "max_exp_per_request": result.ops_per_request("exp"),
         "max_pair_per_request": result.ops_per_request("pair"),
         "max_virtual_duration_s": result.virtual_duration_s,
+        # Durability checks read the fleet block; a fleet-less run that
+        # declares them observes zeros (max_* pass vacuously, min_* fail).
+        "max_unrecoverable_files": float(fleet.get("unrecoverable_files", 0)),
+        "min_repaired_slices": float(fleet.get("repaired_slices", 0)),
+        "max_post_repair_audit_failures": float(
+            fleet.get("post_repair_audit_failures", 0)),
+        "max_repair_duration_s": float(fleet.get("repair_duration_s", 0.0)),
     }
     violations = []
     for check in envelope.checks:
@@ -302,6 +317,8 @@ class ScenarioRunner:
         return self.compiled
 
     def run(self) -> ScenarioResult:
+        if self.scenario.topology.fleet is not None:
+            return self._run_fleet()
         compiled = self.compile()
         started = time.perf_counter()
         if self.scenario.legacy:
@@ -314,6 +331,46 @@ class ScenarioRunner:
             # is sealed, so metering records precede the run_summary.
             self.slo.finalize(virtual_end)
         result = self._collect(compiled, virtual_end)
+        if self.ledger is not None:
+            self._seal_ledger(result)
+        result.wall_s = time.perf_counter() - started
+        result.violations = check_envelope(result,
+                                           self.scenario.settings.envelope)
+        if self.slo is not None:
+            result.violations.extend(self._check_expected_alerts(result))
+        return result
+
+    def _run_fleet(self) -> ScenarioResult:
+        """The storage-drill path: no compiled node graph, the fleet store
+        drives the simulator directly (see scenarios/fleet_drill.py)."""
+        from repro.scenarios.fleet_drill import FleetDrill
+
+        started = time.perf_counter()
+        drill = FleetDrill(self.scenario, obs=self.obs, ledger=self.ledger)
+        self.obs = drill.obs          # drill may have enabled obs for SLOs
+        self.slo = drill.slo
+        virtual_end = drill.run()
+        result = ScenarioResult(scenario=self.scenario)
+        result.virtual_duration_s = virtual_end
+        result.issued = drill.checks_issued
+        result.completed = drill.ok_proofs
+        result.failed = drill.invalid_proofs + drill.timeouts
+        result.ops = {k: v for k, v in drill.counter.snapshot().items() if v}
+        result.fleet = drill.summary()
+        result.fault_counts = dict(sorted(drill.fault_counts.items()))
+        for name in self.scenario.topology.fleet.server_names():
+            handle = drill.fleet.handles[name]
+            result.clouds[name] = {
+                "files_stored": handle.server.stored_files,
+                "online": handle.online,
+            }
+        if self.slo is not None:
+            result.alerts = list(self.slo.engine.timeline)
+            result.fired_alerts = self.slo.engine.fired()
+            result.expected_alerts = list(self.slo.expected_alerts())
+            result.error_budgets = list(self.slo.budget_rows)
+            result.metering = []
+            result.metering_close = {}
         if self.ledger is not None:
             self._seal_ledger(result)
         result.wall_s = time.perf_counter() - started

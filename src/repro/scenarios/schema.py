@@ -304,6 +304,53 @@ class VerifierSpec:
 
 
 @dataclass(frozen=True)
+class FleetSpec:
+    """An erasure-coded cloud fleet: striped storage + audit-driven repair.
+
+    ``servers`` active servers each host one coded slot per file
+    (stripe width = ``servers``, data shards = ``servers - parity``), so
+    the fleet survives the loss of up to ``parity`` whole servers;
+    ``spares`` extra servers stand by as repair targets.  Servers are
+    named ``<name_prefix>-s<j>`` (actives first, spares after) — the
+    names chaos fault plans target.
+    """
+
+    servers: int
+    parity: int
+    spares: int = 0
+    files: int = 2
+    file_size: int = 1024            # payload bytes per stored file
+    audit_period_s: float = 0.2
+    sample_size: int | None = None
+    quarantine_threshold: int = 1
+    quarantine_rounds: int = 2
+    auto_repair: bool = True         # repair quarantined servers each round
+    name_prefix: str = "fleet"
+
+    def validate(self, path: str) -> None:
+        _require(self.servers >= 2, path,
+                 f"servers must be >= 2, got {self.servers}")
+        _require(0 <= self.parity < self.servers, path,
+                 f"parity must be in [0, servers), got {self.parity}")
+        _require(self.spares >= 0, path, "spares must be non-negative")
+        _require(self.files >= 1, path, "files must be >= 1")
+        _require(self.file_size >= 1, path, "file_size must be >= 1")
+        _require(self.audit_period_s > 0, path,
+                 "audit_period_s must be positive")
+        if self.sample_size is not None:
+            _require(self.sample_size >= 1, path, "sample_size must be >= 1")
+        _require(self.quarantine_threshold >= 1, path,
+                 "quarantine_threshold must be >= 1")
+        _require(self.quarantine_rounds >= 1, path,
+                 "quarantine_rounds must be >= 1")
+        _valid_name(self.name_prefix, path)
+
+    def server_names(self) -> tuple[str, ...]:
+        return tuple(f"{self.name_prefix}-s{j}"
+                     for j in range(self.servers + self.spares))
+
+
+@dataclass(frozen=True)
 class LinkSpec:
     """Parameters for the directed link class ``src -> dst``.
 
@@ -328,9 +375,11 @@ class TopologySpec:
     verifiers: tuple[VerifierSpec, ...] = ()
     links: tuple[LinkSpec, ...] = ()
     default_link: LinkParams = field(default_factory=LinkParams)
+    fleet: FleetSpec | None = None
 
     def validate(self, path: str = "topology") -> None:
-        _require(len(self.sem_groups) >= 1, path, "needs at least one SEM group")
+        _require(len(self.sem_groups) >= 1 or self.fleet is not None, path,
+                 "needs at least one SEM group (or a fleet)")
         names: set[str] = set()
         for kind, entries in (("sem_groups", self.sem_groups),
                               ("clouds", self.clouds),
@@ -340,6 +389,13 @@ class TopologySpec:
                 _require(entry.name not in names, f"{path}.{kind}[{i}]",
                          f"duplicate topology name {entry.name!r}")
                 names.add(entry.name)
+        if self.fleet is not None:
+            self.fleet.validate(f"{path}.fleet")
+            for server in self.fleet.server_names():
+                _require(server not in names, f"{path}.fleet",
+                         f"fleet server name {server!r} collides with "
+                         "another topology name")
+                names.add(server)
         cloud_names = {c.name for c in self.clouds}
         for i, verifier in enumerate(self.verifiers):
             _require(verifier.audits in cloud_names, f"{path}.verifiers[{i}]",
@@ -378,17 +434,24 @@ class EnvelopeSpec:
     max_exp_per_request: float | None = None
     max_pair_per_request: float | None = None
     max_virtual_duration_s: float | None = None
+    # Durability envelope (fleet scenarios): how much loss is acceptable
+    # and how fast repair must land.
+    max_unrecoverable_files: int | None = None
+    min_repaired_slices: int | None = None
+    max_post_repair_audit_failures: int | None = None
+    max_repair_duration_s: float | None = None
 
     def validate(self, path: str) -> None:
         for name in ("max_p99_latency_s", "max_p50_latency_s", "max_drop_rate",
                      "max_exp_per_request", "max_pair_per_request",
-                     "max_virtual_duration_s"):
+                     "max_virtual_duration_s", "max_repair_duration_s"):
             value = getattr(self, name)
             if value is not None:
                 _require(value >= 0, path, f"{name} must be non-negative, got {value}")
         if self.max_drop_rate is not None:
             _require(self.max_drop_rate <= 1.0, path, "max_drop_rate must be <= 1")
-        for name in ("max_failed", "min_completed"):
+        for name in ("max_failed", "min_completed", "max_unrecoverable_files",
+                     "min_repaired_slices", "max_post_repair_audit_failures"):
             value = getattr(self, name)
             if value is not None:
                 _require(value >= 0, path, f"{name} must be non-negative, got {value}")
@@ -398,7 +461,11 @@ class EnvelopeSpec:
         return [name for name in ("max_p99_latency_s", "max_p50_latency_s",
                                   "max_drop_rate", "max_failed", "min_completed",
                                   "max_exp_per_request", "max_pair_per_request",
-                                  "max_virtual_duration_s")
+                                  "max_virtual_duration_s",
+                                  "max_unrecoverable_files",
+                                  "min_repaired_slices",
+                                  "max_post_repair_audit_failures",
+                                  "max_repair_duration_s")
                 if getattr(self, name) is not None]
 
 
@@ -605,11 +672,17 @@ class Scenario:
         names.update(f"c-{c.name}" for c in self.workload.cohorts)
         names.update(c.name for c in self.topology.clouds)
         names.update(v.name for v in self.topology.verifiers)
+        if self.topology.fleet is not None:
+            names.update(self.topology.fleet.server_names())
         return names
 
     def validate(self) -> None:
         _valid_name(self.name, "scenario")
-        self.workload.validate()
+        if self.topology.fleet is None or self.workload.cohorts:
+            # A pure fleet drill needs no signing workload; anything else
+            # (including a fleet riding alongside cohorts) validates the
+            # workload as usual.
+            self.workload.validate()
         self.topology.validate()
         self.settings.validate()
         if self.slos is not None:

@@ -22,6 +22,10 @@ and :mod:`~repro.crypto.blind_bls` primitives in a service:
   jittered retry-with-backoff, a whole-round deadline budget, cross-round
   byzantine-endpoint quarantine, and Lagrange reconstruction as soon as t
   shares arrive (Section V's t−1 fault tolerance);
+* :mod:`repro.service.cloud_health` — the scoreboard pattern extended
+  from mediators to cloud *servers*: named endpoints whose audit
+  timeouts trip the quarantine breaker like failed proofs (the fleet
+  store's health authority);
 * :mod:`repro.service.journal` — append-only signing journal: a crashed
   service instance replays its in-flight requests idempotently on restart;
 * :mod:`repro.service.simnodes` — the service as discrete-event simulator
@@ -37,6 +41,7 @@ from repro.service.api import (
     SignResponse,
 )
 from repro.service.batcher import BatchConfig, BatchingSEMService
+from repro.service.cloud_health import CloudScoreboard
 from repro.service.failover import (
     FailoverConfig,
     FailoverError,
@@ -60,6 +65,7 @@ __all__ = [
     "BatchConfig",
     "BatchingSEMService",
     "BoundedQueue",
+    "CloudScoreboard",
     "FailoverConfig",
     "FailoverError",
     "FailoverMultiSEMClient",

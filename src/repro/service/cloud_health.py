@@ -1,0 +1,94 @@
+"""Cloud-fleet health: the SEM circuit-breaker pattern, applied to storage.
+
+:class:`~repro.service.failover.HealthScoreboard` tracks *mediators*
+across signing rounds; a fleet of cloud servers needs exactly the same
+round-spanning memory across audit rounds, with two differences:
+
+* endpoints are addressed by **name** (the scenario fault plans target
+  cloud-server names, and ledger entries must record which server
+  tripped), and
+* **timeouts trip the breaker too**.  A mediator that times out may just
+  be slow — retrying is cheap — but a storage server that cannot answer a
+  challenge is indistinguishable from one that lost the data (Eq. 6 has
+  nothing to verify), so unreachability counts toward quarantine exactly
+  like a failed proof.
+
+State machine per server (mirrors the SEM scoreboard)::
+
+    healthy ──streak >= threshold──▶ quarantined (quarantine_rounds rounds)
+       ▲                                  │
+       │ valid probe                      │ window lapses
+       └───────── half-open probe ◀───────┘
+                        │ invalid/timeout probe: re-trips
+"""
+
+from __future__ import annotations
+
+from repro.service.failover import HealthScoreboard
+
+__all__ = ["CloudScoreboard"]
+
+
+class CloudScoreboard(HealthScoreboard):
+    """Per-audit-round health of named cloud servers.
+
+    The inherited machinery is unchanged: ``begin_round`` advances the
+    round clock, streaks of bad outcomes trip the breaker for
+    ``quarantine_rounds`` rounds, a lapsed window re-admits the server as
+    a half-open probe, and one valid proof clears the record.  The
+    ``on_trip``/``on_invalid`` observer hooks keep their
+    ``(index, round, streak)`` signature so the ledger subscription code
+    is shared with the SEM path.
+    """
+
+    def __init__(self, names, threshold: int = 1, quarantine_rounds: int = 4):
+        names = tuple(names)
+        super().__init__(len(names), threshold=threshold,
+                         quarantine_rounds=quarantine_rounds)
+        self.names = names
+        self.index_of = {name: i for i, name in enumerate(names)}
+
+    # -- name-addressed API --------------------------------------------------
+    def name_of(self, index: int) -> str:
+        return self.names[index]
+
+    def is_quarantined_name(self, name: str) -> bool:
+        return self.is_quarantined(self.index_of[name])
+
+    def quarantined_names(self) -> list[str]:
+        return [n for i, n in enumerate(self.names) if self.is_quarantined(i)]
+
+    def record_success_name(self, name: str) -> None:
+        self.record_success(self.index_of[name])
+
+    def record_invalid_name(self, name: str) -> None:
+        self.record_invalid(self.index_of[name])
+
+    def record_timeout_name(self, name: str) -> None:
+        self.record_timeout(self.index_of[name])
+
+    # -- timeout semantics ---------------------------------------------------
+    def record_timeout(self, index: int) -> None:
+        """A server that cannot answer counts toward the breaker streak.
+
+        Unlike the SEM scoreboard (where a timeout is retried within the
+        round and never quarantines), an unreachable storage server joins
+        the same streak as an invalid proof: ``threshold`` consecutive
+        bad outcomes — in any mix of timeouts and Eq. 6 failures — trip
+        the breaker.  ``on_trip`` observers fire as usual; ``on_invalid``
+        stays reserved for genuine proof failures.
+        """
+        record = self.records[index]
+        record.timeouts += 1
+        record.invalid_streak += 1
+        if record.invalid_streak >= self.threshold and not self.is_quarantined(index):
+            record.quarantined_until = self.round + self.quarantine_rounds
+            self.trips += 1
+            for observer in self.on_trip:
+                observer(index, self.round, record.invalid_streak)
+
+    def summary(self) -> dict:
+        base = super().summary()
+        base["servers"] = len(self.names)
+        base["quarantined_names"] = self.quarantined_names()
+        return base

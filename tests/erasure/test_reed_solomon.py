@@ -108,6 +108,46 @@ class TestEncodeDecode:
         )
         assert code.decode({i: coded[i] for i in survivors}) == words
 
+    def test_no_parity_round_trip(self):
+        """parity=0 is the degenerate identity code — and must still
+        decode, not just encode: the fleet uses RS(width, width) when a
+        caller asks for zero fault tolerance."""
+        rng = random.Random(7)
+        words = _random_words(rng, 4)
+        code = ReedSolomonCode(4, 0, P)
+        coded = code.encode(words)
+        assert coded == words
+        assert code.decode(dict(enumerate(coded))) == words
+        with pytest.raises(ValueError):
+            code.decode({i: coded[i] for i in range(3)})  # any loss is fatal
+
+    def test_single_data_word_interpolation(self):
+        """data=1: a constant polynomial, recoverable from ANY one coded
+        word — the widest replication the code degenerates into."""
+        rng = random.Random(8)
+        (word,) = _random_words(rng, 1)
+        code = ReedSolomonCode(1, 5, P)
+        coded = code.encode([word])
+        for index in range(6):
+            assert code.decode({index: coded[index]}) == [word]
+
+    def test_seeded_exact_survivor_decoding(self):
+        """Seeded sweep over geometries: a random survivor set of size
+        exactly ``data`` — the MDS bound, no slack — always round-trips,
+        and the chosen sets are reproducible from the seed."""
+        rng = random.Random(0xFEED)
+        for data_shards in (1, 2, 3, 5, 8):
+            for parity in (1, 2, 4):
+                code = ReedSolomonCode(data_shards, parity, P)
+                words = _random_words(rng, data_shards, width=2)
+                coded = code.encode(words)
+                for _ in range(5):
+                    survivors = rng.sample(
+                        range(data_shards + parity), data_shards
+                    )
+                    available = {i: coded[i] for i in survivors}
+                    assert code.decode(available) == words
+
     def test_corrupted_word_breaks_decode_consistency(self):
         """RS is an erasure code: decoding from a set containing a wrong
         word gives wrong output — localization (via PDP audits) is what

@@ -60,6 +60,85 @@ class TestLocalization:
         assert store.locate_corruption(b"f") == [0]  # scrub pins it down
 
 
+class TestBinarySplitSchedule:
+    """`locate_corruption` is group testing, not a per-block scrub."""
+
+    def _counting(self, store):
+        counts = {"checks": 0, "challenged": 0}
+        real = store.verifier.verify
+
+        def verify(challenge, proof):
+            counts["checks"] += 1
+            counts["challenged"] += len(challenge)
+            return real(challenge, proof)
+
+        store.verifier.verify = verify
+        return counts
+
+    def test_clean_file_costs_one_aggregate_check(self, store):
+        counts = self._counting(store)
+        assert store.locate_corruption(b"f") == []
+        assert counts["checks"] == 1  # one range check certifies the file
+
+    def test_single_corruption_is_logarithmic(self, store):
+        import math
+
+        store.cloud.tamper_block(b"f", 4)
+        n = store.cloud.retrieve(b"f").n_blocks
+        counts = self._counting(store)
+        assert store.locate_corruption(b"f") == [4]
+        # Root + two children per level down one path: ~2·log2(n), and in
+        # particular strictly fewer checks than the old n-challenge scrub.
+        assert counts["checks"] <= 2 * math.ceil(math.log2(n)) + 1
+        assert counts["checks"] < n
+
+    def test_schedule_is_deterministic(self, group, params_k4):
+        """Same seed → the exact same (range, size) visit sequence."""
+        import random
+
+        def run():
+            rng = random.Random(0xC0FFEE)
+            sem = SecurityMediator(group, rng=rng, require_membership=False)
+            owner = DataOwner(params_k4, sem.pk, rng=rng)
+            cloud = CloudServer(params_k4, rng=rng)
+            verifier = PublicVerifier(params_k4, sem.pk, rng=rng)
+            rs = ResilientStore(params_k4, owner, sem, cloud, verifier,
+                                parity=3, rng=rng)
+            rs.store(PAYLOAD, b"f")
+            cloud.tamper_block(b"f", 1)
+            cloud.tamper_block(b"f", 6)
+            visited = []
+            real = verifier.verify
+
+            def verify(challenge, proof):
+                visited.append(challenge.indices)
+                return real(challenge, proof)
+
+            verifier.verify = verify
+            assert rs.locate_corruption(b"f") == [1, 6]
+            return visited
+
+        assert run() == run()
+
+    def test_localize_span_records_cost(self, group, params_k4, rng):
+        from repro.obs import Observability
+
+        obs = Observability.create()
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params_k4, sem.pk, rng=rng)
+        cloud = CloudServer(params_k4, rng=rng)
+        verifier = PublicVerifier(params_k4, sem.pk, rng=rng)
+        rs = ResilientStore(params_k4, owner, sem, cloud, verifier,
+                            parity=3, rng=rng, obs=obs)
+        rs.store(PAYLOAD, b"f")
+        cloud.tamper_block(b"f", 2)
+        rs.locate_corruption(b"f")
+        (span,) = obs.tracer.find("repair.localize")
+        assert span.attributes["corrupt"] == 1
+        assert span.attributes["challenges"] >= 2
+        assert span.attributes["blocks"] == cloud.retrieve(b"f").n_blocks
+
+
 class TestRepair:
     def test_repair_within_parity_budget(self, store):
         for position in (0, 2, 5):

@@ -315,3 +315,90 @@ class TestOfflineRecheck:
         report = verify_ledger(path)
         assert report.ok
         assert report.audits_rechecked == 0
+
+
+class TestRepairLifecycle:
+    """Fleet repair records must form a begin → slice* → complete chain."""
+
+    def _ledger(self, tmp_path, name="repairs.jsonl"):
+        path = tmp_path / name
+        ledger = Ledger(path)
+        ledger.ensure_genesis({"scenario": "repairs", "seed": 0})
+        return path, ledger
+
+    @staticmethod
+    def _begin(ledger, repair="abcd.1", stripes=3):
+        ledger.append("repair_begin", {
+            "repair": repair, "file": "aa", "slot": 1,
+            "from": "cloud-s1", "to": "cloud-s4", "stripes": stripes,
+        })
+
+    def test_clean_lifecycle_verifies(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger)
+        ledger.append("repair_slice", {"repair": "abcd.1", "stripes": 3,
+                                       "digest": "00"})
+        ledger.append("repair_complete", {"repair": "abcd.1",
+                                          "server": "cloud-s4", "slices": 3,
+                                          "audit_ok": True})
+        report = verify_ledger(path)
+        assert report.ok, report.errors
+        assert report.repairs_checked == 3
+        assert report.open_repairs == []
+
+    def test_spliced_slice_without_begin_rejected(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        ledger.append("repair_slice", {"repair": "feed.1", "stripes": 3,
+                                       "digest": "00"})
+        report = verify_ledger(path)
+        assert not report.ok
+        assert any("spliced repair record" in e for e in report.errors)
+
+    def test_complete_after_close_rejected(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger)
+        ledger.append("repair_complete", {"repair": "abcd.1",
+                                          "server": "cloud-s4", "slices": 3,
+                                          "audit_ok": True})
+        ledger.append("repair_complete", {"repair": "abcd.1",
+                                          "server": "cloud-s4", "slices": 3,
+                                          "audit_ok": True})
+        report = verify_ledger(path)
+        assert not report.ok
+        assert any("never begun (or already closed)" in e for e in report.errors)
+
+    def test_begin_twice_rejected(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger)
+        self._begin(ledger)
+        report = verify_ledger(path)
+        assert not report.ok
+        assert any("begun twice" in e for e in report.errors)
+
+    def test_stripe_count_mismatch_rejected(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger, stripes=3)
+        ledger.append("repair_slice", {"repair": "abcd.1", "stripes": 2,
+                                       "digest": "00"})
+        ledger.append("repair_complete", {"repair": "abcd.1",
+                                          "server": "cloud-s4", "slices": 5,
+                                          "audit_ok": True})
+        report = verify_ledger(path)
+        assert not report.ok
+        assert sum("repair abcd.1" in e for e in report.errors) == 2
+
+    def test_open_repair_at_tail_tolerated_but_surfaced(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger, repair="feed.2")
+        report = verify_ledger(path)
+        assert report.ok, report.errors
+        assert report.open_repairs == ["feed.2"]
+
+    def test_failed_repair_closes_the_record(self, tmp_path):
+        path, ledger = self._ledger(tmp_path)
+        self._begin(ledger)
+        ledger.append("repair_failed", {"repair": "abcd.1",
+                                        "reason": "fewer than data_shards"})
+        report = verify_ledger(path)
+        assert report.ok, report.errors
+        assert report.open_repairs == []

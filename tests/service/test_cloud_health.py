@@ -1,0 +1,122 @@
+"""Cloud quarantine state machine: the SEM scoreboard pattern, by name.
+
+Mirrors ``TestHealthScoreboard`` in ``test_failover.py`` — trip,
+half-open probe, recovery — plus the one deliberate divergence: a cloud
+server's *timeout* joins the breaker streak (an unreachable storage
+server is indistinguishable from one that lost the data), where a SEM
+timeout never quarantines.
+"""
+
+from repro.service.cloud_health import CloudScoreboard
+
+NAMES = ("cloud-a", "cloud-b", "cloud-c", "cloud-d")
+
+
+def _board(threshold=1, rounds=2, names=NAMES):
+    return CloudScoreboard(names, threshold=threshold, quarantine_rounds=rounds)
+
+
+class TestTrip:
+    def test_invalid_streak_trips_the_breaker(self):
+        board = _board(threshold=2)
+        board.begin_round()
+        board.record_invalid_name("cloud-b")
+        assert not board.is_quarantined_name("cloud-b")  # streak 1 < threshold
+        board.record_invalid_name("cloud-b")
+        assert board.is_quarantined_name("cloud-b")
+        assert board.trips == 1
+
+    def test_timeout_trips_like_invalid(self):
+        """The divergence from the SEM scoreboard: timeouts quarantine."""
+        board = _board(threshold=2)
+        board.begin_round()
+        board.record_timeout_name("cloud-c")
+        assert not board.is_quarantined_name("cloud-c")
+        board.record_timeout_name("cloud-c")
+        assert board.is_quarantined_name("cloud-c")
+        assert board.trips == 1
+        assert board.records[board.index_of["cloud-c"]].timeouts == 2
+
+    def test_mixed_timeout_and_invalid_share_one_streak(self):
+        board = _board(threshold=2)
+        board.begin_round()
+        board.record_timeout_name("cloud-a")
+        board.record_invalid_name("cloud-a")
+        assert board.is_quarantined_name("cloud-a")
+
+    def test_trip_observers_fire_with_index_round_streak(self):
+        fired = []
+        board = _board()
+        board.on_trip.append(lambda i, r, s: fired.append((i, r, s)))
+        board.begin_round()
+        board.record_timeout_name("cloud-d")
+        assert fired == [(3, 1, 1)]
+
+    def test_already_quarantined_does_not_retrip(self):
+        board = _board()
+        board.begin_round()
+        board.record_timeout_name("cloud-a")
+        board.record_timeout_name("cloud-a")
+        assert board.trips == 1
+
+
+class TestHalfOpenAndRecovery:
+    def test_contact_order_defers_quarantined(self):
+        board = _board()
+        board.begin_round()
+        board.record_timeout_name("cloud-c")
+        board.begin_round()
+        healthy, quarantined = board.contact_order()
+        assert [board.name_of(i) for i in healthy] == [
+            "cloud-a", "cloud-b", "cloud-d"
+        ]
+        assert [board.name_of(i) for i in quarantined] == ["cloud-c"]
+
+    def test_lapsed_window_readmits_as_probe(self):
+        board = _board(rounds=1)
+        board.begin_round()
+        board.record_timeout_name("cloud-a")
+        board.begin_round()
+        assert board.is_quarantined_name("cloud-a")
+        board.begin_round()
+        healthy, quarantined = board.contact_order()
+        assert board.index_of["cloud-a"] in healthy and quarantined == []
+        assert board.probes == 1
+
+    def test_failed_probe_retrips(self):
+        board = _board(rounds=1)
+        board.begin_round()
+        board.record_timeout_name("cloud-b")
+        board.begin_round()
+        board.begin_round()
+        board.contact_order()  # half-open: cloud-b offered as a probe
+        board.record_timeout_name("cloud-b")
+        assert board.is_quarantined_name("cloud-b")
+        assert board.trips == 2
+
+    def test_valid_probe_clears_streak_and_quarantine(self):
+        board = _board()
+        board.begin_round()
+        board.record_invalid_name("cloud-d")
+        assert board.is_quarantined_name("cloud-d")
+        board.record_success_name("cloud-d")
+        assert not board.is_quarantined_name("cloud-d")
+        assert board.quarantined_names() == []
+
+
+class TestNaming:
+    def test_quarantined_names_sorted_by_fleet_order(self):
+        board = _board()
+        board.begin_round()
+        board.record_timeout_name("cloud-d")
+        board.record_timeout_name("cloud-b")
+        assert board.quarantined_names() == ["cloud-b", "cloud-d"]
+
+    def test_summary_carries_names(self):
+        board = _board()
+        board.begin_round()
+        board.record_timeout_name("cloud-a")
+        summary = board.summary()
+        assert summary["servers"] == 4
+        assert summary["quarantined_names"] == ["cloud-a"]
+        assert summary["quarantined"] == 1
