@@ -74,7 +74,8 @@ class TestPaperFigures:
         import runpy
         import sys
 
-        monkeypatch.setattr(sys, "argv", ["make_figures.py", "--fast"])
+        monkeypatch.setattr(sys, "argv",
+                            ["make_figures.py", "--fast", "--out", str(tmp_path)])
         import pathlib
 
         tool = pathlib.Path(__file__).parent.parent.parent / "tools" / "make_figures.py"

@@ -27,6 +27,8 @@ def main() -> int:
     parser = argparse.ArgumentParser()
     parser.add_argument("--fast", action="store_true",
                         help="calibrate on toy parameters (quick smoke run)")
+    parser.add_argument("--out", type=pathlib.Path, default=None,
+                        help="directory for figures.txt (default: benchmarks/results)")
     args = parser.parse_args()
 
     name = "toy-64" if args.fast else "paper-160"
@@ -44,8 +46,8 @@ def main() -> int:
     ]
     output = "\n\n".join(charts)
     print(output)
-    results = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
-    results.mkdir(exist_ok=True)
+    results = args.out or pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+    results.mkdir(parents=True, exist_ok=True)
     (results / "figures.txt").write_text(output + "\n")
     print(f"\nwritten to {results / 'figures.txt'}")
     return 0
