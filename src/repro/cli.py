@@ -114,6 +114,27 @@ def _load_stored(root: Path, params, file_id: str):
     return decode_signed_file(path.read_bytes(), params)
 
 
+def _dyn_blob_path(root: Path, file_id: str) -> Path:
+    safe = file_id.replace("/", "__")
+    return root / CLOUD_DIR / f"{safe}.dyn"
+
+
+def _load_dynamic(root: Path, params, file_id: str):
+    from repro.dynamic.persist import decode_dynamic_file
+
+    path = _dyn_blob_path(root, file_id)
+    if not path.exists():
+        raise CliError(f"no dynamic file {file_id!r} "
+                       "(create one with `repro-pdp dynamic create`)")
+    return decode_dynamic_file(path.read_bytes(), params)
+
+
+def _save_dynamic(root: Path, params, file_id: str, state) -> None:
+    from repro.dynamic.persist import encode_dynamic_file
+
+    _dyn_blob_path(root, file_id).write_bytes(encode_dynamic_file(state, params))
+
+
 # ---------------------------------------------------------------------------
 # Observability plumbing
 # ---------------------------------------------------------------------------
@@ -455,6 +476,194 @@ def cmd_tamper(args) -> int:
     _blob_path(root, args.file_id).write_bytes(encode_signed_file(tampered, params))
     print(f"tampered with block {args.block} of {args.file_id!r}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Dynamic files (rank-authenticated updates, batched re-signing)
+# ---------------------------------------------------------------------------
+
+def _dynamic_owner(params, sem, state: dict, member: str) -> DataOwner:
+    token = state["members"].get(member)
+    if token is None:
+        raise CliError(f"member {member!r} is not enrolled")
+    credential = MemberCredential(token=bytes.fromhex(token))
+    return DataOwner(params, sem.pk, credential=credential)
+
+
+def _pin_dynamic(state: dict, file_id: str, receipt) -> None:
+    """Persist the TPA pin (epoch, root, count) for a dynamic file."""
+    state.setdefault("dynamic", {})[file_id] = {
+        "epoch": receipt.epoch_after,
+        "root": receipt.root_after.hex(),
+        "count": receipt.count,
+    }
+
+
+def cmd_dynamic_create(args) -> int:
+    """Chunk a local file into dynamic blocks, sign, and pin epoch 0."""
+    from repro.dynamic import DynamicStore
+
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, sem, _, _ = build_runtime(state)
+    if args.file_id in state.get("dynamic", {}):
+        raise CliError(f"dynamic file {args.file_id!r} already exists")
+    chunk_bytes = args.block_bytes or params.block_bytes()
+    if not 0 < chunk_bytes <= params.block_bytes():
+        raise CliError(f"--block-bytes must be in 1..{params.block_bytes()}")
+    data = Path(args.path).read_bytes()
+    chunks = [data[i:i + chunk_bytes] for i in range(0, len(data), chunk_bytes)]
+    if not chunks:
+        raise CliError(f"{args.path} is empty")
+    owner = _dynamic_owner(params, sem, state, args.member)
+    ledger = _deployment_ledger(root, state, sem.pk)
+    store = DynamicStore(params, sem, owner, ledger=ledger)
+    receipt = store.create(args.file_id.encode(), chunks)
+    _save_dynamic(root, params, args.file_id,
+                  store.file_state(args.file_id.encode()))
+    _pin_dynamic(state, args.file_id, receipt)
+    save_state(root, state)
+    print(f"created dynamic file {args.file_id!r}: {len(data)} bytes as "
+          f"{receipt.count} blocks, epoch 0, root {receipt.root_after.hex()[:16]}…")
+    return 0
+
+
+def _parse_update_ops(args) -> list:
+    """CLI flags -> one atomic batch.
+
+    Ops apply sequentially in a fixed order — all ``--modify``, then all
+    ``--insert``, then all ``--delete``, then all ``--append`` — and each
+    position is interpreted against the file as already mutated by the
+    earlier ops in the batch.
+    """
+    from repro.dynamic import UpdateOp
+
+    def _pos_payload(spec: str, flag: str) -> tuple[int, bytes]:
+        pos, sep, text = spec.partition(":")
+        if not sep:
+            raise CliError(f"{flag} wants POS:TEXT, got {spec!r}")
+        try:
+            return int(pos), text.encode()
+        except ValueError:
+            raise CliError(f"{flag} position {pos!r} is not an integer") from None
+
+    ops = []
+    for spec in args.modify or []:
+        position, payload = _pos_payload(spec, "--modify")
+        ops.append(UpdateOp("modify", position, payload))
+    for spec in args.insert or []:
+        position, payload = _pos_payload(spec, "--insert")
+        ops.append(UpdateOp("insert", position, payload))
+    for spec in args.delete or []:
+        try:
+            ops.append(UpdateOp("delete", int(spec)))
+        except ValueError:
+            raise CliError(f"--delete position {spec!r} is not an integer") from None
+    for text in args.append_block or []:
+        ops.append(UpdateOp("append", payload=text.encode()))
+    if not ops:
+        raise CliError("nothing to do: give at least one of "
+                       "--modify/--insert/--delete/--append")
+    return ops
+
+
+def cmd_update(args) -> int:
+    """Apply one atomic update batch to a dynamic file (k + 1 signatures)."""
+    from repro.dynamic import DynamicFileError, DynamicStore
+
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, sem, _, _ = build_runtime(state)
+    ops = _parse_update_ops(args)
+    owner = _dynamic_owner(params, sem, state, args.member)
+    ledger = _deployment_ledger(root, state, sem.pk)
+    store = DynamicStore(params, sem, owner, ledger=ledger)
+    store.adopt(_load_dynamic(root, params, args.file_id))
+    try:
+        receipt = store.update(args.file_id.encode(), ops)
+    except DynamicFileError as exc:
+        raise CliError(str(exc)) from None
+    _save_dynamic(root, params, args.file_id, store.file_state(args.file_id.encode()))
+    _pin_dynamic(state, args.file_id, receipt)
+    save_state(root, state)
+    print(f"updated {args.file_id!r}: {receipt.ops} op(s), "
+          f"{receipt.signed_blocks} block(s) re-signed (+1 root), "
+          f"epoch {receipt.epoch_before} -> {receipt.epoch_after}, "
+          f"{receipt.count} blocks, root {receipt.root_after.hex()[:16]}…")
+    return 0
+
+
+def cmd_dynamic_audit(args) -> int:
+    """Audit a dynamic file: rank paths + root signature + Eq. 6 together."""
+    from repro.dynamic import DynamicAuditor, DynamicStore
+
+    root = Path(args.state_dir)
+    state = load_state(root)
+    params, sem, _, _ = build_runtime(state)
+    pin = state.get("dynamic", {}).get(args.file_id)
+    if pin is None:
+        raise CliError(f"no dynamic file {args.file_id!r}")
+    obs = _make_obs()
+    obs.observe_group(params.group)
+    store = DynamicStore(params, sem, DataOwner(params, sem.pk))
+    store.adopt(_load_dynamic(root, params, args.file_id))
+    auditor = DynamicAuditor(params, sem.pk)
+    file_id = args.file_id.encode()
+    auditor.pin(file_id, int(pin["epoch"]), bytes.fromhex(pin["root"]),
+                int(pin["count"]))
+    ledger = _deployment_ledger(root, state, sem.pk)
+    with obs.tracer.span("dynamic-audit"):
+        with obs.tracer.span("challenge", n_blocks=int(pin["count"])) as span:
+            challenge = auditor.generate_challenge(file_id, sample_size=args.sample)
+            span.set(challenged=len(challenge))
+        with obs.tracer.span("proofgen", challenged=len(challenge)):
+            proof = store.generate_proof(file_id, challenge)
+        before = obs.counter.snapshot()
+        with obs.tracer.span("proofverify", challenged=len(challenge)) as span:
+            ok = auditor.verify(file_id, challenge, proof)
+            span.set(ok=ok)
+        after = obs.counter.snapshot()
+    from repro.obs import model_equivalent_exp
+
+    delta = {key: after.get(key, 0) - before.get(key, 0)
+             for key in set(after) | set(before)}
+    ledger.append("dyn_audit", {
+        "verifier": "cli",
+        "file": file_id.hex(),
+        "epoch": proof.epoch,
+        "indices": [int(i) for i in challenge.indices],
+        "betas": [int(b) for b in challenge.betas],
+        "block_ids": [b.hex() for b in proof.block_ids],
+        "sigma": proof.response.sigma.to_bytes().hex(),
+        "alphas": [int(a) for a in proof.response.alphas],
+        "ok": ok,
+        "exp": model_equivalent_exp(delta),
+        "pair": delta.get("pairings", 0),
+    })
+    _write_obs_outputs(args, obs)
+    _persist_last_run(root, "dynamic-audit", obs)
+    scope = f"{len(challenge)} of {pin['count']} blocks"
+    print(f"dynamic audit {args.file_id!r} (epoch {proof.epoch}, {scope}): "
+          f"{'PASS' if ok else 'FAIL'}")
+    return 0 if ok else 1
+
+
+def cmd_dynamic_status(args) -> int:
+    """List dynamic files with their pinned epoch, root, and block count."""
+    root = Path(args.state_dir)
+    state = load_state(root)
+    dynamic = state.get("dynamic", {})
+    if not dynamic:
+        print("no dynamic files")
+        return 0
+    for file_id, pin in sorted(dynamic.items()):
+        print(f"{file_id}: epoch {pin['epoch']}, {pin['count']} blocks, "
+              f"root {pin['root'][:16]}…")
+    return 0
+
+
+def cmd_dynamic(args) -> int:
+    return args.dynamic_fn(args)
 
 
 def cmd_serve_sim(args) -> int:
@@ -872,6 +1081,11 @@ def cmd_ledger_verify(args) -> int:
     if report.open_repairs:
         print(f"  open repairs (crashed mid-repair, resumable): "
               f"{', '.join(report.open_repairs)}")
+    if report.updates_checked:
+        print(f"  dynamic update records replayed: {report.updates_checked}")
+    if report.open_updates:
+        print(f"  open update batches (crashed mid-batch, resumable): "
+              f"{', '.join(report.open_updates)}")
     if report.torn_tail:
         print("  torn tail: final line truncated mid-append (tolerated)")
     for error in report.errors:
@@ -1119,6 +1333,12 @@ def cmd_info(args) -> int:
     print(f"stored files ({len(state['files'])}):")
     for file_id, meta in sorted(state["files"].items()):
         print(f"  {file_id}: {meta['bytes']} bytes, {meta['blocks']} blocks")
+    dynamic = state.get("dynamic", {})
+    if dynamic:
+        print(f"dynamic files ({len(dynamic)}):")
+        for file_id, pin in sorted(dynamic.items()):
+            print(f"  {file_id}: epoch {pin['epoch']}, {pin['count']} blocks, "
+                  f"root {pin['root'][:16]}…")
     last_run_path = root / OBS_DIR / LAST_RUN_FILE
     if last_run_path.exists():
         last = json.loads(last_run_path.read_text())
@@ -1205,6 +1425,58 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print a calibrated hot-path profile of this run")
     p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser(
+        "update",
+        help="apply one atomic update batch to a dynamic file",
+        description="Ops apply in order --modify, --insert, --delete, "
+                    "--append; each position sees the file as already "
+                    "mutated by the earlier ops in the batch.  The whole "
+                    "batch costs one blind-sign round: k touched blocks "
+                    "plus the new epoch-stamped root.",
+    )
+    p.add_argument("member", help="enrolled member whose credential signs")
+    p.add_argument("file_id", help="dynamic file to mutate")
+    p.add_argument("--modify", action="append", metavar="POS:TEXT",
+                   help="replace the block at POS (repeatable)")
+    p.add_argument("--insert", action="append", metavar="POS:TEXT",
+                   help="insert a block before POS (repeatable)")
+    p.add_argument("--delete", action="append", metavar="POS",
+                   help="delete the block at POS (repeatable)")
+    p.add_argument("--append", action="append", dest="append_block",
+                   metavar="TEXT", help="append a block at the end (repeatable)")
+    p.set_defaults(fn=cmd_update)
+
+    p = sub.add_parser(
+        "dynamic", help="dynamic files: create / audit / status"
+    )
+    dynamic_sub = p.add_subparsers(dest="dynamic_command", required=True)
+
+    dp = dynamic_sub.add_parser(
+        "create", help="chunk a local file into dynamic blocks and sign them"
+    )
+    dp.add_argument("member", help="enrolled member whose credential signs")
+    dp.add_argument("file_id", help="identifier for the dynamic file")
+    dp.add_argument("path", help="local file to chunk and store")
+    dp.add_argument("--block-bytes", type=int, default=None,
+                    help="payload bytes per block (default: the parameter "
+                         "set's full block capacity)")
+    dp.set_defaults(fn=cmd_dynamic, dynamic_fn=cmd_dynamic_create)
+
+    dp = dynamic_sub.add_parser(
+        "audit",
+        help="audit a dynamic file (rank paths + root signature + Eq. 6)",
+    )
+    dp.add_argument("file_id", help="dynamic file to audit")
+    dp.add_argument("--sample", type=int, default=None,
+                    help="challenge only N random positions")
+    _add_obs_flags(dp)
+    dp.set_defaults(fn=cmd_dynamic, dynamic_fn=cmd_dynamic_audit)
+
+    dp = dynamic_sub.add_parser(
+        "status", help="list dynamic files and their pinned roots"
+    )
+    dp.set_defaults(fn=cmd_dynamic, dynamic_fn=cmd_dynamic_status)
 
     p = sub.add_parser("tamper", help="corrupt a stored block (demo)")
     p.add_argument("file_id")
@@ -1398,7 +1670,8 @@ def build_parser() -> argparse.ArgumentParser:
     def _add_bench_common(bp) -> None:
         bp.add_argument("--suite", default="all",
                         help="suite name or 'all' (table1, audit, service, "
-                             "chaos, msm, scenario, ledger, slo, fleet)")
+                             "chaos, msm, scenario, ledger, slo, fleet, "
+                             "dynamic)")
         bp.add_argument("--repeats", type=int, default=3,
                         help="wall time is best-of-N per phase")
         bp.add_argument("--trajectory-dir", default=".", metavar="DIR",

@@ -1,0 +1,72 @@
+"""Binary persistence for dynamic file state (the CLI's ``.dyn`` blobs).
+
+Same conventions as :mod:`repro.core.serial`: a magic header, varint
+framing, compressed G1 points, fixed-width scalars sized by the group
+order.  The rank tree is not serialized — it is a pure function of the
+slot sequence and is rebuilt on load.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.core.blocks import Block
+from repro.core.params import SystemParams
+from repro.core.serial import _read_bytes, _write_bytes, read_varint, write_varint
+from repro.dynamic.rank_tree import RankTree
+from repro.dynamic.store import DynamicFile, dyn_block_id
+
+_MAGIC_DYNAMIC_FILE = b"SPDPd1"
+
+
+def encode_dynamic_file(state: DynamicFile, params: SystemParams) -> bytes:
+    stream = io.BytesIO()
+    stream.write(_MAGIC_DYNAMIC_FILE)
+    _write_bytes(stream, state.file_id)
+    write_varint(stream, state.epoch)
+    write_varint(stream, state.next_serial)
+    write_varint(stream, len(state.slots))
+    write_varint(stream, params.k)
+    width = (params.order.bit_length() + 7) // 8
+    for serial, version in state.slots:
+        write_varint(stream, serial)
+        write_varint(stream, version)
+        for element in state.blocks[serial].elements:
+            stream.write(element.to_bytes(width, "big"))
+        _write_bytes(stream, state.signatures[serial].to_bytes())
+    _write_bytes(stream, state.root_signature.to_bytes()
+                 if state.root_signature is not None else b"")
+    return stream.getvalue()
+
+
+def decode_dynamic_file(data: bytes, params: SystemParams) -> DynamicFile:
+    stream = io.BytesIO(data)
+    if stream.read(len(_MAGIC_DYNAMIC_FILE)) != _MAGIC_DYNAMIC_FILE:
+        raise ValueError("not a serialized dynamic file")
+    file_id = _read_bytes(stream)
+    epoch = read_varint(stream)
+    next_serial = read_varint(stream)
+    n = read_varint(stream)
+    k = read_varint(stream)
+    if k != params.k:
+        raise ValueError(f"file was encoded with k={k}, params have k={params.k}")
+    width = (params.order.bit_length() + 7) // 8
+    state = DynamicFile(file_id=file_id, epoch=epoch, next_serial=next_serial)
+    for _ in range(n):
+        serial = read_varint(stream)
+        version = read_varint(stream)
+        elements = tuple(
+            int.from_bytes(stream.read(width), "big") for _ in range(k)
+        )
+        block_id = dyn_block_id(file_id, serial, version)
+        state.slots.append((serial, version))
+        state.blocks[serial] = Block(block_id=block_id, elements=elements)
+        state.signatures[serial] = params.group.deserialize_g1(_read_bytes(stream))
+    root_sig = _read_bytes(stream)
+    state.root_signature = (
+        params.group.deserialize_g1(root_sig) if root_sig else None
+    )
+    state.tree = RankTree([
+        dyn_block_id(file_id, serial, version) for serial, version in state.slots
+    ])
+    return state

@@ -746,6 +746,94 @@ def _suite_fleet(repeats: int, options: dict) -> tuple[list[dict], dict]:
                     "workers": workers}
 
 
+def _suite_dynamic(repeats: int, options: dict) -> tuple[list[dict], dict]:
+    """Update batches vs naive re-sign-all on a 16-block dynamic file (k=4).
+
+    For each batch size K the ``update.k{K}`` phase measures one atomic
+    batch of K modifies through :class:`~repro.dynamic.store.DynamicStore`
+    — the suite *asserts* the batch re-signs exactly K blocks and costs
+    exactly 2 pairings (one Eq. 7 check for the whole K + 1-message
+    round) — and the ``naive.k{K}`` phase measures the static-tier
+    answer to the same edit: re-sign all n blocks.  The committed
+    baseline pins the Exp/Pair gap the EXPERIMENTS.md table reports.
+    ``dyn.audit`` measures one c=4 rank-path + root-signature + Eq. 6
+    verification.
+    """
+    import random
+
+    from repro.core.owner import DataOwner
+    from repro.core.params import setup
+    from repro.core.sem import SecurityMediator
+    from repro.dynamic import DynamicAuditor, DynamicStore, UpdateOp
+
+    group = _toy_group()
+    params = setup(group, k=4)
+    n_blocks = 16
+    chunk = params.block_bytes()
+    data = _dense(params, n_blocks) + b"\x01" * 8
+    chunks = [data[i:i + chunk] for i in range(0, len(data), chunk)][:n_blocks]
+    phases = []
+    for batch in (1, 4, 8):
+        rng = random.Random(31)
+        sem = SecurityMediator(group, rng=rng, require_membership=False)
+        owner = DataOwner(params, sem.pk, rng=rng)
+        store = DynamicStore(params, sem, owner)
+        store.create(b"bench-dyn", chunks)
+        ops_batch = [
+            UpdateOp("modify", i, b"edit-%d" % i) for i in range(batch)
+        ]
+
+        def _one_batch():
+            receipt = store.update(b"bench-dyn", ops_batch)
+            assert receipt.signed_blocks == batch, (
+                f"update batch of {batch} re-signed {receipt.signed_blocks} blocks"
+            )
+
+        wall_up, ops_up = measure_ops_and_wall(group, _one_batch, repeats)
+        assert ops_up.get("pairings", 0) == 2, (
+            f"update batch must cost exactly 2 pairings (one Eq. 7 check), "
+            f"counted {ops_up.get('pairings', 0)}"
+        )
+        phases.append(make_phase(
+            f"update.k{batch}", wall_up, ops_up, repeats=repeats,
+            scalars={"batch": batch, "signed_blocks": batch,
+                     "n_blocks": n_blocks},
+        ))
+        naive_owner = DataOwner(params, sem.pk, rng=random.Random(37))
+        wall_naive, ops_naive = measure_ops_and_wall(
+            group,
+            lambda: naive_owner.sign_file(data[:chunk * n_blocks - 8],
+                                          b"bench-naive", sem, batch=True),
+            repeats,
+        )
+        phases.append(make_phase(
+            f"naive.k{batch}", wall_naive, ops_naive, repeats=repeats,
+            scalars={"batch": batch, "signed_blocks": n_blocks,
+                     "n_blocks": n_blocks},
+        ))
+    rng = random.Random(41)
+    sem = SecurityMediator(group, rng=rng, require_membership=False)
+    owner = DataOwner(params, sem.pk, rng=rng)
+    store = DynamicStore(params, sem, owner)
+    receipt = store.create(b"bench-dyn", chunks)
+    auditor = DynamicAuditor(params, sem.pk, rng=rng)
+    auditor.pin_receipt(receipt)
+    challenge = auditor.generate_challenge(b"bench-dyn", sample_size=4)
+    proof = store.generate_proof(b"bench-dyn", challenge)
+    assert auditor.verify(b"bench-dyn", challenge, proof), (
+        "dynamic suite produced a failing proof"
+    )
+    wall_aud, ops_aud = measure_ops_and_wall(
+        group, lambda: auditor.verify(b"bench-dyn", challenge, proof), repeats
+    )
+    phases.append(make_phase(
+        "dyn.audit", wall_aud, ops_aud, repeats=repeats,
+        scalars={"challenged": len(challenge), "n_blocks": n_blocks},
+    ))
+    return phases, {"param_set": "toy-64", "k": 4, "n_blocks": n_blocks,
+                    "batches": [1, 4, 8], "challenged": 4}
+
+
 #: suite name -> builder(repeats, options) -> (phases, config)
 SUITES = {
     "table1": _suite_table1,
@@ -757,6 +845,7 @@ SUITES = {
     "ledger": _suite_ledger,
     "slo": _suite_slo,
     "fleet": _suite_fleet,
+    "dynamic": _suite_dynamic,
 }
 
 

@@ -233,7 +233,9 @@ class LedgerVerification:
     audit_mismatches: int = 0
     meterings_checked: int = 0
     repairs_checked: int = 0
+    updates_checked: int = 0
     open_repairs: list[str] = field(default_factory=list)
+    open_updates: list[str] = field(default_factory=list)
     counts: dict[str, int] = field(default_factory=dict)
 
     @property
@@ -296,6 +298,32 @@ class _AuditRuntime:
         challenge = Challenge(
             indices=indices,
             block_ids=tuple(make_block_id(file_id, i) for i in indices),
+            betas=tuple(int(b) for b in body["betas"]),
+        )
+        sigma = self.params.group.deserialize_g1(bytes.fromhex(body["sigma"]))
+        response = ProofResponse(
+            sigma=sigma, alphas=tuple(int(a) for a in body["alphas"])
+        )
+        return PublicVerifier(self.params, pk).verify(challenge, response)
+
+    def recheck_dynamic(self, body: dict) -> bool | None:
+        """Re-evaluate Eq. 6 for one dyn_audit entry; None when impossible.
+
+        Dynamic audits record the rank-authenticated block identifiers
+        explicitly (they are not derivable from positions alone), so the
+        offline recheck replays the same identifiers the TPA verified.
+        """
+        from repro.core.challenge import Challenge, ProofResponse
+        from repro.core.verifier import PublicVerifier
+
+        if self.params is None:
+            return None
+        pk = self.pks.get(body.get("verifier"))
+        if pk is None:
+            return None
+        challenge = Challenge(
+            indices=tuple(int(i) for i in body["indices"]),
+            block_ids=tuple(bytes.fromhex(b) for b in body["block_ids"]),
             betas=tuple(int(b) for b in body["betas"]),
         )
         sigma = self.params.group.deserialize_g1(bytes.fromhex(body["sigma"]))
@@ -403,6 +431,121 @@ class _RepairAudit:
         return problems
 
 
+class _DynamicAudit:
+    """Shadow-replay of dynamic-file root transitions.
+
+    ``dyn_create`` plants a shadow rank tree from the recorded leaves;
+    every ``dyn_update_begin`` must assert exactly the shadow's current
+    root, and every ``dyn_update_commit`` re-applies its begin's
+    recorded ops to the shadow tree — the recomputed root must equal the
+    recorded root-after, or the transition was forged.  A second begin
+    for the same file with the same root-before supersedes the open one
+    (the crash-retry path: the first batch never committed, so the state
+    never moved); a begin with a *different* root-before while one is
+    open means a commit went missing.  Batches still open at the chain
+    tail are surfaced, not failed — that is the torn mid-batch state the
+    store resumes from idempotently.
+    """
+
+    def __init__(self):
+        self.trees: dict[str, object] = {}
+        self.open: dict[str, dict] = {}
+
+    def check(self, kind: str, body: dict) -> list[str]:
+        from repro.dynamic.rank_tree import RankTree
+
+        file = body.get("file")
+        if not isinstance(file, str) or not file:
+            return [f"{kind} entry without a file id"]
+        if kind == "dyn_create":
+            if file in self.trees:
+                return [f"dynamic file {file[:16]} created twice"]
+            try:
+                leaves = [bytes.fromhex(leaf) for leaf in body.get("leaves", [])]
+            except ValueError:
+                return [f"dynamic file {file[:16]}: unparseable create leaves"]
+            tree = RankTree(leaves)
+            self.trees[file] = tree
+            problems = []
+            if body.get("count") != len(leaves):
+                problems.append(
+                    f"dynamic file {file[:16]}: create count {body.get('count')} "
+                    f"does not match its {len(leaves)} leaves")
+            if body.get("root") != tree.root.hex():
+                problems.append(
+                    f"dynamic file {file[:16]}: create root does not hash "
+                    "from the recorded leaves — forged initial root")
+            return problems
+        tree = self.trees.get(file)
+        if tree is None:
+            return [f"{kind} references dynamic file {file[:16]} that was "
+                    "never created — spliced update record"]
+        if kind == "dyn_update_begin":
+            if body.get("root_before") != tree.root.hex():
+                return [
+                    f"dynamic file {file[:16]}: batch {body.get('batch')} "
+                    f"asserts root-before {str(body.get('root_before'))[:16]}… "
+                    "but the replayed state disagrees — forged or out-of-order"
+                    " update"]
+            open_batch = self.open.get(file)
+            if open_batch is not None and (
+                open_batch.get("root_before") != body.get("root_before")
+            ):
+                return [
+                    f"dynamic file {file[:16]}: batch {body.get('batch')} "
+                    f"begun while batch {open_batch.get('batch')} is open at a "
+                    "different root — missing commit"]
+            # Same root-before: an idempotent crash retry; supersede.
+            self.open[file] = body
+            return []
+        # dyn_update_commit
+        begun = self.open.get(file)
+        if begun is None or begun.get("batch") != body.get("batch"):
+            return [f"dynamic file {file[:16]}: commit for batch "
+                    f"{body.get('batch')} without a matching open begin"]
+        self.open.pop(file)
+        problems = []
+        signed = 0
+        for record in begun.get("ops", []):
+            op, position = record.get("op"), record.get("position")
+            try:
+                if op == "delete":
+                    tree.delete(position)
+                else:
+                    leaf = bytes.fromhex(record.get("leaf", ""))
+                    signed += 1
+                    if op == "modify":
+                        tree.modify(position, leaf)
+                    elif op == "insert":
+                        tree.insert(position, leaf)
+                    elif op == "append":
+                        tree.append(leaf)
+                    else:
+                        problems.append(
+                            f"dynamic file {file[:16]}: unknown op {op!r} in "
+                            f"batch {body.get('batch')}")
+            except (IndexError, TypeError, ValueError):
+                problems.append(
+                    f"dynamic file {file[:16]}: op {op!r} at position "
+                    f"{position!r} does not apply to the replayed state")
+        if body.get("root_after") != tree.root.hex():
+            problems.append(
+                f"dynamic file {file[:16]}: batch {body.get('batch')} commits "
+                f"root-after {str(body.get('root_after'))[:16]}… but replaying "
+                "its recorded ops yields a different root — forged root "
+                "transition")
+        if body.get("count") != len(tree):
+            problems.append(
+                f"dynamic file {file[:16]}: commit count {body.get('count')} "
+                f"does not match the replayed {len(tree)} leaves")
+        if body.get("signed_blocks") != signed:
+            problems.append(
+                f"dynamic file {file[:16]}: commit claims "
+                f"{body.get('signed_blocks')} signed blocks but its begin "
+                f"records {signed} non-delete ops")
+        return problems
+
+
 def verify_ledger(path, expect_head: str | None = None,
                   recheck: bool = True) -> LedgerVerification:
     """Re-walk a ledger chain offline and fail loudly on any tamper.
@@ -415,6 +558,11 @@ def verify_ledger(path, expect_head: str | None = None,
     totals match), every fleet repair record references an open
     ``repair_begin`` with consistent stripe counts (repairs still open at
     the tail are reported, not failed — that is the crash-resume state),
+    every dynamic-file root transition replays from its recorded ops
+    (``dyn_create`` / ``dyn_update_begin`` / ``dyn_update_commit`` — a
+    commit whose root-after disagrees with the replayed rank tree is a
+    forged transition; a batch open at the tail is the torn mid-update
+    state, reported not failed),
     and — when ``recheck`` is on and the genesis metadata
     allows rebuilding the crypto context — every recorded audit verdict
     matches a fresh Eq. 6 evaluation of its recorded proof.
@@ -431,6 +579,7 @@ def verify_ledger(path, expect_head: str | None = None,
     runtime = _AuditRuntime() if recheck else None
     metering = _MeterAudit()
     repairs = _RepairAudit()
+    dynamics = _DynamicAudit()
     prev = GENESIS_PREV
     for position, entry in enumerate(entries):
         label = f"entry {position}"
@@ -472,6 +621,10 @@ def verify_ledger(path, expect_head: str | None = None,
             report.repairs_checked += 1
             for problem in repairs.check(kind, entry["body"]):
                 report.errors.append(f"{label}: {problem}")
+        elif kind in ("dyn_create", "dyn_update_begin", "dyn_update_commit"):
+            report.updates_checked += 1
+            for problem in dynamics.check(kind, entry["body"]):
+                report.errors.append(f"{label}: {problem}")
         if runtime is not None:
             if kind == "genesis":
                 runtime.load_genesis(entry["body"])
@@ -482,9 +635,12 @@ def verify_ledger(path, expect_head: str | None = None,
                     runtime.load_key(entry["body"])
                 except Exception as exc:
                     report.errors.append(f"{label}: bad verifier key: {exc}")
-            elif kind == "audit":
+            elif kind in ("audit", "dyn_audit"):
                 try:
-                    verdict = runtime.recheck(entry["body"])
+                    if kind == "audit":
+                        verdict = runtime.recheck(entry["body"])
+                    else:
+                        verdict = runtime.recheck_dynamic(entry["body"])
                 except Exception as exc:
                     report.errors.append(f"{label}: audit recheck failed: {exc}")
                     report.audit_mismatches += 1
@@ -499,6 +655,9 @@ def verify_ledger(path, expect_head: str | None = None,
                         f"but Eq. 6 re-evaluates to {verdict} — forged verdict")
     report.head = prev
     report.open_repairs = sorted(repairs.open)
+    report.open_updates = sorted(
+        f"{file[:16]}:{body.get('batch')}" for file, body in dynamics.open.items()
+    )
     if expect_head is not None and prev != expect_head:
         report.errors.append(
             f"head hash {prev[:16]}… does not match expected "

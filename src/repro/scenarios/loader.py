@@ -20,6 +20,7 @@ from repro.scenarios.schema import (
     BurnWindowSpec,
     CloudSpec,
     CohortSpec,
+    DynamicSpec,
     EnvelopeSpec,
     FailoverSpec,
     FleetSpec,
@@ -130,6 +131,26 @@ def _cohort(raw: dict, path: str) -> CohortSpec:
     )
 
 
+def _dynamic(raw: dict, path: str) -> DynamicSpec:
+    _check_keys(raw, {"profile", "target", "files", "initial_blocks",
+                      "block_bytes", "batches", "ops_per_batch",
+                      "update_period_s", "audit_every", "sample_size",
+                      "hot_blocks"}, path)
+    return DynamicSpec(
+        profile=str(raw.get("profile", "")),
+        target=str(raw.get("target", "")),
+        files=_int(raw, "files", 2, path),
+        initial_blocks=_int(raw, "initial_blocks", 8, path),
+        block_bytes=_int(raw, "block_bytes", 16, path),
+        batches=_int(raw, "batches", 6, path),
+        ops_per_batch=_int(raw, "ops_per_batch", 4, path),
+        update_period_s=_float(raw, "update_period_s", 0.25, path),
+        audit_every=_int(raw, "audit_every", 2, path),
+        sample_size=_opt_int(raw, "sample_size", path),
+        hot_blocks=_int(raw, "hot_blocks", 2, path),
+    )
+
+
 def _link_params(raw: dict, path: str) -> LinkParams:
     _check_keys(raw, {"latency_s", "bandwidth_bps", "drop_rate"}, path)
     return LinkParams(
@@ -221,7 +242,9 @@ def _envelope(raw: dict, path: str) -> EnvelopeSpec:
                       "max_pair_per_request", "max_virtual_duration_s",
                       "max_unrecoverable_files", "min_repaired_slices",
                       "max_post_repair_audit_failures",
-                      "max_repair_duration_s"}, path)
+                      "max_repair_duration_s", "min_update_batches",
+                      "max_resigned_blocks_per_batch",
+                      "min_dynamic_audits"}, path)
     return EnvelopeSpec(
         max_p99_latency_s=_opt_float(raw, "max_p99_latency_s", path),
         max_p50_latency_s=_opt_float(raw, "max_p50_latency_s", path),
@@ -236,6 +259,10 @@ def _envelope(raw: dict, path: str) -> EnvelopeSpec:
         max_post_repair_audit_failures=_opt_int(
             raw, "max_post_repair_audit_failures", path),
         max_repair_duration_s=_opt_float(raw, "max_repair_duration_s", path),
+        min_update_batches=_opt_int(raw, "min_update_batches", path),
+        max_resigned_blocks_per_batch=_opt_int(
+            raw, "max_resigned_blocks_per_batch", path),
+        min_dynamic_audits=_opt_int(raw, "min_dynamic_audits", path),
     )
 
 
@@ -332,14 +359,19 @@ def scenario_from_dict(raw: dict) -> Scenario:
     _check_keys(raw, {"name", "description", "workload", "topology",
                       "settings", "slos"}, "scenario")
     workload_raw = raw.get("workload", {})
-    _check_keys(workload_raw, {"cohorts"}, "workload")
+    _check_keys(workload_raw, {"cohorts", "dynamic"}, "workload")
     cohorts_raw = workload_raw.get("cohorts", [])
     if not isinstance(cohorts_raw, list):
         raise ScenarioError("workload.cohorts", "expected a list of cohorts")
-    workload = WorkloadSpec(cohorts=tuple(
-        _cohort(entry, f"workload.cohorts[{i}]")
-        for i, entry in enumerate(cohorts_raw)
-    ))
+    dynamic_raw = workload_raw.get("dynamic")
+    workload = WorkloadSpec(
+        cohorts=tuple(
+            _cohort(entry, f"workload.cohorts[{i}]")
+            for i, entry in enumerate(cohorts_raw)
+        ),
+        dynamic=(None if dynamic_raw is None
+                 else _dynamic(dynamic_raw, "workload.dynamic")),
+    )
     slos_raw = raw.get("slos")
     return Scenario(
         name=str(raw.get("name", "")),

@@ -90,6 +90,8 @@ class ScenarioResult:
     exemplars: list | None = None            # latency buckets → trace ids
     # Fleet drill (populated only when the scenario declares topology.fleet):
     fleet: dict | None = None                # durability + repair accounting
+    # Dynamic drill (populated only when workload.dynamic is declared):
+    dynamic: dict | None = None              # update batches + audit tallies
     # SLO engine (populated only when the scenario declares slos:):
     alerts: list | None = None               # alert state-machine timeline
     fired_alerts: list | None = None         # deduplicated objective:severity
@@ -161,6 +163,10 @@ class ScenarioResult:
             # The quarantine/repair timeline is a pure function of the
             # scenario + seed, so the whole fleet block joins the plane.
             view["fleet"] = self.fleet
+        if self.dynamic is not None:
+            # Same deal for the update timeline: every batch receipt and
+            # audit verdict must replay bit-identically.
+            view["dynamic"] = self.dynamic
         if self.alerts is not None:
             # The alert timeline and metering records join the plane the
             # same way: a double run must replay them bit-identically.
@@ -217,6 +223,7 @@ class ScenarioResult:
             "services": {k: self.services[k] for k in sorted(self.services)},
             "fault_counts": dict(sorted(self.fault_counts.items())),
             **({"fleet": self.fleet} if self.fleet is not None else {}),
+            **({"dynamic": self.dynamic} if self.dynamic is not None else {}),
             "flight_recorder": {
                 "ledger": self.ledger,
                 "critical_path": self.critical_path,
@@ -242,6 +249,7 @@ def check_envelope(result: ScenarioResult,
                    envelope: EnvelopeSpec) -> list[EnvelopeViolation]:
     """Every envelope check that the finished run violates."""
     fleet = result.fleet or {}
+    dyn = result.dynamic or {}
     observed = {
         "max_p99_latency_s": result.latency_p99_s,
         "max_p50_latency_s": result.latency_p50_s,
@@ -258,6 +266,11 @@ def check_envelope(result: ScenarioResult,
         "max_post_repair_audit_failures": float(
             fleet.get("post_repair_audit_failures", 0)),
         "max_repair_duration_s": float(fleet.get("repair_duration_s", 0.0)),
+        # Dynamic-tier checks read the dynamic block the same way.
+        "min_update_batches": float(dyn.get("update_batches", 0)),
+        "max_resigned_blocks_per_batch": float(
+            dyn.get("max_resigned_per_batch", 0)),
+        "min_dynamic_audits": float(dyn.get("audits_ok", 0)),
     }
     violations = []
     for check in envelope.checks:
@@ -317,6 +330,8 @@ class ScenarioRunner:
         return self.compiled
 
     def run(self) -> ScenarioResult:
+        if self.scenario.workload.dynamic is not None:
+            return self._run_dynamic()
         if self.scenario.topology.fleet is not None:
             return self._run_fleet()
         compiled = self.compile()
@@ -378,6 +393,31 @@ class ScenarioRunner:
                                            self.scenario.settings.envelope)
         if self.slo is not None:
             result.violations.extend(self._check_expected_alerts(result))
+        return result
+
+    def _run_dynamic(self) -> ScenarioResult:
+        """The update-drill path: no compiled node graph, the dynamic
+        store drives the simulator directly (see scenarios/dynamic_drill.py).
+        An update batch counts as one issued-and-completed request; a
+        dynamic audit is issued too and fails when its proof does."""
+        from repro.scenarios.dynamic_drill import DynamicDrill
+
+        started = time.perf_counter()
+        drill = DynamicDrill(self.scenario, obs=self.obs, ledger=self.ledger)
+        self.obs = drill.obs
+        virtual_end = drill.run()
+        result = ScenarioResult(scenario=self.scenario)
+        result.virtual_duration_s = virtual_end
+        result.issued = drill.update_batches + drill.audits_done
+        result.completed = drill.update_batches + drill.audits_ok
+        result.failed = drill.audits_failed
+        result.ops = {k: v for k, v in drill.counter.snapshot().items() if v}
+        result.dynamic = drill.summary()
+        if self.ledger is not None:
+            self._seal_ledger(result)
+        result.wall_s = time.perf_counter() - started
+        result.violations = check_envelope(result,
+                                           self.scenario.settings.envelope)
         return result
 
     def _check_expected_alerts(self,

@@ -207,18 +207,71 @@ class CohortSpec:
             _require(self.max_requests >= 1, path, "max_requests must be >= 1")
 
 
+#: Update-mix profiles the dynamic drill knows how to drive.
+DYNAMIC_PROFILES = ("churn", "log_append", "hot_block")
+
+
+@dataclass(frozen=True)
+class DynamicSpec:
+    """A dynamic-file update workload (rank-authenticated batches).
+
+    Drives :class:`~repro.scenarios.dynamic_drill.DynamicDrill`: ``files``
+    dynamic files of ``initial_blocks`` blocks each receive ``batches``
+    update batches of ``ops_per_batch`` ops on a fixed virtual period,
+    with a full audit (rank paths + root signature + Eq. 6) after every
+    ``audit_every``-th batch.  The ``profile`` picks the op mix:
+    ``churn`` (versioned-doc edits: modify/insert/delete/append),
+    ``log_append`` (append-only tail growth), or ``hot_block`` (modify
+    storms on a small hot set of positions).
+    """
+
+    profile: str
+    target: str                      # SEM group that blind-signs the batches
+    files: int = 2
+    initial_blocks: int = 8
+    block_bytes: int = 16            # payload bytes per dynamic block
+    batches: int = 6                 # update batches per file
+    ops_per_batch: int = 4
+    update_period_s: float = 0.25
+    audit_every: int = 2             # audit after every Nth batch (0 = never)
+    sample_size: int | None = None   # challenge size per audit (None = all)
+    hot_blocks: int = 2              # hot-set size (hot_block profile only)
+
+    def validate(self, path: str) -> None:
+        _require(self.profile in DYNAMIC_PROFILES, path,
+                 f"profile must be one of {', '.join(DYNAMIC_PROFILES)}, "
+                 f"got {self.profile!r}")
+        _require(isinstance(self.target, str) and self.target, path,
+                 "dynamic workload needs a target SEM group")
+        _require(self.files >= 1, path, "files must be >= 1")
+        _require(self.initial_blocks >= 1, path, "initial_blocks must be >= 1")
+        _require(self.block_bytes >= 1, path, "block_bytes must be >= 1")
+        _require(self.batches >= 1, path, "batches must be >= 1")
+        _require(self.ops_per_batch >= 1, path, "ops_per_batch must be >= 1")
+        _require(self.update_period_s > 0, path,
+                 "update_period_s must be positive")
+        _require(self.audit_every >= 0, path, "audit_every must be >= 0")
+        if self.sample_size is not None:
+            _require(self.sample_size >= 1, path, "sample_size must be >= 1")
+        _require(self.hot_blocks >= 1, path, "hot_blocks must be >= 1")
+
+
 @dataclass(frozen=True)
 class WorkloadSpec:
     cohorts: tuple[CohortSpec, ...]
+    dynamic: DynamicSpec | None = None
 
     def validate(self, path: str = "workload") -> None:
-        _require(len(self.cohorts) >= 1, path, "needs at least one cohort")
+        _require(len(self.cohorts) >= 1 or self.dynamic is not None, path,
+                 "needs at least one cohort (or a dynamic workload)")
         seen: set[str] = set()
         for i, cohort in enumerate(self.cohorts):
             cohort.validate(f"{path}.cohorts[{i}]")
             _require(cohort.name not in seen, f"{path}.cohorts[{i}]",
                      f"duplicate cohort name {cohort.name!r}")
             seen.add(cohort.name)
+        if self.dynamic is not None:
+            self.dynamic.validate(f"{path}.dynamic")
 
     @property
     def total_members(self) -> int:
@@ -440,6 +493,11 @@ class EnvelopeSpec:
     min_repaired_slices: int | None = None
     max_post_repair_audit_failures: int | None = None
     max_repair_duration_s: float | None = None
+    # Dynamic-update envelope (dynamic scenarios): how much churn must
+    # land, and how tightly batching must bound the re-sign cost.
+    min_update_batches: int | None = None
+    max_resigned_blocks_per_batch: int | None = None
+    min_dynamic_audits: int | None = None
 
     def validate(self, path: str) -> None:
         for name in ("max_p99_latency_s", "max_p50_latency_s", "max_drop_rate",
@@ -451,7 +509,9 @@ class EnvelopeSpec:
         if self.max_drop_rate is not None:
             _require(self.max_drop_rate <= 1.0, path, "max_drop_rate must be <= 1")
         for name in ("max_failed", "min_completed", "max_unrecoverable_files",
-                     "min_repaired_slices", "max_post_repair_audit_failures"):
+                     "min_repaired_slices", "max_post_repair_audit_failures",
+                     "min_update_batches", "max_resigned_blocks_per_batch",
+                     "min_dynamic_audits"):
             value = getattr(self, name)
             if value is not None:
                 _require(value >= 0, path, f"{name} must be non-negative, got {value}")
@@ -465,7 +525,10 @@ class EnvelopeSpec:
                                   "max_unrecoverable_files",
                                   "min_repaired_slices",
                                   "max_post_repair_audit_failures",
-                                  "max_repair_duration_s")
+                                  "max_repair_duration_s",
+                                  "min_update_batches",
+                                  "max_resigned_blocks_per_batch",
+                                  "min_dynamic_audits")
                 if getattr(self, name) is not None]
 
 
@@ -689,6 +752,16 @@ class Scenario:
             self.slos.validate()
         group_names = {g.name for g in self.topology.sem_groups}
         cloud_names = {c.name for c in self.topology.clouds}
+        if self.workload.dynamic is not None:
+            _require(self.workload.dynamic.target in group_names,
+                     "workload.dynamic",
+                     f"target references unknown SEM group "
+                     f"{self.workload.dynamic.target!r}")
+            _require(self.slos is None, "workload.dynamic",
+                     "dynamic drills do not support slos: yet — drop one")
+            _require(not self.workload.cohorts, "workload.dynamic",
+                     "a dynamic drill replaces the cohort workload — "
+                     "declare cohorts or dynamic, not both")
         for i, cohort in enumerate(self.workload.cohorts):
             path = f"workload.cohorts[{i}]"
             _require(cohort.target in group_names, path,

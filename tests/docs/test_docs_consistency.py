@@ -1,12 +1,14 @@
 """The documentation stays true: CLI invocations parse, links resolve.
 
-Three checks keep the prose and the code from drifting apart:
+Four checks keep the prose and the code from drifting apart:
 
 * every ``repro-pdp ...`` command shown in a fenced code block of the
   documentation parses against the real argparse tree;
 * every relative markdown link (and ``#anchor``) in README/DESIGN/
   EXPERIMENTS/docs/*.md points at a file (and heading) that exists;
-* the bench ``--suite`` help text names exactly the registered suites.
+* the bench ``--suite`` help text names exactly the registered suites;
+* every ``repro.<module>:<Symbol>`` code anchor in docs/PROTOCOL.md
+  imports and resolves, so the protocol narrative cannot rot.
 """
 
 import re
@@ -122,6 +124,58 @@ def test_docs_referenced_scenarios_exist_and_validate():
         target = REPO / rel
         assert target.exists(), f"docs reference {rel}, which does not exist"
         load_scenario(target)  # raises ScenarioError on an invalid document
+
+
+def test_docs_document_the_dynamic_tier():
+    """The dynamic-data workflow must be documented end to end: create,
+    audit, status, and at least one batched update invocation (all of
+    which therefore parse, via test_documented_invocation_parses), plus
+    the committed dynamic scenario corpus."""
+    lines = [c for _, c in DOCUMENTED]
+    for needle in ("dynamic create", "dynamic audit", "dynamic status"):
+        assert any(needle in line for line in lines), (
+            f"no doc shows `repro-pdp {needle} ...`"
+        )
+    assert any(line.startswith("repro-pdp update ") for line in lines), (
+        "no doc shows a `repro-pdp update <member> <file> ...` batch"
+    )
+    corpus = "".join(p.read_text() for p in DOC_FILES)
+    for name in ("dynamic_churn", "dynamic_log_append", "dynamic_hot_block"):
+        assert f"scenarios/{name}.yaml" in corpus, (
+            f"docs never reference scenarios/{name}.yaml"
+        )
+
+
+_CODE_ANCHOR = re.compile(r"`(repro\.[\w.]+):([\w.]+)`")
+
+
+def test_protocol_code_anchors_resolve():
+    """docs/PROTOCOL.md annotates every flow step with
+    ``repro.<module>:<Symbol>.<attr>`` anchors; each one must import and
+    getattr-resolve against the current tree."""
+    import importlib
+
+    refs = sorted(set(_CODE_ANCHOR.findall(
+        (REPO / "docs" / "PROTOCOL.md").read_text())))
+    assert len(refs) >= 30, f"PROTOCOL.md lost its code anchors: {refs}"
+    broken = []
+    for module, symbol in refs:
+        try:
+            obj = importlib.import_module(module)
+            for part in symbol.split("."):
+                obj = getattr(obj, part)
+        except (ImportError, AttributeError) as exc:
+            broken.append(f"{module}:{symbol} ({exc})")
+    assert not broken, "stale PROTOCOL.md anchors: " + "; ".join(broken)
+
+
+def test_protocol_names_every_dynamic_ledger_kind():
+    """The update lifecycle's ledger records are part of the documented
+    contract; PROTOCOL.md must name each kind the dynamic tier writes."""
+    text = (REPO / "docs" / "PROTOCOL.md").read_text()
+    for kind in ("dyn_create", "dyn_update_begin", "dyn_update_commit",
+                 "dyn_audit"):
+        assert f"`{kind}`" in text, f"PROTOCOL.md never names {kind}"
 
 
 def _github_anchor(heading: str) -> str:
